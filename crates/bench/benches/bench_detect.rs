@@ -1,0 +1,49 @@
+//! Spike-detection throughput vs series length and spike density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_core::detect::{detect_spikes, DetectParams};
+use sift_core::timeline::Timeline;
+use sift_geo::State;
+use sift_simtime::Hour;
+
+fn synthetic_series(len: usize, spike_every: usize) -> Timeline {
+    let mut values = vec![0.0f64; len];
+    let mut i = 10;
+    while i + 6 < len {
+        values[i] = 40.0;
+        values[i + 1] = 100.0;
+        values[i + 2] = 70.0;
+        values[i + 3] = 30.0;
+        i += spike_every;
+    }
+    Timeline {
+        state: State::TX,
+        start: Hour(0),
+        values,
+    }
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect");
+    let params = DetectParams::default();
+    for len in [24 * 30usize, 24 * 365, 24 * 731] {
+        let tl = synthetic_series(len, 40);
+        group.bench_with_input(BenchmarkId::new("len", len), &tl, |b, tl| {
+            b.iter(|| detect_spikes(std::hint::black_box(tl), &params));
+        });
+    }
+    for spike_every in [10usize, 40, 400] {
+        let tl = synthetic_series(24 * 365, spike_every);
+        group.bench_with_input(
+            BenchmarkId::new("density", spike_every),
+            &tl,
+            |b, tl| {
+                b.iter(|| detect_spikes(std::hint::black_box(tl), &params));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

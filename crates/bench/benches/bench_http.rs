@@ -1,0 +1,46 @@
+//! HTTP substrate throughput: parser and end-to-end round trips.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sift_net::http::{parse_request, serialize_request};
+use sift_net::{HttpClient, Method, Request, Response, Router, Server, StatusCode};
+
+fn bench_http(c: &mut Criterion) {
+    let mut group = c.benchmark_group("http");
+
+    // Parser throughput on a realistic POST.
+    let req = Request::post_json("/api/frame", &serde_json::json!({
+        "term": {"Topic": "InternetOutage"},
+        "state": "TX",
+        "start": 9874,
+        "len": 168,
+        "tag": 3,
+    }))
+    .expect("encode");
+    let wire = serialize_request(&req);
+    group.bench_function("parse_request", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::from(&wire[..]);
+            parse_request(&mut buf).expect("parse").expect("complete")
+        });
+    });
+    group.bench_function("serialize_request", |b| {
+        b.iter(|| serialize_request(std::hint::black_box(&req)));
+    });
+
+    // End-to-end keep-alive round trips against a live server.
+    let router = Router::new().route(Method::Get, "/ping", |_| {
+        Response::text(StatusCode::OK, "pong")
+    });
+    let server = Server::new(router).bind("127.0.0.1:0").expect("bind");
+    let client = HttpClient::new(server.addr());
+    let ping = Request::get("/ping");
+    group.bench_function("round_trip", |b| {
+        b.iter(|| client.send(std::hint::black_box(&ping)).expect("send"));
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_http);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Probing-engine throughput: exact rounds vs the event-driven synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use sift_geo::{AddressPlan, GeoDb, State};
+use sift_probe::address::PopulationMix;
+use sift_probe::{AddressPopulation, ProbeConfig, Prober};
+use sift_simtime::{Hour, HourRange};
+use sift_trends::{Scenario, ScenarioParams};
+
+fn bench_probe(c: &mut Criterion) {
+    let plan = AddressPlan::proportional(2_000);
+    let population = AddressPopulation::new(&plan, PopulationMix::default(), 5);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+    let geodb = GeoDb::from_plan(&plan, 0.03, &mut rng);
+    let scenario = Scenario::generate(ScenarioParams {
+        background_scale: 0.05,
+        ..ScenarioParams::default()
+    });
+    let prober = Prober::new(ProbeConfig::default(), &population, &geodb);
+
+    let mut group = c.benchmark_group("probe");
+    group.sample_size(10);
+    for hours in [24i64, 72] {
+        let window = HourRange::new(Hour(1000), Hour(1000 + hours));
+        group.bench_with_input(BenchmarkId::new("run", hours), &window, |b, w| {
+            b.iter(|| prober.run(&scenario, *w));
+        });
+    }
+    for days in [30i64, 731] {
+        let window = HourRange::new(Hour(0), Hour(days * 24));
+        group.bench_with_input(BenchmarkId::new("synthesize", days), &window, |b, w| {
+            b.iter(|| prober.synthesize(&scenario, *w));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Re-fetch averaging cost per round budget (the DESIGN.md ablation:
+//! sampling error vs rounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_core::plan::{plan_frames, PlanParams};
+use sift_core::refetch::{averaged_timeline, RefetchParams};
+use sift_core::DetectParams;
+use sift_geo::State;
+use sift_simtime::{Hour, HourRange};
+use sift_trends::SearchTerm;
+
+fn bench_refetch(c: &mut Criterion) {
+    let service = sift_bench::scaled_service(0.05, &[State::TX]);
+    let frames = plan_frames(
+        HourRange::new(Hour(0), Hour(90 * 24)),
+        PlanParams::default(),
+    )
+    .frames;
+    let term = SearchTerm::parse("topic:Internet outage");
+    let mut group = c.benchmark_group("refetch");
+    group.sample_size(10);
+    for rounds in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("rounds", rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                averaged_timeline(
+                    &service,
+                    &term,
+                    State::TX,
+                    &frames,
+                    &RefetchParams {
+                        max_rounds: rounds,
+                        convergence: 2.0, // force the full budget
+                        ..RefetchParams::default()
+                    },
+                    &DetectParams::default(),
+                )
+                .expect("refetch")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refetch);
+criterion_main!(benches);

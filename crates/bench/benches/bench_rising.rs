@@ -1,0 +1,33 @@
+//! Rising-suggestion serving throughput (weekly and daily frames).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_geo::State;
+use sift_simtime::Hour;
+use sift_trends::{RisingRequest, SearchTerm, TrendsClient as _};
+
+fn bench_rising(c: &mut Criterion) {
+    let service = sift_bench::scaled_service(0.5, &[]);
+    let term = SearchTerm::parse("topic:Internet outage");
+    let mut group = c.benchmark_group("rising");
+    for (label, len) in [("weekly", 168u32), ("daily", 24u32)] {
+        group.bench_with_input(BenchmarkId::new("frame", label), &len, |b, &len| {
+            let mut start = 0i64;
+            b.iter(|| {
+                start = (start + 731) % 15_000;
+                service
+                    .fetch_rising(&RisingRequest {
+                        term: term.clone(),
+                        state: State::CA,
+                        start: Hour(start),
+                        len,
+                        tag: 0,
+                    })
+                    .expect("rising")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rising);
+criterion_main!(benches);

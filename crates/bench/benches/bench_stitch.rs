@@ -1,0 +1,59 @@
+//! Stitching/renormalization throughput vs frame count and overlap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_core::plan::{plan_frames, PlanParams};
+use sift_core::timeline::stitch;
+use sift_geo::State;
+use sift_simtime::{Hour, HourRange};
+use sift_trends::{FrameRequest, FrameResponse, SearchTerm, TrendsClient as _};
+
+fn frames_for(days: i64, step: u32) -> Vec<FrameResponse> {
+    let service = sift_bench::scaled_service(0.05, &[State::TX]);
+    let plan = plan_frames(
+        HourRange::new(Hour(0), Hour(days * 24)),
+        PlanParams {
+            frame_len: 168,
+            step,
+        },
+    );
+    plan.frames
+        .iter()
+        .map(|f| {
+            service
+                .fetch_frame(&FrameRequest {
+                    term: SearchTerm::parse("topic:Internet outage"),
+                    state: State::TX,
+                    start: f.start,
+                    len: f.len() as u32,
+                    tag: 0,
+                })
+                .expect("frame")
+        })
+        .collect()
+}
+
+fn bench_stitch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stitch");
+    for days in [30i64, 180, 731] {
+        let frames = frames_for(days, 84);
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        group.bench_with_input(BenchmarkId::new("days", days), &refs, |b, refs| {
+            b.iter(|| stitch(std::hint::black_box(refs)).expect("stitch"));
+        });
+    }
+    for step in [84u32, 144] {
+        let frames = frames_for(180, step);
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("overlap", 168 - step),
+            &refs,
+            |b, refs| {
+                b.iter(|| stitch(std::hint::black_box(refs)).expect("stitch"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stitch);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! End-to-end single-region study (the paper's unit of work per state).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sift_core::run_study;
+use sift_geo::State;
+
+fn bench_study(c: &mut Criterion) {
+    let service = sift_bench::scaled_service(0.2, &[State::TX]);
+    let mut group = c.benchmark_group("study");
+    group.sample_size(10);
+    for days in [30i64, 90] {
+        let params = sift_bench::quick_params(State::TX, days);
+        group.bench_with_input(BenchmarkId::new("days", days), &params, |b, params| {
+            b.iter(|| run_study(&service, params).expect("study"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_study);
+criterion_main!(benches);

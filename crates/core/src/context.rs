@@ -1,0 +1,288 @@
+//! Context analysis: annotating spikes with rising search terms (§3.4).
+//!
+//! For each spike SIFT gathers the rising suggestions of the frames
+//! covering it (weekly crawl plus daily drill-downs on spike days), then
+//! 1. ranks suggestions by their weights (percent increase),
+//! 2. prioritises *heavy hitters* — the few dozen terms that dominate the
+//!    global suggestion mass — over random correlations,
+//! 3. clusters semantically similar phrasings with word vectors, so
+//!    `<is Verizon down>` and `<Verizon outage>` become one annotation.
+
+use crate::detect::Spike;
+use serde::{Deserialize, Serialize};
+use sift_nlp::{cluster_phrases, DEFAULT_SIMILARITY_THRESHOLD};
+use sift_trends::api::RisingTerm;
+use std::collections::HashMap;
+
+/// Context-analysis parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ContextParams {
+    /// Number of annotations kept per spike.
+    pub max_annotations: usize,
+    /// Cosine-similarity threshold for merging phrasings.
+    pub similarity_threshold: f32,
+    /// Fraction of the global suggestion mass that defines the
+    /// heavy-hitter set (the paper: 33 of 6655 terms cover half).
+    pub heavy_hitter_mass: f64,
+}
+
+impl Default for ContextParams {
+    fn default() -> Self {
+        ContextParams {
+            max_annotations: 3,
+            similarity_threshold: DEFAULT_SIMILARITY_THRESHOLD,
+            heavy_hitter_mass: 0.5,
+        }
+    }
+}
+
+/// One context annotation on a spike: a cluster of semantically similar
+/// rising phrasings.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Representative phrase (the heaviest member of the cluster).
+    pub label: String,
+    /// Summed weight of the cluster's members.
+    pub weight: f64,
+    /// Whether the cluster contains a heavy-hitter term.
+    pub heavy_hitter: bool,
+}
+
+impl Annotation {
+    /// True if this annotation indicates a power outage.
+    pub fn is_power(&self) -> bool {
+        self.label.to_ascii_lowercase().contains("power")
+    }
+}
+
+/// A spike decorated with its context annotations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnnotatedSpike {
+    /// The underlying spike.
+    pub spike: Spike,
+    /// Annotations, strongest first.
+    pub annotations: Vec<Annotation>,
+}
+
+impl AnnotatedSpike {
+    /// True if any annotation indicates a power outage — the Fig. 6
+    /// predicate.
+    pub fn power_annotated(&self) -> bool {
+        self.annotations.iter().any(Annotation::is_power)
+    }
+
+    /// A short label for tables: the strongest annotation, or `"—"`.
+    pub fn label(&self) -> &str {
+        self.annotations
+            .first()
+            .map(|a| a.label.as_str())
+            .unwrap_or("—")
+    }
+}
+
+/// The global heavy-hitter computation.
+///
+/// "SIFT distinguishes interesting search terms from random correlations
+/// by superimposing all the suggestions from all the spikes and checking
+/// their frequency" (§3.4). Returns `(heavy hitters, distinct term
+/// count)`: the smallest set of most-frequent terms covering at least
+/// `mass` of all suggestion occurrences.
+pub fn heavy_hitters(
+    suggestion_sets: impl IntoIterator<Item = Vec<String>>,
+    mass: f64,
+) -> (Vec<(String, u64)>, usize) {
+    let mut freq: HashMap<String, u64> = HashMap::new();
+    let mut total: u64 = 0;
+    for set in suggestion_sets {
+        for term in set {
+            *freq.entry(normalize_term(&term)).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let distinct = freq.len();
+    let mut ranked: Vec<(String, u64)> = freq.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let target = (total as f64 * mass).ceil() as u64;
+    let mut acc = 0u64;
+    let mut keep = 0usize;
+    for (_, c) in &ranked {
+        if acc >= target {
+            break;
+        }
+        acc += c;
+        keep += 1;
+    }
+    ranked.truncate(keep);
+    (ranked, distinct)
+}
+
+fn normalize_term(t: &str) -> String {
+    sift_nlp::normalize(t)
+}
+
+/// Ranks and clusters one spike's gathered suggestions into annotations.
+///
+/// The transformations of §3.4, in order: weight ranking, heavy-hitter
+/// prioritisation, semantic clustering.
+pub fn annotate(
+    spike: Spike,
+    suggestions: &[RisingTerm],
+    heavy: &[(String, u64)],
+    params: &ContextParams,
+) -> AnnotatedSpike {
+    // Merge duplicate phrasings' weights first (the same term often rises
+    // in both the weekly and the daily frame).
+    let mut merged: HashMap<String, f64> = HashMap::new();
+    for s in suggestions {
+        *merged.entry(s.term.clone()).or_insert(0.0) += f64::from(s.weight);
+    }
+    let mut phrases: Vec<(String, f64)> = merged.into_iter().collect();
+    // Deterministic order: the clustering breaks weight ties by input
+    // index, which must not depend on hash-map iteration order.
+    phrases.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let clusters = cluster_phrases(&phrases, params.similarity_threshold);
+    let is_heavy = |term: &str| {
+        let n = normalize_term(term);
+        heavy.iter().any(|(h, _)| *h == n)
+    };
+
+    let mut annotations: Vec<Annotation> = clusters
+        .into_iter()
+        .map(|c| {
+            let weight: f64 = c.members.iter().map(|&i| phrases[i].1).sum();
+            let heavy_hitter = c.members.iter().any(|&i| is_heavy(&phrases[i].0));
+            Annotation {
+                label: phrases[c.representative].0.clone(),
+                weight,
+                heavy_hitter,
+            }
+        })
+        .collect();
+
+    // Heavy hitters outrank random correlations; weight decides within
+    // each class.
+    annotations.sort_by(|a, b| {
+        b.heavy_hitter
+            .cmp(&a.heavy_hitter)
+            .then(b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.label.cmp(&b.label))
+    });
+    annotations.truncate(params.max_annotations);
+
+    AnnotatedSpike { spike, annotations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_geo::State;
+    use sift_simtime::Hour;
+
+    fn spike() -> Spike {
+        Spike {
+            state: State::CA,
+            start: Hour(0),
+            peak: Hour(2),
+            end: Hour(10),
+            magnitude: 80.0,
+        }
+    }
+
+    fn term(t: &str, w: u32) -> RisingTerm {
+        RisingTerm {
+            term: t.into(),
+            weight: w,
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_cover_half_the_mass() {
+        // "power outage" appears in most sets; the tail is diverse.
+        let sets: Vec<Vec<String>> = (0..100)
+            .map(|i| {
+                vec![
+                    "power outage".to_string(),
+                    format!("rare term {i}"),
+                ]
+            })
+            .collect();
+        let (heavy, distinct) = heavy_hitters(sets, 0.5);
+        assert_eq!(distinct, 101);
+        assert_eq!(heavy.len(), 1, "one term covers half: {heavy:?}");
+        assert_eq!(heavy[0].0, "power outage");
+        assert_eq!(heavy[0].1, 100);
+    }
+
+    #[test]
+    fn heavy_hitters_empty_input() {
+        let (heavy, distinct) = heavy_hitters(Vec::<Vec<String>>::new(), 0.5);
+        assert!(heavy.is_empty());
+        assert_eq!(distinct, 0);
+    }
+
+    #[test]
+    fn annotation_merges_phrase_variants() {
+        let suggestions = vec![
+            term("is verizon down", 76),
+            term("verizon outage", 100),
+            term("weird meme query", 300),
+        ];
+        let heavy = vec![("verizon outage".to_string(), 50u64)];
+        let a = annotate(spike(), &suggestions, &heavy, &ContextParams::default());
+        // The verizon cluster (176 combined, heavy) outranks the heavier
+        // random correlation.
+        assert_eq!(a.annotations[0].label, "verizon outage");
+        assert!((a.annotations[0].weight - 176.0).abs() < 1e-9);
+        assert!(a.annotations[0].heavy_hitter);
+        assert!(!a.annotations[1].heavy_hitter);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate_weight() {
+        let suggestions = vec![term("power outage", 50), term("power outage", 70)];
+        let a = annotate(spike(), &suggestions, &[], &ContextParams::default());
+        assert_eq!(a.annotations.len(), 1);
+        assert!((a.annotations[0].weight - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_annotation_detection() {
+        let suggestions = vec![term("san jose power outage", 90), term("spectrum outage", 80)];
+        let a = annotate(spike(), &suggestions, &[], &ContextParams::default());
+        assert!(a.power_annotated());
+
+        let suggestions = vec![term("spectrum outage", 80)];
+        let a = annotate(spike(), &suggestions, &[], &ContextParams::default());
+        assert!(!a.power_annotated());
+    }
+
+    #[test]
+    fn annotations_truncated() {
+        let suggestions: Vec<RisingTerm> = (0..10)
+            .map(|i| term(&format!("provider{i} outage"), 100 - i))
+            .collect();
+        let params = ContextParams {
+            max_annotations: 3,
+            ..ContextParams::default()
+        };
+        let a = annotate(spike(), &suggestions, &[], &params);
+        assert_eq!(a.annotations.len(), 3);
+    }
+
+    #[test]
+    fn label_of_unannotated_spike() {
+        let a = annotate(spike(), &[], &[], &ContextParams::default());
+        assert_eq!(a.label(), "—");
+        assert!(!a.power_annotated());
+    }
+
+    #[test]
+    fn term_normalization_for_heavy_matching() {
+        let suggestions = vec![term("Power Outage!!", 90)];
+        let heavy = vec![("power outage".to_string(), 10u64)];
+        let a = annotate(spike(), &suggestions, &heavy, &ContextParams::default());
+        assert!(a.annotations[0].heavy_hitter);
+    }
+}

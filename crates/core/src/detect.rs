@@ -1,0 +1,316 @@
+//! Spike detection by topographic-prominence walk.
+//!
+//! "The SIFT detection algorithm starts at the highest peak, then
+//! continues forward in time block by block until the current time
+//! block's value is less than half of the value in the previous block (or
+//! zero). This point marks the ending of the spike. The start point is
+//! determined by stepping backward in time starting from the peak, either
+//! until the current block's value is zero or the endpoint of another
+//! spike" (§3.3).
+//!
+//! Detection iterates: take the highest unconsumed peak, walk out its
+//! extent, mark it consumed, repeat while peaks clear the noise floor.
+
+use crate::timeline::Timeline;
+use serde::{Deserialize, Serialize};
+use sift_geo::State;
+use sift_simtime::{Hour, HourRange};
+
+/// Detection parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DetectParams {
+    /// Minimum peak value (on the timeline's 0–100 scale) for a spike to
+    /// be kept. After global renormalization against a two-year maximum,
+    /// ordinary spikes sit at single-digit values, so the floor is small;
+    /// noise rejection comes mostly from the anonymity-rounded zeros
+    /// between spikes.
+    pub min_peak: f64,
+    /// The forward walk stops when the next block falls below this
+    /// fraction of the current block (the paper uses one half).
+    pub half_ratio: f64,
+    /// Values at or below this are treated as zero by the walks. After
+    /// re-fetch averaging, hours where only one round's sample survived
+    /// anonymity carry tiny nonzero residue; without a floor those
+    /// residues bridge unrelated spikes into long artifacts.
+    pub walk_floor: f64,
+    /// Hard cap on spikes per timeline, a guard against pathological
+    /// inputs.
+    pub max_spikes: usize,
+}
+
+impl Default for DetectParams {
+    fn default() -> Self {
+        DetectParams {
+            min_peak: 0.5,
+            half_ratio: 0.5,
+            walk_floor: 0.25,
+            max_spikes: 20_000,
+        }
+    }
+}
+
+/// A detected spike of user interest.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Spike {
+    /// Region of the underlying timeline.
+    pub state: State,
+    /// First hour of elevated interest (inclusive).
+    pub start: Hour,
+    /// Hour of maximum interest.
+    pub peak: Hour,
+    /// One past the last hour of the spike (exclusive).
+    pub end: Hour,
+    /// Peak value on the timeline's global 0–100 scale.
+    pub magnitude: f64,
+}
+
+impl Spike {
+    /// Spike duration in hours: "the time elapsed between their start and
+    /// end times ... the duration of the user interest" (§3.3).
+    pub fn duration_h(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// The spike's hour window, `[start, end)`.
+    pub fn window(&self) -> HourRange {
+        HourRange::new(self.start, self.end)
+    }
+}
+
+/// Detects every spike in a timeline, returned sorted by start hour.
+pub fn detect_spikes(timeline: &Timeline, params: &DetectParams) -> Vec<Spike> {
+    let v = &timeline.values;
+    let n = v.len();
+    let mut consumed = vec![false; n];
+    let mut spikes = Vec::new();
+
+    // Visit blocks from highest to lowest (earliest first on ties): each
+    // unconsumed visit is by construction the highest remaining peak, so
+    // the walk order matches the paper's "start at the highest peak"
+    // iteration without rescanning the series per spike.
+    let mut order: Vec<usize> = (0..n).filter(|&i| v[i] >= params.min_peak).collect();
+    order.sort_by(|&a, &b| {
+        v[b].partial_cmp(&v[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    for peak in order {
+        if spikes.len() >= params.max_spikes {
+            break;
+        }
+        if consumed[peak] {
+            continue;
+        }
+        let peak_val = v[peak];
+
+        // Forward walk: advance while the next block holds at least
+        // `half_ratio` of the current one (and is above the floor and
+        // free).
+        let mut end = peak;
+        while end + 1 < n
+            && !consumed[end + 1]
+            && v[end + 1] > params.walk_floor
+            && v[end + 1] >= v[end] * params.half_ratio
+        {
+            end += 1;
+        }
+
+        // Backward walk: step back while blocks are above the floor and
+        // free.
+        let mut start = peak;
+        while start > 0 && !consumed[start - 1] && v[start - 1] > params.walk_floor {
+            start -= 1;
+        }
+
+        for slot in &mut consumed[start..=end] {
+            *slot = true;
+        }
+        spikes.push(Spike {
+            state: timeline.state,
+            start: timeline.hour_of(start),
+            peak: timeline.hour_of(peak),
+            end: timeline.hour_of(end) + 1,
+            magnitude: peak_val,
+        });
+    }
+
+    spikes.sort_by_key(|s| (s.start, s.peak));
+    spikes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeline(values: Vec<f64>) -> Timeline {
+        Timeline {
+            state: State::TX,
+            start: Hour(0),
+            values,
+        }
+    }
+
+    fn detect(values: Vec<f64>) -> Vec<Spike> {
+        detect_spikes(&timeline(values), &DetectParams::default())
+    }
+
+    #[test]
+    fn single_clean_spike() {
+        let mut v = vec![0.0; 48];
+        v[10] = 20.0;
+        v[11] = 60.0;
+        v[12] = 100.0;
+        v[13] = 70.0;
+        v[14] = 40.0;
+        v[15] = 25.0;
+        // 25 -> 0.2 is a below-half drop; 0.2 is also under the noise
+        // floor, so the tail block does not register as its own spike.
+        v[16] = 0.2;
+        let spikes = detect(v);
+        assert_eq!(spikes.len(), 1);
+        let s = spikes[0];
+        assert_eq!(s.peak, Hour(12));
+        assert_eq!(s.magnitude, 100.0);
+        assert_eq!(s.start, Hour(10), "backward walk stops at zero");
+        assert_eq!(s.end, Hour(16), "forward walk stops at the half-drop");
+        assert_eq!(s.duration_h(), 6);
+    }
+
+    #[test]
+    fn forward_walk_stops_at_zero() {
+        let mut v = vec![0.0; 24];
+        v[5] = 100.0;
+        v[6] = 60.0;
+        v[7] = 40.0;
+        let spikes = detect(v);
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(spikes[0].end, Hour(8));
+    }
+
+    #[test]
+    fn two_separate_spikes() {
+        let mut v = vec![0.0; 100];
+        v[10] = 100.0;
+        v[11] = 80.0;
+        v[50] = 50.0;
+        v[51] = 45.0;
+        let spikes = detect(v);
+        assert_eq!(spikes.len(), 2);
+        assert_eq!(spikes[0].peak, Hour(10));
+        assert_eq!(spikes[1].peak, Hour(50));
+        assert!(spikes[0].window().intersect(&spikes[1].window()).is_none());
+    }
+
+    #[test]
+    fn successive_peaks_count_once() {
+        // A plateau of near-equal highs is one spike, not many (§3.3's
+        // first challenge).
+        let mut v = vec![0.0; 48];
+        for (i, val) in [30.0, 80.0, 95.0, 100.0, 97.0, 85.0, 60.0, 35.0, 20.0]
+            .iter()
+            .enumerate()
+        {
+            v[10 + i] = *val;
+        }
+        let spikes = detect(v);
+        assert_eq!(spikes.len(), 1);
+        assert_eq!(spikes[0].start, Hour(10));
+        assert_eq!(spikes[0].end, Hour(19));
+    }
+
+    #[test]
+    fn adjacent_spike_boundary_respected() {
+        // A second spike's backward walk must stop at the endpoint of the
+        // first (already consumed) spike.
+        let mut v = vec![0.0; 48];
+        v[10] = 100.0;
+        v[11] = 10.0; // below-half drop ends spike 1 here, but nonzero
+        v[12] = 90.0; // second spike, detected second
+        v[13] = 50.0;
+        let spikes = detect(v);
+        assert_eq!(spikes.len(), 2);
+        let first = spikes.iter().find(|s| s.peak == Hour(10)).expect("first");
+        let second = spikes.iter().find(|s| s.peak == Hour(12)).expect("second");
+        // The first spike's forward walk stops at the below-half drop
+        // after hour 10; the second spike's backward walk stops at the
+        // first spike's boundary (hour 11 is nonzero but its own spike's
+        // backward walk is blocked by consumption order — hour 11 was not
+        // consumed by the first spike, so the second claims it).
+        assert_eq!(first.end, Hour(11));
+        assert_eq!(second.start, Hour(11));
+        assert!(first.window().intersect(&second.window()).is_none());
+    }
+
+    #[test]
+    fn noise_floor_filters_small_peaks() {
+        let mut v = vec![0.0; 48];
+        v[10] = 100.0;
+        v[30] = 0.2; // below min_peak
+        let spikes = detect(v);
+        assert_eq!(spikes.len(), 1);
+    }
+
+    #[test]
+    fn flat_zero_series_has_no_spikes() {
+        assert!(detect(vec![0.0; 100]).is_empty());
+        assert!(detect(vec![]).is_empty());
+    }
+
+    #[test]
+    fn spikes_disjoint_and_sorted_invariant() {
+        // A noisy series: the invariants must hold regardless of shape.
+        let v: Vec<f64> = (0..500)
+            .map(|i| {
+                let x = (i as f64 * 0.7).sin().abs() * 60.0;
+                if i % 97 == 0 {
+                    100.0
+                } else if i % 11 == 0 {
+                    0.0
+                } else {
+                    x
+                }
+            })
+            .collect();
+        let spikes = detect(v);
+        assert!(!spikes.is_empty());
+        for s in &spikes {
+            assert!(s.start <= s.peak && s.peak < s.end);
+            assert!(s.magnitude >= DetectParams::default().min_peak);
+        }
+        for pair in spikes.windows(2) {
+            assert!(pair[0].start < pair[1].start, "sorted by start");
+            assert!(
+                pair[0].end <= pair[1].start,
+                "spikes must not overlap: {:?} vs {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn peak_at_series_edges() {
+        let mut v = vec![0.0; 24];
+        v[0] = 100.0;
+        v[23] = 50.0;
+        let spikes = detect(v);
+        assert_eq!(spikes.len(), 2);
+        assert_eq!(spikes[0].start, Hour(0));
+        assert_eq!(spikes[1].end, Hour(24));
+    }
+
+    #[test]
+    fn max_spikes_cap_respected() {
+        let mut v = vec![0.0; 200];
+        for i in (0..200).step_by(4) {
+            v[i] = 50.0;
+        }
+        let params = DetectParams {
+            max_spikes: 5,
+            ..DetectParams::default()
+        };
+        let spikes = detect_spikes(&timeline(v), &params);
+        assert_eq!(spikes.len(), 5);
+    }
+}

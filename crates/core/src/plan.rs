@@ -1,0 +1,179 @@
+//! Frame planning: partitioning a time range into overlapping weekly
+//! frames.
+//!
+//! "SIFT partitions the selected time range into consecutive and
+//! overlapping weekly time frames to construct an hourly extended time
+//! series" (§3.1). The overlap is what lets the processing pipeline
+//! recover the scaling ratio between adjacent, independently-normalized
+//! frames.
+
+use serde::{Deserialize, Serialize};
+use sift_simtime::HourRange;
+
+/// Planning parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanParams {
+    /// Frame length in hours. The service caps hourly frames at 168.
+    pub frame_len: u32,
+    /// Hours between consecutive frame starts. `step < frame_len` yields
+    /// an overlap of `frame_len - step` hours.
+    pub step: u32,
+}
+
+impl Default for PlanParams {
+    fn default() -> Self {
+        // Half-week advance: 84 hours of overlap for robust ratio
+        // estimation (see the stitching ablation in DESIGN.md).
+        PlanParams {
+            frame_len: 168,
+            step: 84,
+        }
+    }
+}
+
+impl PlanParams {
+    /// The overlap between consecutive frames, in hours.
+    pub fn overlap(&self) -> u32 {
+        self.frame_len - self.step
+    }
+}
+
+/// The planned frames covering a range.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FramePlan {
+    /// The parameters the plan was built with.
+    pub params: PlanParams,
+    /// Frame ranges, in chronological order.
+    pub frames: Vec<HourRange>,
+}
+
+/// Plans consecutive overlapping frames covering `range`.
+///
+/// Every hour of `range` is covered by at least one frame; consecutive
+/// frames overlap by `params.overlap()` hours except possibly the last,
+/// which is anchored to the end of the range (keeping full length where
+/// possible) so no partial, hard-to-stitch tail frame is produced.
+///
+/// # Panics
+///
+/// Panics if `params.step == 0` or `params.step >= params.frame_len` (no
+/// overlap means no stitching) or if the range is shorter than one frame.
+pub fn plan_frames(range: HourRange, params: PlanParams) -> FramePlan {
+    assert!(params.step > 0, "step must be positive");
+    assert!(
+        params.step < params.frame_len,
+        "step must leave an overlap (step {} >= frame {})",
+        params.step,
+        params.frame_len
+    );
+    assert!(
+        range.len() >= i64::from(params.frame_len),
+        "range of {}h is shorter than one {}h frame",
+        range.len(),
+        params.frame_len
+    );
+
+    let mut frames = Vec::new();
+    let mut start = range.start;
+    loop {
+        let end = start + i64::from(params.frame_len);
+        if end >= range.end {
+            // Anchor the final frame to the end of the range.
+            let last = HourRange::new(range.end - i64::from(params.frame_len), range.end);
+            if frames.last() != Some(&last) {
+                frames.push(last);
+            }
+            break;
+        }
+        frames.push(HourRange::new(start, end));
+        start = start + i64::from(params.step);
+    }
+    FramePlan { params, frames }
+}
+
+impl FramePlan {
+    /// Number of planned frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the plan contains no frames (never produced by
+    /// [`plan_frames`]).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_simtime::{Hour, STUDY_RANGE};
+
+    #[test]
+    fn covers_range_with_overlaps() {
+        let range = HourRange::new(Hour(0), Hour(1000));
+        let plan = plan_frames(range, PlanParams::default());
+        // Full coverage.
+        assert_eq!(plan.frames.first().unwrap().start, Hour(0));
+        assert_eq!(plan.frames.last().unwrap().end, Hour(1000));
+        // Each consecutive pair overlaps.
+        for pair in plan.frames.windows(2) {
+            let overlap = pair[0].intersect(&pair[1]).expect("frames overlap");
+            assert!(overlap.len() >= 1, "consecutive frames must overlap");
+            assert!(pair[1].start > pair[0].start, "strictly advancing");
+        }
+        // All frames are full length.
+        for f in &plan.frames {
+            assert_eq!(f.len(), 168);
+        }
+    }
+
+    #[test]
+    fn exact_fit_single_frame() {
+        let range = HourRange::new(Hour(0), Hour(168));
+        let plan = plan_frames(range, PlanParams::default());
+        assert_eq!(plan.frames, vec![range]);
+    }
+
+    #[test]
+    fn study_range_frame_count() {
+        let plan = plan_frames(STUDY_RANGE, PlanParams::default());
+        // 731 days: (17544 - 168) / 84 + 1 ≈ 207..209 frames.
+        assert!(
+            (205..=210).contains(&plan.len()),
+            "got {} frames",
+            plan.len()
+        );
+    }
+
+    #[test]
+    fn last_frame_anchored_without_duplicates() {
+        // Range length chosen so the natural grid would land exactly on
+        // the end.
+        let range = HourRange::new(Hour(0), Hour(168 + 84));
+        let plan = plan_frames(range, PlanParams::default());
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.frames[1], HourRange::new(Hour(84), Hour(252)));
+        let mut dedup = plan.frames.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), plan.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn zero_overlap_rejected() {
+        let _ = plan_frames(
+            HourRange::new(Hour(0), Hour(1000)),
+            PlanParams {
+                frame_len: 168,
+                step: 168,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than one")]
+    fn too_short_range_rejected() {
+        let _ = plan_frames(HourRange::new(Hour(0), Hour(100)), PlanParams::default());
+    }
+}

@@ -1,0 +1,411 @@
+//! Iterative re-fetch averaging.
+//!
+//! "We mitigate the sampling error with an iterative method. First, we
+//! build a time series from a single set of time frames and detect the
+//! resulting spikes. Then, we repeat this procedure but instead take the
+//! average of two time frames to reduce the sampling error at each time
+//! frame position. We follow this procedure until the set of spikes we
+//! detect converge" (§3.2). The paper observes convergence after six
+//! rounds.
+
+use crate::detect::{detect_spikes, DetectParams, Spike};
+use crate::timeline::{stitch, StitchError, Timeline};
+use serde::{Deserialize, Serialize};
+use sift_geo::State;
+use sift_simtime::HourRange;
+use sift_trends::client::{FetchError, TrendsClient};
+use sift_trends::{FrameRequest, FrameResponse, SearchTerm};
+
+/// Parameters of the averaging loop.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RefetchParams {
+    /// Maximum re-fetch rounds (the paper needed six).
+    pub max_rounds: u32,
+    /// Spike-set similarity at which the loop declares convergence.
+    pub convergence: f64,
+    /// Minimum rounds before convergence may be declared.
+    pub min_rounds: u32,
+    /// Two spikes "match" across rounds when their peaks are within this
+    /// many hours.
+    pub peak_tolerance_h: i64,
+    /// Spikes below this magnitude are ignored by the convergence
+    /// criterion (they still appear in the final spike set). Near the
+    /// detection floor, sampling noise makes marginal spikes flicker
+    /// between rounds; requiring them to stabilise would keep the loop
+    /// fetching long after the meaningful spikes have settled.
+    pub convergence_floor: f64,
+}
+
+impl Default for RefetchParams {
+    fn default() -> Self {
+        RefetchParams {
+            max_rounds: 8,
+            convergence: 0.95,
+            min_rounds: 2,
+            peak_tolerance_h: 3,
+            convergence_floor: 1.0,
+        }
+    }
+}
+
+/// The outcome of the averaging loop for one region.
+#[derive(Clone, Debug)]
+pub struct RefetchOutcome {
+    /// The averaged, renormalized timeline after the final round.
+    pub timeline: Timeline,
+    /// Spikes detected on the final timeline.
+    pub spikes: Vec<Spike>,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Whether the spike set converged (vs hitting `max_rounds`).
+    pub converged: bool,
+    /// Spike-set similarity after each round (starting with round 2).
+    pub similarity_trace: Vec<f64>,
+    /// Frames fetched in total.
+    pub frames_fetched: u64,
+}
+
+/// Errors of the averaging loop.
+#[derive(Debug)]
+pub enum RefetchError {
+    /// A frame fetch failed (after the client's own retries).
+    Fetch(FetchError),
+    /// Fetched frames could not be stitched.
+    Stitch(StitchError),
+}
+
+impl std::fmt::Display for RefetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefetchError::Fetch(e) => write!(f, "fetching failed: {e}"),
+            RefetchError::Stitch(e) => write!(f, "stitching failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RefetchError {}
+
+/// Magnitude-weighted similarity of two spike sets: the matched share of
+/// spike mass, where a spike of set `a` matches at most one spike of set
+/// `b` with a peak within `tolerance_h` hours, contributing the smaller of
+/// the two magnitudes. Two empty sets are fully similar.
+///
+/// Weighting by magnitude makes the convergence criterion care about the
+/// spikes that matter: marginal, noise-floor spikes flickering between
+/// rounds barely move the score, while a major spike appearing or
+/// disappearing does.
+pub fn spike_set_similarity(a: &[Spike], b: &[Spike], tolerance_h: i64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mass = |set: &[Spike]| set.iter().map(|s| s.magnitude).sum::<f64>();
+    let denom = mass(a).max(mass(b));
+    if denom == 0.0 {
+        return 1.0;
+    }
+    let mut used = vec![false; b.len()];
+    let mut matched = 0.0f64;
+    for sa in a {
+        if let Some((idx, sb)) = b
+            .iter()
+            .enumerate()
+            .filter(|(i, sb)| !used[*i] && (sb.peak - sa.peak).abs() <= tolerance_h)
+            .min_by_key(|(_, sb)| (sb.peak - sa.peak).abs())
+        {
+            used[idx] = true;
+            matched += sa.magnitude.min(sb.magnitude);
+        }
+    }
+    matched / denom
+}
+
+/// Runs the averaging loop for one region over pre-planned frame ranges.
+///
+/// Each round fetches every frame with a fresh sample tag, stitches a
+/// timeline, folds it into the running mean, re-detects spikes and
+/// compares the spike set with the previous round's.
+pub fn averaged_timeline(
+    client: &dyn TrendsClient,
+    term: &SearchTerm,
+    state: State,
+    frames: &[HourRange],
+    params: &RefetchParams,
+    detect: &DetectParams,
+) -> Result<RefetchOutcome, RefetchError> {
+    assert!(params.max_rounds >= 1);
+    let mut mean: Option<Timeline> = None;
+    let mut prev_spikes: Option<Vec<Spike>> = None;
+    let mut similarity_trace = Vec::new();
+    let mut frames_fetched = 0u64;
+    let mut rounds = 0u32;
+    let mut converged = false;
+    let mut final_spikes = Vec::new();
+
+    for round in 0..params.max_rounds {
+        rounds = round + 1;
+        let responses: Vec<FrameResponse> = frames
+            .iter()
+            .map(|r| {
+                client
+                    .fetch_frame(&FrameRequest {
+                        term: term.clone(),
+                        state,
+                        start: r.start,
+                        len: r.len() as u32,
+                        tag: u64::from(round),
+                    })
+                    .map_err(RefetchError::Fetch)
+            })
+            .collect::<Result<_, _>>()?;
+        frames_fetched += responses.len() as u64;
+
+        let refs: Vec<&FrameResponse> = responses.iter().collect();
+        let round_timeline = stitch(&refs).map_err(RefetchError::Stitch)?;
+
+        let current = match &mut mean {
+            None => {
+                mean = Some(round_timeline);
+                mean.as_mut().expect("just set")
+            }
+            Some(m) => {
+                m.accumulate_mean(&round_timeline, round + 1);
+                m
+            }
+        };
+        // Work on a renormalized copy; the running mean itself must stay
+        // un-renormalized so later rounds average in the same units.
+        let mut detect_input = current.clone();
+        detect_input.renormalize();
+        let spikes = detect_spikes(&detect_input, detect);
+
+        let strong: Vec<Spike> = spikes
+            .iter()
+            .copied()
+            .filter(|s| s.magnitude >= params.convergence_floor)
+            .collect();
+        if let Some(prev) = &prev_spikes {
+            let sim = spike_set_similarity(prev, &strong, params.peak_tolerance_h);
+            similarity_trace.push(sim);
+            if rounds >= params.min_rounds && sim >= params.convergence {
+                converged = true;
+                final_spikes = spikes;
+                break;
+            }
+        }
+        prev_spikes = Some(strong);
+        final_spikes = spikes;
+    }
+
+    let mut timeline = mean.expect("at least one round ran");
+    timeline.renormalize();
+    Ok(RefetchOutcome {
+        timeline,
+        spikes: final_spikes,
+        rounds,
+        converged,
+        similarity_trace,
+        frames_fetched,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_simtime::Hour;
+    use sift_trends::events::{Cause, OutageEvent};
+    use sift_trends::terms::Provider;
+    use sift_trends::{Scenario, TrendsService};
+
+    fn spike(peak: i64) -> Spike {
+        Spike {
+            state: State::TX,
+            start: Hour(peak - 1),
+            peak: Hour(peak),
+            end: Hour(peak + 2),
+            magnitude: 50.0,
+        }
+    }
+
+    #[test]
+    fn similarity_edge_cases() {
+        assert_eq!(spike_set_similarity(&[], &[], 3), 1.0);
+        assert_eq!(spike_set_similarity(&[spike(10)], &[], 3), 0.0);
+        assert_eq!(spike_set_similarity(&[], &[spike(10)], 3), 0.0);
+        assert_eq!(spike_set_similarity(&[spike(10)], &[spike(11)], 3), 1.0);
+        assert_eq!(spike_set_similarity(&[spike(10)], &[spike(20)], 3), 0.0);
+    }
+
+    #[test]
+    fn similarity_does_not_double_match() {
+        // Two spikes in `a` near one spike in `b`: only one may match.
+        let a = [spike(10), spike(12)];
+        let b = [spike(11)];
+        assert_eq!(spike_set_similarity(&a, &b, 3), 0.5);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = [spike(10), spike(40), spike(90)];
+        let b = [spike(11), spike(41)];
+        assert_eq!(
+            spike_set_similarity(&a, &b, 3),
+            spike_set_similarity(&b, &a, 3)
+        );
+    }
+
+    /// A realistic-density world: two target events plus periodic
+    /// moderate "anchor" outages. Real states see several outages a day,
+    /// which is what keeps every weekly frame's scaling ratio anchored;
+    /// a world with two events in five weeks has quiet frames whose
+    /// maxima are anonymity-noise flukes, and no stitcher can calibrate
+    /// across a 100x dynamic-range jump quantized to integers.
+    fn service_with_events() -> TrendsService {
+        let mut events = vec![
+            OutageEvent {
+                id: 0,
+                name: "big".into(),
+                cause: Cause::IspNetwork(Provider::Verizon),
+                start: Hour(200),
+                duration_h: 10,
+                states: vec![(State::TX, 0.25)],
+                severity: 9_000.0,
+                lags_h: vec![0],
+            },
+            OutageEvent {
+                id: 1,
+                name: "small".into(),
+                cause: Cause::IspNetwork(Provider::Comcast),
+                start: Hour(600),
+                duration_h: 6,
+                states: vec![(State::TX, 0.10)],
+                severity: 9_000.0,
+                lags_h: vec![0],
+            },
+        ];
+        for (i, start) in (40..900).step_by(60).enumerate() {
+            events.push(OutageEvent {
+                id: 100 + i as u32,
+                name: format!("anchor-{i}"),
+                cause: Cause::IspNetwork(Provider::Frontier),
+                start: Hour(start),
+                duration_h: 2,
+                states: vec![(State::TX, 0.015)],
+                severity: 8_000.0,
+                lags_h: vec![0],
+            });
+        }
+        TrendsService::with_defaults(Scenario::single_region(State::TX, events))
+    }
+
+    fn weekly_frames(hours: i64) -> Vec<HourRange> {
+        crate::plan::plan_frames(
+            HourRange::new(Hour(0), Hour(hours)),
+            crate::plan::PlanParams::default(),
+        )
+        .frames
+    }
+
+    #[test]
+    fn averaging_converges_and_finds_events() {
+        let service = service_with_events();
+        let outcome = averaged_timeline(
+            &service,
+            &SearchTerm::parse("topic:Internet outage"),
+            State::TX,
+            &weekly_frames(900),
+            &RefetchParams::default(),
+            &DetectParams::default(),
+        )
+        .expect("averaging succeeds");
+
+        assert!(outcome.rounds >= 2);
+        assert!(
+            outcome.converged,
+            "similarity trace: {:?}",
+            outcome.similarity_trace
+        );
+        // Both injected events are among the detected spikes.
+        let has_peak_near = |h: i64| {
+            outcome
+                .spikes
+                .iter()
+                .any(|s| (s.peak - Hour(h)).abs() <= 6)
+        };
+        assert!(has_peak_near(205), "spikes: {:?}", outcome.spikes);
+        assert!(has_peak_near(603), "spikes: {:?}", outcome.spikes);
+        assert_eq!(outcome.timeline.range().len(), 900);
+        assert!(outcome.frames_fetched > 0);
+    }
+
+    #[test]
+    fn averaging_suppresses_baseline_noise() {
+        // One real event in an otherwise quiet world: the anonymity-
+        // thresholded baseline noise (occasional counts of 2–3) must stay
+        // far below the event once the series is globally calibrated.
+        let mut events = vec![OutageEvent {
+            id: 0,
+            name: "main".into(),
+            cause: Cause::IspNetwork(Provider::Verizon),
+            start: Hour(400),
+            duration_h: 8,
+            states: vec![(State::TX, 0.25)],
+            severity: 9_000.0,
+            lags_h: vec![0],
+        }];
+        for (i, start) in (40..900).step_by(60).enumerate() {
+            events.push(OutageEvent {
+                id: 100 + i as u32,
+                name: format!("anchor-{i}"),
+                cause: Cause::IspNetwork(Provider::Frontier),
+                start: Hour(start),
+                duration_h: 2,
+                states: vec![(State::TX, 0.015)],
+                severity: 8_000.0,
+                lags_h: vec![0],
+            });
+        }
+        let service =
+            TrendsService::with_defaults(Scenario::single_region(State::TX, events));
+        let outcome = averaged_timeline(
+            &service,
+            &SearchTerm::parse("topic:Internet outage"),
+            State::TX,
+            &weekly_frames(900),
+            &RefetchParams::default(),
+            &DetectParams::default(),
+        )
+        .expect("averaging succeeds");
+        let strong: Vec<_> = outcome
+            .spikes
+            .iter()
+            .filter(|s| s.magnitude > 50.0)
+            .collect();
+        assert_eq!(strong.len(), 1, "spikes: {:?}", outcome.spikes);
+        assert!((strong[0].peak - Hour(403)).abs() <= 2, "peak {:?}", strong[0].peak);
+        // Baseline texture may register as spikes (it does on the real
+        // service too), but must stay an order of magnitude below the
+        // event.
+        let medium = outcome
+            .spikes
+            .iter()
+            .filter(|s| s.magnitude > 12.0 && s.magnitude <= 50.0)
+            .count();
+        assert!(medium <= 3, "texture too strong: {:?}", outcome.spikes);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let service = service_with_events();
+        // A frame over the service limit.
+        let err = averaged_timeline(
+            &service,
+            &SearchTerm::parse("topic:Internet outage"),
+            State::TX,
+            &[HourRange::new(Hour(0), Hour(500))],
+            &RefetchParams::default(),
+            &DetectParams::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RefetchError::Fetch(_)), "{err}");
+    }
+}

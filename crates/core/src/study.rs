@@ -1,0 +1,510 @@
+//! The end-to-end study driver.
+//!
+//! [`run_study`] performs the full SIFT workflow of Fig. 2 for a set of
+//! regions: plan frames → collect with re-fetch averaging → detect spikes
+//! → gather rising suggestions (weekly crawl + daily drill-downs on spike
+//! days) → heavy hitters → annotate → cluster across states.
+
+use crate::area::{cluster_spikes, OutageCluster};
+use crate::context::{annotate, heavy_hitters, AnnotatedSpike, ContextParams};
+use crate::detect::DetectParams;
+use crate::plan::{plan_frames, PlanParams};
+use crate::refetch::{averaged_timeline, RefetchError, RefetchParams};
+use crate::timeline::Timeline;
+use serde::{Deserialize, Serialize};
+use sift_geo::State;
+use sift_simtime::{HourRange, STUDY_RANGE};
+use sift_trends::api::RisingTerm;
+use sift_trends::client::{FetchError, TrendsClient};
+use sift_trends::{RisingRequest, SearchTerm};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parameters of one study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StudyParams {
+    /// The time range to analyse.
+    pub range: HourRange,
+    /// Regions to analyse.
+    pub regions: Vec<State>,
+    /// The tracked search term (the paper: the `<Internet outage>` topic).
+    pub term: SearchTerm,
+    /// Frame planning.
+    pub plan: PlanParams,
+    /// Re-fetch averaging.
+    pub refetch: RefetchParams,
+    /// Spike detection.
+    pub detect: DetectParams,
+    /// Context analysis.
+    pub context: ContextParams,
+    /// Slack when matching concurrent spikes across regions, in hours.
+    pub cluster_slack_h: i64,
+    /// Fetch daily rising drill-downs on spike days (the paper does; turn
+    /// off to halve request volume in quick runs).
+    pub daily_rising: bool,
+    /// Cap on daily drill-downs per spike (long spikes span many days).
+    pub max_daily_per_spike: usize,
+    /// Weight multiplier applied to daily drill-down suggestions when
+    /// merging with the weekly crawl's: the daily frames are "more
+    /// targeted and fine-grained" (§3.1), so they should dominate the
+    /// annotation ranking for their spike.
+    pub daily_weight_boost: f64,
+    /// Worker threads across regions.
+    pub threads: usize,
+}
+
+impl Default for StudyParams {
+    fn default() -> Self {
+        StudyParams {
+            range: STUDY_RANGE,
+            regions: State::ALL.to_vec(),
+            term: SearchTerm::parse("topic:Internet outage"),
+            plan: PlanParams::default(),
+            refetch: RefetchParams::default(),
+            detect: DetectParams::default(),
+            context: ContextParams::default(),
+            cluster_slack_h: 1,
+            daily_rising: true,
+            max_daily_per_spike: 3,
+            daily_weight_boost: 3.0,
+            threads: 8,
+        }
+    }
+}
+
+/// Request accounting and convergence summary.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StudyStats {
+    /// Time frames requested (the paper reports 160 238 over its study).
+    pub frames_requested: u64,
+    /// Rising-suggestion requests.
+    pub rising_requested: u64,
+    /// Re-fetch rounds used per region.
+    pub rounds_by_state: Vec<(State, u32)>,
+    /// Regions whose spike set converged before the round cap.
+    pub converged_regions: usize,
+}
+
+/// Everything a study produces.
+#[derive(Clone, Debug)]
+pub struct StudyResult {
+    /// Annotated spikes over all regions, sorted by (start, region).
+    pub spikes: Vec<AnnotatedSpike>,
+    /// The calibrated timeline per region.
+    pub timelines: Vec<(State, Timeline)>,
+    /// Cross-region outage clusters.
+    pub clusters: Vec<OutageCluster>,
+    /// The global heavy-hitter terms with their frequencies.
+    pub heavy_hitters: Vec<(String, u64)>,
+    /// Distinct suggested terms observed across all spikes.
+    pub distinct_terms: usize,
+    /// Request accounting.
+    pub stats: StudyStats,
+}
+
+impl StudyResult {
+    /// The bare spikes (without annotations), in the same order.
+    pub fn bare_spikes(&self) -> Vec<crate::detect::Spike> {
+        self.spikes.iter().map(|a| a.spike).collect()
+    }
+
+    /// The timeline of one region, if it was part of the study.
+    pub fn timeline(&self, state: State) -> Option<&Timeline> {
+        self.timelines
+            .iter()
+            .find(|(s, _)| *s == state)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Study failures, tagged with the region being processed.
+#[derive(Debug)]
+pub enum StudyError {
+    /// Collection or stitching failed for a region.
+    Region {
+        /// The region that failed.
+        state: State,
+        /// The underlying failure.
+        source: RefetchError,
+    },
+    /// A rising-suggestions request failed.
+    Rising {
+        /// The region that failed.
+        state: State,
+        /// The underlying failure.
+        source: FetchError,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Region { state, source } => {
+                write!(f, "study failed for {state}: {source}")
+            }
+            StudyError::Rising { state, source } => {
+                write!(f, "rising suggestions failed for {state}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+/// Per-region intermediate result produced by the parallel phase.
+struct RegionOutcome {
+    state: State,
+    timeline: Timeline,
+    rounds: u32,
+    converged: bool,
+    frames_requested: u64,
+    rising_requested: u64,
+    /// `(spike, its gathered suggestions)`.
+    spikes: Vec<(crate::detect::Spike, Vec<RisingTerm>)>,
+}
+
+/// Runs the full study.
+///
+/// The client may be the in-process service or an HTTP fetcher unit; pass
+/// a round-robin combinator (see `sift-fetcher`) to spread the crawl over
+/// several units.
+pub fn run_study(
+    client: &dyn TrendsClient,
+    params: &StudyParams,
+) -> Result<StudyResult, StudyError> {
+    let plan = plan_frames(params.range, params.plan);
+
+    // ---- Parallel per-region phase: collect, average, detect, gather
+    // rising suggestions.
+    let threads = params.threads.clamp(1, params.regions.len().max(1));
+    let chunks: Vec<Vec<State>> = (0..threads)
+        .map(|t| {
+            params
+                .regions
+                .iter()
+                .copied()
+                .skip(t)
+                .step_by(threads)
+                .collect()
+        })
+        .collect();
+
+    let outcomes: Vec<Result<RegionOutcome, StudyError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let plan = &plan;
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|state| region_study(client, params, &plan.frames, state))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("region worker panicked"))
+            .collect()
+    });
+
+    let mut regions = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        regions.push(o?);
+    }
+    regions.sort_by_key(|r| r.state.index());
+
+    // ---- Global phase: heavy hitters over every spike's suggestion set.
+    let suggestion_sets = regions.iter().flat_map(|r| {
+        r.spikes
+            .iter()
+            .map(|(_, sugg)| sugg.iter().map(|t| t.term.clone()).collect::<Vec<_>>())
+    });
+    let (heavy, distinct_terms) =
+        heavy_hitters(suggestion_sets, params.context.heavy_hitter_mass);
+
+    // ---- Annotate and assemble.
+    let mut stats = StudyStats::default();
+    let mut spikes: Vec<AnnotatedSpike> = Vec::new();
+    let mut timelines = Vec::with_capacity(regions.len());
+    for r in &regions {
+        stats.frames_requested += r.frames_requested;
+        stats.rising_requested += r.rising_requested;
+        stats.rounds_by_state.push((r.state, r.rounds));
+        if r.converged {
+            stats.converged_regions += 1;
+        }
+        for (spike, suggestions) in &r.spikes {
+            spikes.push(annotate(*spike, suggestions, &heavy, &params.context));
+        }
+    }
+    for r in regions {
+        timelines.push((r.state, r.timeline));
+    }
+    spikes.sort_by_key(|a| (a.spike.start, a.spike.state.index()));
+
+    let clusters = cluster_spikes(
+        &spikes.iter().map(|a| a.spike).collect::<Vec<_>>(),
+        params.cluster_slack_h,
+    );
+
+    Ok(StudyResult {
+        spikes,
+        timelines,
+        clusters,
+        heavy_hitters: heavy,
+        distinct_terms,
+        stats,
+    })
+}
+
+/// The per-region pipeline: averaging, detection, rising gathering.
+fn region_study(
+    client: &dyn TrendsClient,
+    params: &StudyParams,
+    frames: &[HourRange],
+    state: State,
+) -> Result<RegionOutcome, StudyError> {
+    let outcome = averaged_timeline(
+        client,
+        &params.term,
+        state,
+        frames,
+        &params.refetch,
+        &params.detect,
+    )
+    .map_err(|source| StudyError::Region { state, source })?;
+
+    // Rising suggestions: weekly responses are shared between spikes in
+    // the same frame, so memoize per frame start.
+    let mut weekly_memo: HashMap<i64, Vec<RisingTerm>> = HashMap::new();
+    let mut rising_requested = 0u64;
+    let mut spikes = Vec::with_capacity(outcome.spikes.len());
+
+    for spike in &outcome.spikes {
+        let mut suggestions: Vec<RisingTerm> = Vec::new();
+
+        for frame in frames.iter().filter(|f| f.overlaps(&spike.window())) {
+            let entry = match weekly_memo.entry(frame.start.0) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    rising_requested += 1;
+                    let resp = client
+                        .fetch_rising(&RisingRequest {
+                            term: params.term.clone(),
+                            state,
+                            start: frame.start,
+                            len: frame.len() as u32,
+                            tag: 0,
+                        })
+                        .map_err(|source| StudyError::Rising { state, source })?;
+                    e.insert(resp.rising)
+                }
+            };
+            suggestions.extend(entry.iter().cloned());
+        }
+
+        if params.daily_rising {
+            // "SIFT repeats this process for daily time frames on spike
+            // days to capture more targeted and fine-grained rising terms"
+            // (§3.1).
+            let mut day = spike.start.day_start();
+            let mut fetched = 0usize;
+            while day < spike.end && fetched < params.max_daily_per_spike {
+                rising_requested += 1;
+                let resp = client
+                    .fetch_rising(&RisingRequest {
+                        term: params.term.clone(),
+                        state,
+                        start: day,
+                        len: 24,
+                        tag: 0,
+                    })
+                    .map_err(|source| StudyError::Rising { state, source })?;
+                suggestions.extend(resp.rising.into_iter().map(|mut t| {
+                    t.weight = (f64::from(t.weight) * params.daily_weight_boost) as u32;
+                    t
+                }));
+                day += 24;
+                fetched += 1;
+            }
+        }
+
+        spikes.push((*spike, suggestions));
+    }
+
+    Ok(RegionOutcome {
+        state,
+        timeline: outcome.timeline,
+        rounds: outcome.rounds,
+        converged: outcome.converged,
+        frames_requested: outcome.frames_fetched,
+        rising_requested,
+        spikes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_simtime::Hour;
+    use sift_trends::events::{Cause, OutageEvent, PowerTrigger};
+    use sift_trends::terms::Provider;
+    use sift_trends::{Scenario, ScenarioParams, TrendsService};
+
+    fn two_region_service() -> TrendsService {
+        let events = vec![
+            OutageEvent {
+                id: 0,
+                name: "verizon".into(),
+                cause: Cause::IspNetwork(Provider::Verizon),
+                start: Hour(300),
+                duration_h: 9,
+                states: vec![(State::TX, 0.25), (State::CA, 0.2)],
+                severity: 9_000.0,
+                lags_h: vec![0, 0],
+            },
+            OutageEvent {
+                id: 1,
+                name: "storm".into(),
+                cause: Cause::Power(PowerTrigger::Storm),
+                start: Hour(800),
+                duration_h: 12,
+                states: vec![(State::TX, 0.2)],
+                severity: 8_000.0,
+                lags_h: vec![0],
+            },
+        ];
+        // Anchor events keep the frame chain calibrated (see the
+        // refetch tests for why density matters).
+        let mut events = events;
+        for (i, start) in (40..1200).step_by(60).enumerate() {
+            for (j, state) in [State::TX, State::CA].into_iter().enumerate() {
+                events.push(OutageEvent {
+                    id: 100 + (i * 2 + j) as u32,
+                    name: format!("anchor-{i}-{state}"),
+                    cause: Cause::IspNetwork(Provider::Frontier),
+                    start: Hour(start + 13 * j as i64),
+                    duration_h: 2,
+                    states: vec![(state, 0.015)],
+                    severity: 8_000.0,
+                    lags_h: vec![0],
+                });
+            }
+        }
+        let params = ScenarioParams {
+            background_scale: 0.0,
+            include_named: false,
+            include_clusters: false,
+            regions: vec![State::TX, State::CA],
+            ..ScenarioParams::default()
+        };
+        let mut scenario = Scenario::generate(params);
+        scenario.events = events;
+        scenario.events.sort_by_key(|e| (e.start, e.id));
+        TrendsService::with_defaults(scenario)
+    }
+
+    fn small_params() -> StudyParams {
+        let mut params = StudyParams {
+            range: HourRange::new(Hour(0), Hour(1200)),
+            regions: vec![State::TX, State::CA],
+            threads: 2,
+            ..StudyParams::default()
+        };
+        // This toy world's heavy-hitter set is dominated by the anchor
+        // events' phrases (in the full study, power terms dominate);
+        // keep more annotations so cause terms survive the heavy-first
+        // ranking.
+        params.context.max_annotations = 6;
+        params
+    }
+
+    #[test]
+    fn full_workflow_recovers_both_events() {
+        let service = two_region_service();
+        let result = run_study(&service, &small_params()).expect("study runs");
+
+        // Both regions have timelines covering the range.
+        assert_eq!(result.timelines.len(), 2);
+        assert_eq!(result.timeline(State::TX).unwrap().range().len(), 1200);
+
+        // The multi-state event shows up as a 2-state cluster.
+        let wide = result
+            .clusters
+            .iter()
+            .find(|c| c.state_count() == 2)
+            .expect("2-state cluster");
+        assert!(wide.window.contains(Hour(303)));
+
+        // The power event is power-annotated; the ISP event is not.
+        let tx_power = result
+            .spikes
+            .iter()
+            .find(|a| a.spike.state == State::TX && a.spike.window().contains(Hour(805)))
+            .expect("power spike detected");
+        assert!(tx_power.power_annotated(), "annotations: {:?}", tx_power.annotations);
+
+        let tx_verizon = result
+            .spikes
+            .iter()
+            .find(|a| a.spike.state == State::TX && a.spike.window().contains(Hour(303)))
+            .expect("verizon spike detected");
+        assert!(
+            tx_verizon
+                .annotations
+                .iter()
+                .any(|ann| ann.label.to_lowercase().contains("verizon")),
+            "annotations: {:?}",
+            tx_verizon.annotations
+        );
+
+        // Stats add up.
+        assert!(result.stats.frames_requested > 0);
+        assert!(result.stats.rising_requested > 0);
+        assert_eq!(result.stats.rounds_by_state.len(), 2);
+    }
+
+    #[test]
+    fn spikes_sorted_and_within_range() {
+        let service = two_region_service();
+        let params = small_params();
+        let result = run_study(&service, &params).expect("study runs");
+        for pair in result.spikes.windows(2) {
+            assert!(
+                (pair[0].spike.start, pair[0].spike.state.index())
+                    <= (pair[1].spike.start, pair[1].spike.state.index())
+            );
+        }
+        for a in &result.spikes {
+            assert!(a.spike.start >= params.range.start);
+            assert!(a.spike.end <= params.range.end);
+        }
+    }
+
+    #[test]
+    fn daily_rising_can_be_disabled() {
+        let service = two_region_service();
+        let mut params = small_params();
+        params.daily_rising = false;
+        let without = run_study(&service, &params).expect("study runs");
+        params.daily_rising = true;
+        let with = run_study(&service, &params).expect("study runs");
+        assert!(with.stats.rising_requested > without.stats.rising_requested);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let service = two_region_service();
+        let mut params = small_params();
+        params.threads = 1;
+        let seq = run_study(&service, &params).expect("study runs");
+        params.threads = 2;
+        let par = run_study(&service, &params).expect("study runs");
+        assert_eq!(seq.spikes.len(), par.spikes.len());
+        for (a, b) in seq.spikes.iter().zip(par.spikes.iter()) {
+            assert_eq!(a.spike, b.spike);
+            assert_eq!(a.annotations, b.annotations);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Time-series reconstruction: stitching piecewise-normalized frames.
+//!
+//! "SIFT reconstructs a continuous time series from piecewise time frames
+//! by initially fetching consecutive and overlapping time frames. Then,
+//! SIFT uses the intersecting regions to identify the scaling ratio
+//! between the consecutive time frames. Finally, SIFT rescales the
+//! right-adjacent time frame by this ratio and appends it sequentially to
+//! the preceding time series" (§3.2).
+//!
+//! The scaling ratio is estimated as the ratio of sums over the overlap
+//! (`r = Σs / Σf`, scaling the incoming frame `f` onto the running series
+//! `s`). Because consecutive frames are *independent random samples* of
+//! the same search population, their per-hour values rarely coincide in
+//! quiet regions (anonymity rounding leaves sparse nonzero blocks), so
+//! estimators that need pointwise agreement (least squares `Σs·f/Σf²`)
+//! collapse; the ratio of sums only needs the overlap *expectations* to
+//! match, which sampling guarantees. Frames whose overlap carries no
+//! signal on either side inherit the previous frame's scale: with both
+//! sides at zero, any ratio is consistent with the data and continuity is
+//! the best prior.
+
+use serde::{Deserialize, Serialize};
+use sift_geo::State;
+use sift_simtime::{Hour, HourRange};
+use sift_trends::FrameResponse;
+use std::fmt;
+
+/// A continuous, globally-calibrated interest time series for one region,
+/// renormalized to a 0–100 index over its full range.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// The region the series describes.
+    pub state: State,
+    /// Hour of `values[0]`.
+    pub start: Hour,
+    /// Hourly interest values on the global 0–100 scale.
+    pub values: Vec<f64>,
+}
+
+impl Timeline {
+    /// The covered hour range.
+    pub fn range(&self) -> HourRange {
+        HourRange::with_len(self.start, self.values.len() as i64)
+    }
+
+    /// The value at `at`, or `None` outside the range.
+    pub fn value_at(&self, at: Hour) -> Option<f64> {
+        if at < self.start {
+            return None;
+        }
+        self.values.get((at - self.start) as usize).copied()
+    }
+
+    /// Index of an hour within `values`, or `None` outside the range.
+    pub fn index_of(&self, at: Hour) -> Option<usize> {
+        if at < self.start || at >= self.start + self.values.len() as i64 {
+            None
+        } else {
+            Some((at - self.start) as usize)
+        }
+    }
+
+    /// The hour of `values[idx]`.
+    pub fn hour_of(&self, idx: usize) -> Hour {
+        self.start + idx as i64
+    }
+
+    /// Renormalizes the series so its maximum is 100 (no-op if all zero).
+    pub fn renormalize(&mut self) {
+        let max = self.values.iter().copied().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            for v in &mut self.values {
+                *v *= 100.0 / max;
+            }
+        }
+    }
+
+    /// Averages `other` into this timeline with weight `1/n` (running mean
+    /// after `n` accumulated series). Ranges must match.
+    pub fn accumulate_mean(&mut self, other: &Timeline, n: u32) {
+        assert_eq!(self.range(), other.range(), "timeline ranges must match");
+        assert!(n >= 1);
+        let w = 1.0 / f64::from(n);
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += (b - *a) * w;
+        }
+    }
+}
+
+/// Why frames could not be stitched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StitchError {
+    /// No frames were provided.
+    NoFrames,
+    /// Frames belong to different regions.
+    MixedStates,
+    /// Consecutive frames leave a gap: nothing to calibrate against.
+    Gap {
+        /// End of the covered series so far.
+        covered_until: Hour,
+        /// Start of the offending frame.
+        next_start: Hour,
+    },
+    /// A frame adds no new hours (duplicate or out of order).
+    NoProgress {
+        /// Start of the offending frame.
+        frame_start: Hour,
+    },
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::NoFrames => write!(f, "no frames to stitch"),
+            StitchError::MixedStates => write!(f, "frames from different regions"),
+            StitchError::Gap {
+                covered_until,
+                next_start,
+            } => write!(
+                f,
+                "gap between frames: covered until {covered_until}, next starts {next_start}"
+            ),
+            StitchError::NoProgress { frame_start } => {
+                write!(f, "frame starting {frame_start} adds no new hours")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// Stitches consecutive overlapping frames into one calibrated, 0–100
+/// renormalized [`Timeline`].
+///
+/// Frames must be sorted by start (the fetcher's response store returns
+/// them this way), cover each hour at least once, and each frame must
+/// overlap the series built so far.
+pub fn stitch(frames: &[&FrameResponse]) -> Result<Timeline, StitchError> {
+    let first = frames.first().ok_or(StitchError::NoFrames)?;
+    if frames.iter().any(|f| f.state != first.state) {
+        return Err(StitchError::MixedStates);
+    }
+
+    let start = first.start;
+    let mut values: Vec<f64> = first.values.iter().map(|v| f64::from(*v)).collect();
+    // The scale applied to the previous frame, inherited when an overlap
+    // carries no signal.
+    let mut prev_scale = 1.0f64;
+
+    for frame in &frames[1..] {
+        let covered_until = start + values.len() as i64;
+        if frame.start > covered_until {
+            return Err(StitchError::Gap {
+                covered_until,
+                next_start: frame.start,
+            });
+        }
+        let frame_end = frame.start + frame.values.len() as i64;
+        if frame_end <= covered_until {
+            return Err(StitchError::NoProgress {
+                frame_start: frame.start,
+            });
+        }
+
+        // Overlap of the incoming frame with the series built so far.
+        let overlap_len = (covered_until - frame.start) as usize;
+        let series_tail = &values[values.len() - overlap_len..];
+        let frame_head = &frame.values[..overlap_len];
+
+        let sum_series: f64 = series_tail.iter().sum();
+        let sum_frame: f64 = frame_head.iter().map(|f| f64::from(*f)).sum();
+        let scale = if sum_series > 0.0 && sum_frame > 0.0 {
+            sum_series / sum_frame
+        } else {
+            // No usable signal in the overlap: keep the previous scale.
+            prev_scale
+        };
+        prev_scale = scale;
+
+        for v in &frame.values[overlap_len..] {
+            values.push(f64::from(*v) * scale);
+        }
+    }
+
+    let mut timeline = Timeline {
+        state: first.state,
+        start,
+        values,
+    };
+    timeline.renormalize();
+    Ok(timeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_trends::SearchTerm;
+
+    fn term() -> SearchTerm {
+        SearchTerm::parse("topic:Internet outage")
+    }
+
+    fn frame(state: State, start: i64, values: Vec<u8>) -> FrameResponse {
+        FrameResponse {
+            term: term(),
+            state,
+            start: Hour(start),
+            values,
+        }
+    }
+
+    /// Builds service-style frames from a known true series: each frame is
+    /// independently scaled to its own maximum, like the real service.
+    fn piecewise_frames(truth: &[f64], frame_len: usize, step: usize) -> Vec<FrameResponse> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        loop {
+            let end = (start + frame_len).min(truth.len());
+            let window = &truth[start..end];
+            let max = window.iter().copied().fold(0.0f64, f64::max);
+            let values: Vec<u8> = window
+                .iter()
+                .map(|v| {
+                    if max == 0.0 || *v == 0.0 {
+                        0
+                    } else {
+                        ((v * 100.0 / max).round() as u8).max(1)
+                    }
+                })
+                .collect();
+            out.push(frame(State::TX, start as i64, values));
+            if end == truth.len() {
+                break;
+            }
+            start += step;
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_relative_magnitudes_across_frames() {
+        // Two spikes in different weeks: the piecewise indexing makes both
+        // look like "100"; stitching must recover that the second is half
+        // the first. The baseline sits at 10 so the service's integer
+        // 0–100 quantization can still express the spike:baseline ratio.
+        let mut truth = vec![10.0; 400];
+        truth[50] = 200.0;
+        truth[51] = 160.0;
+        truth[300] = 100.0;
+        truth[301] = 80.0;
+        let frames = piecewise_frames(&truth, 168, 84);
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        let tl = stitch(&refs).expect("stitch");
+
+        let big = tl.values[50];
+        let small = tl.values[300];
+        assert!((big - 100.0).abs() < 1.0, "biggest spike renormalizes to 100");
+        assert!(
+            (small / big - 0.5).abs() < 0.1,
+            "relative magnitude recovered: {small} vs {big}"
+        );
+    }
+
+    #[test]
+    fn output_covers_full_range() {
+        let truth: Vec<f64> = (0..500).map(|i| 1.0 + (i % 37) as f64).collect();
+        let frames = piecewise_frames(&truth, 168, 84);
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        let tl = stitch(&refs).expect("stitch");
+        assert_eq!(tl.values.len(), 500);
+        assert_eq!(tl.start, Hour(0));
+        assert_eq!(tl.range().len(), 500);
+    }
+
+    #[test]
+    fn scale_invariance_of_result() {
+        // Multiplying the true series by any constant must not change the
+        // stitched, renormalized output (the service never reveals scale).
+        let mut truth = vec![2.0; 300];
+        truth[40] = 50.0;
+        truth[200] = 30.0;
+        let scaled: Vec<f64> = truth.iter().map(|v| v * 7.0).collect();
+        let a = {
+            let fs = piecewise_frames(&truth, 168, 84);
+            let refs: Vec<&FrameResponse> = fs.iter().collect();
+            stitch(&refs).expect("stitch")
+        };
+        let b = {
+            let fs = piecewise_frames(&scaled, 168, 84);
+            let refs: Vec<&FrameResponse> = fs.iter().collect();
+            stitch(&refs).expect("stitch")
+        };
+        for (x, y) in a.values.iter().zip(b.values.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_overlap_inherits_scale() {
+        // Middle frame's overlap with both neighbours is all zero; the
+        // series must still come out continuous and finite.
+        let mut truth = vec![0.0; 500];
+        truth[10] = 50.0;
+        truth[490] = 25.0;
+        let frames = piecewise_frames(&truth, 168, 84);
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        let tl = stitch(&refs).expect("stitch");
+        assert!(tl.values.iter().all(|v| v.is_finite()));
+        assert!((tl.values[10] - 100.0).abs() < 1.0);
+        assert!(tl.values[490] > 0.0);
+    }
+
+    #[test]
+    fn gap_is_an_error() {
+        let frames = vec![
+            frame(State::TX, 0, vec![10; 168]),
+            frame(State::TX, 200, vec![10; 168]),
+        ];
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        match stitch(&refs) {
+            Err(StitchError::Gap {
+                covered_until,
+                next_start,
+            }) => {
+                assert_eq!(covered_until, Hour(168));
+                assert_eq!(next_start, Hour(200));
+            }
+            other => panic!("expected gap error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_frame_is_an_error() {
+        let frames = vec![
+            frame(State::TX, 0, vec![10; 168]),
+            frame(State::TX, 0, vec![10; 168]),
+        ];
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        assert!(matches!(
+            stitch(&refs),
+            Err(StitchError::NoProgress { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_states_is_an_error() {
+        let frames = vec![
+            frame(State::TX, 0, vec![10; 168]),
+            frame(State::CA, 84, vec![10; 168]),
+        ];
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        assert_eq!(stitch(&refs), Err(StitchError::MixedStates));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(stitch(&[]), Err(StitchError::NoFrames));
+    }
+
+    #[test]
+    fn single_frame_passes_through_renormalized() {
+        let f = frame(State::TX, 10, vec![0, 25, 50]);
+        let tl = stitch(&[&f]).expect("stitch");
+        assert_eq!(tl.values, vec![0.0, 50.0, 100.0]);
+        assert_eq!(tl.start, Hour(10));
+        assert_eq!(tl.value_at(Hour(11)), Some(50.0));
+        assert_eq!(tl.value_at(Hour(9)), None);
+        assert_eq!(tl.value_at(Hour(13)), None);
+        assert_eq!(tl.index_of(Hour(12)), Some(2));
+        assert_eq!(tl.hour_of(2), Hour(12));
+    }
+
+    #[test]
+    fn accumulate_mean_averages() {
+        let f1 = frame(State::TX, 0, vec![100, 0]);
+        let f2 = frame(State::TX, 0, vec![0, 100]);
+        let mut a = stitch(&[&f1]).expect("stitch");
+        let b = stitch(&[&f2]).expect("stitch");
+        a.accumulate_mean(&b, 2);
+        assert_eq!(a.values, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn all_zero_series_stays_zero() {
+        let f = frame(State::TX, 0, vec![0; 168]);
+        let tl = stitch(&[&f]).expect("stitch");
+        assert!(tl.values.iter().all(|v| *v == 0.0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests: stitching and detection invariants.
+
+use proptest::prelude::*;
+use sift_core::detect::{detect_spikes, DetectParams};
+use sift_core::timeline::{stitch, Timeline};
+use sift_geo::State;
+use sift_simtime::Hour;
+use sift_trends::{FrameResponse, SearchTerm};
+
+/// Service-style piecewise frames over a known true series.
+fn piecewise_frames(truth: &[f64], frame_len: usize, step: usize) -> Vec<FrameResponse> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    loop {
+        let end = (start + frame_len).min(truth.len());
+        let window = &truth[start..end];
+        let max = window.iter().copied().fold(0.0f64, f64::max);
+        let values: Vec<u8> = window
+            .iter()
+            .map(|v| {
+                if max <= 0.0 {
+                    0
+                } else {
+                    (v * 100.0 / max).round() as u8
+                }
+            })
+            .collect();
+        out.push(FrameResponse {
+            term: SearchTerm::parse("topic:Internet outage"),
+            state: State::TX,
+            start: Hour(start as i64),
+            values,
+        });
+        if end == truth.len() {
+            break;
+        }
+        start += step;
+    }
+    out
+}
+
+fn truth_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..50.0, 200..500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stitching output covers the full range, is finite, non-negative
+    /// and renormalized to a max of 100 (when any signal exists).
+    #[test]
+    fn stitch_output_well_formed(truth in truth_strategy()) {
+        let frames = piecewise_frames(&truth, 168, 84);
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        let tl = stitch(&refs).expect("stitch");
+        prop_assert_eq!(tl.values.len(), truth.len());
+        let max = tl.values.iter().copied().fold(0.0f64, f64::max);
+        for v in &tl.values {
+            prop_assert!(v.is_finite() && *v >= 0.0);
+        }
+        if truth.iter().any(|v| *v >= 0.5) {
+            prop_assert!((max - 100.0).abs() < 1e-9, "max {}", max);
+        }
+    }
+
+    /// Scaling the true series by any positive constant leaves the
+    /// stitched, renormalized series unchanged (the service hides scale,
+    /// SIFT must not depend on it).
+    #[test]
+    fn stitch_scale_invariant(truth in truth_strategy(), scale in 0.5f64..20.0) {
+        let frames_a = piecewise_frames(&truth, 168, 84);
+        let scaled: Vec<f64> = truth.iter().map(|v| v * scale).collect();
+        let frames_b = piecewise_frames(&scaled, 168, 84);
+        let a = stitch(&frames_a.iter().collect::<Vec<_>>()).expect("stitch");
+        let b = stitch(&frames_b.iter().collect::<Vec<_>>()).expect("stitch");
+        for (x, y) in a.values.iter().zip(b.values.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Detection invariants on arbitrary series: spikes are sorted,
+    /// disjoint, within bounds, with start <= peak < end, and every peak
+    /// clears the floor.
+    #[test]
+    fn detection_invariants(values in proptest::collection::vec(0.0f64..100.0, 0..600)) {
+        let tl = Timeline {
+            state: State::TX,
+            start: Hour(0),
+            values: values.clone(),
+        };
+        let params = DetectParams::default();
+        let spikes = detect_spikes(&tl, &params);
+        for s in &spikes {
+            prop_assert!(s.start <= s.peak && s.peak < s.end);
+            prop_assert!(s.start.0 >= 0);
+            prop_assert!(s.end.0 <= values.len() as i64);
+            prop_assert!(s.magnitude >= params.min_peak);
+            // The reported magnitude really is the value at the peak.
+            prop_assert!((s.magnitude - values[s.peak.0 as usize]).abs() < 1e-12);
+        }
+        for pair in spikes.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start, "spikes overlap");
+        }
+        // Every block above the floor is covered by some spike.
+        for (i, v) in values.iter().enumerate() {
+            if *v >= params.min_peak {
+                let h = Hour(i as i64);
+                prop_assert!(
+                    spikes.iter().any(|s| s.window().contains(h)),
+                    "uncovered above-floor block at {} (value {})",
+                    i,
+                    v
+                );
+            }
+        }
+    }
+
+    /// Up-scaling a series never loses detections: the detection floors
+    /// (`min_peak`, `walk_floor`) are absolute, so scaling values up can
+    /// only extend walks and merge neighbours — every original peak must
+    /// still be covered by some spike afterwards.
+    #[test]
+    fn upscaling_never_loses_peaks(values in proptest::collection::vec(0.0f64..100.0, 10..300)) {
+        let params = DetectParams::default();
+        let a = detect_spikes(
+            &Timeline { state: State::TX, start: Hour(0), values: values.clone() },
+            &params,
+        );
+        // Rescale so the max is exactly 100 (what renormalize does).
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        prop_assume!(max > params.min_peak && max <= 100.0);
+        let scaled: Vec<f64> = values.iter().map(|v| v * 100.0 / max).collect();
+        let b = detect_spikes(
+            &Timeline { state: State::TX, start: Hour(0), values: scaled },
+            &params,
+        );
+        for sa in &a {
+            prop_assert!(
+                b.iter().any(|sb| sb.window().contains(sa.peak)),
+                "peak of {:?} uncovered after upscale",
+                sa
+            );
+        }
+        prop_assert!(b.len() <= values.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! Mapping the crawl workload across fetcher units.
+//!
+//! The collection module queues every planned request on a shared channel;
+//! one worker thread per fetcher unit drains it. Because each unit crawls
+//! under its own identity, the service's per-IP rate limiting throttles
+//! units independently and the crawl parallelises — exactly the design the
+//! paper describes.
+
+use crate::store::ResponseStore;
+use crate::unit::TrendsClient;
+use crossbeam::channel;
+use sift_trends::{FrameRequest, RisingRequest};
+use std::sync::Arc;
+
+/// One queued request.
+#[derive(Clone, Debug)]
+pub enum WorkItem {
+    /// Fetch an indexed frame.
+    Frame(FrameRequest),
+    /// Fetch rising suggestions.
+    Rising(RisingRequest),
+}
+
+/// Outcome counters of one collection run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests that failed after the unit's retry budget.
+    pub failed: usize,
+    /// `(unit identity, requests completed)` per unit.
+    pub per_unit: Vec<(String, usize)>,
+}
+
+/// A crawl executor over a set of fetcher units.
+pub struct CollectionRun {
+    units: Vec<Arc<dyn TrendsClient>>,
+}
+
+impl CollectionRun {
+    /// Builds a run over the given units (at least one).
+    pub fn new(units: Vec<Arc<dyn TrendsClient>>) -> Self {
+        assert!(!units.is_empty(), "at least one fetcher unit required");
+        CollectionRun { units }
+    }
+
+    /// Executes the workload, merging every response into `store`.
+    /// Returns the run report.
+    pub fn execute(&self, items: Vec<WorkItem>, store: &mut ResponseStore) -> RunReport {
+        let (work_tx, work_rx) = channel::unbounded::<WorkItem>();
+        for item in items {
+            work_tx.send(item).expect("unbounded channel accepts");
+        }
+        drop(work_tx); // workers drain until empty
+
+        enum Outcome {
+            Frame(u64, sift_trends::FrameResponse),
+            Rising(u32, sift_trends::RisingResponse),
+            Failed,
+        }
+        let (out_tx, out_rx) = channel::unbounded::<(usize, Outcome)>();
+
+        std::thread::scope(|scope| {
+            for (unit_idx, unit) in self.units.iter().enumerate() {
+                let work_rx = work_rx.clone();
+                let out_tx = out_tx.clone();
+                let unit = Arc::clone(unit);
+                scope.spawn(move || {
+                    while let Ok(item) = work_rx.recv() {
+                        let outcome = match &item {
+                            WorkItem::Frame(req) => match unit.fetch_frame(req) {
+                                Ok(resp) => Outcome::Frame(req.tag, resp),
+                                Err(_) => Outcome::Failed,
+                            },
+                            WorkItem::Rising(req) => match unit.fetch_rising(req) {
+                                Ok(resp) => Outcome::Rising(req.len, resp),
+                                Err(_) => Outcome::Failed,
+                            },
+                        };
+                        if out_tx.send((unit_idx, outcome)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(out_tx);
+
+            let mut report = RunReport {
+                per_unit: self
+                    .units
+                    .iter()
+                    .map(|u| (u.identity().to_owned(), 0))
+                    .collect(),
+                ..RunReport::default()
+            };
+            while let Ok((unit_idx, outcome)) = out_rx.recv() {
+                match outcome {
+                    Outcome::Frame(tag, resp) => {
+                        store.insert_frame(tag, resp);
+                        report.completed += 1;
+                        report.per_unit[unit_idx].1 += 1;
+                    }
+                    Outcome::Rising(len, resp) => {
+                        store.insert_rising(len, resp);
+                        report.completed += 1;
+                        report.per_unit[unit_idx].1 += 1;
+                    }
+                    Outcome::Failed => report.failed += 1,
+                }
+            }
+            report
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{plan_frames, PlanParams};
+    use crate::unit::InProcessClient;
+    use sift_geo::State;
+    use sift_simtime::{Hour, HourRange};
+    use sift_trends::{Scenario, SearchTerm, TrendsService};
+
+    fn units(n: usize) -> (Vec<Arc<dyn TrendsClient>>, Arc<TrendsService>) {
+        let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
+            State::CA,
+            vec![],
+        )));
+        let units: Vec<Arc<dyn TrendsClient>> = (0..n)
+            .map(|_| {
+                Arc::new(InProcessClient::new(Arc::clone(&service))) as Arc<dyn TrendsClient>
+            })
+            .collect();
+        (units, service)
+    }
+
+    fn frame_workload(tag: u64) -> Vec<WorkItem> {
+        let plan = plan_frames(
+            HourRange::new(Hour(0), Hour(1000)),
+            PlanParams::default(),
+        );
+        plan.frames
+            .iter()
+            .map(|f| {
+                WorkItem::Frame(FrameRequest {
+                    term: SearchTerm::parse("topic:Internet outage"),
+                    state: State::CA,
+                    start: f.start,
+                    len: f.len() as u32,
+                    tag,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn workload_is_fully_collected() {
+        let (units, service) = units(3);
+        let run = CollectionRun::new(units);
+        let items = frame_workload(0);
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let report = run.execute(items, &mut store);
+        assert_eq!(report.completed, n);
+        assert_eq!(report.failed, 0);
+        assert_eq!(store.frame_count(), n);
+        assert_eq!(service.stats().frames_served, n as u64);
+        // Frames come back sorted and contiguous for the pipeline.
+        let frames = store.frames_for(State::CA, 0);
+        assert_eq!(frames.len(), n);
+        for pair in frames.windows(2) {
+            assert!(pair[0].start < pair[1].start);
+        }
+    }
+
+    #[test]
+    fn work_is_spread_across_units() {
+        let (units, _service) = units(4);
+        let run = CollectionRun::new(units);
+        let mut store = ResponseStore::new();
+        let report = run.execute(frame_workload(0), &mut store);
+        let busy_units = report.per_unit.iter().filter(|(_, n)| *n > 0).count();
+        assert!(busy_units >= 2, "expected parallel draining: {report:?}");
+    }
+
+    #[test]
+    fn bad_requests_count_as_failures() {
+        let (units, _service) = units(1);
+        let run = CollectionRun::new(units);
+        let mut store = ResponseStore::new();
+        let items = vec![WorkItem::Frame(FrameRequest {
+            term: SearchTerm::parse("topic:Internet outage"),
+            state: State::CA,
+            start: Hour(0),
+            len: 9999, // over the service limit
+            tag: 0,
+        })];
+        let report = run.execute(items, &mut store);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.completed, 0);
+        assert_eq!(store.frame_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fetcher unit")]
+    fn zero_units_rejected() {
+        let _ = CollectionRun::new(vec![]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Hosting the trends service over HTTP.
+
+use crate::unit::ApiResult;
+use sift_net::{Method, Request, Response, Router, StatusCode};
+use sift_trends::{FrameRequest, RisingRequest, TrendsService};
+use std::sync::Arc;
+
+/// Builds the HTTP router exposing a trends service:
+///
+/// * `POST /api/frame` — body: [`FrameRequest`] JSON; answers an
+///   `ApiResult<FrameResponse>`.
+/// * `POST /api/rising` — body: [`RisingRequest`] JSON; answers an
+///   `ApiResult<RisingResponse>`.
+/// * `GET /healthz` — liveness.
+/// * `GET /stats` — service request counters.
+///
+/// Attach a rate limiter via
+/// [`sift_net::Server::with_rate_limiter`] to reproduce the
+/// crawl bottleneck.
+pub fn trends_router(service: Arc<TrendsService>) -> Router {
+    let frame_service = Arc::clone(&service);
+    let rising_service = Arc::clone(&service);
+    let stats_service = Arc::clone(&service);
+
+    Router::new()
+        .route(Method::Get, "/healthz", |_| {
+            Response::text(StatusCode::OK, "ok")
+        })
+        .route(Method::Get, "/stats", move |_| {
+            match Response::json(&stats_service.stats()) {
+                Ok(r) => r,
+                Err(e) => Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string()),
+            }
+        })
+        .route(Method::Post, "/api/frame", move |req: &Request| {
+            let parsed: FrameRequest = match req.json() {
+                Ok(p) => p,
+                Err(e) => {
+                    return Response::text(StatusCode::BAD_REQUEST, format!("bad frame request: {e}"))
+                }
+            };
+            let result = match frame_service.fetch_frame(&parsed) {
+                Ok(resp) => ApiResult::Ok(resp),
+                Err(e) => ApiResult::Err(e),
+            };
+            Response::json(&result)
+                .unwrap_or_else(|e| Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string()))
+        })
+        .route(Method::Post, "/api/rising", move |req: &Request| {
+            let parsed: RisingRequest = match req.json() {
+                Ok(p) => p,
+                Err(e) => {
+                    return Response::text(
+                        StatusCode::BAD_REQUEST,
+                        format!("bad rising request: {e}"),
+                    )
+                }
+            };
+            let result = match rising_service.fetch_rising(&parsed) {
+                Ok(resp) => ApiResult::Ok(resp),
+                Err(e) => ApiResult::Err(e),
+            };
+            Response::json(&result)
+                .unwrap_or_else(|e| Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string()))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{FetchError, HttpTrendsClient, TrendsClient};
+    use sift_geo::State;
+    use sift_net::Server;
+    use sift_simtime::Hour;
+    use sift_trends::{Scenario, SearchTerm};
+
+    fn spawn() -> (sift_net::ServerHandle, Arc<TrendsService>) {
+        let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
+            State::TX,
+            vec![],
+        )));
+        let handle = Server::new(trends_router(Arc::clone(&service)))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        (handle, service)
+    }
+
+    #[test]
+    fn frame_over_http_matches_in_process() {
+        let (h, service) = spawn();
+        let req = FrameRequest {
+            term: SearchTerm::parse("topic:Internet outage"),
+            state: State::TX,
+            start: Hour(500),
+            len: 168,
+            tag: 7,
+        };
+        let client = HttpTrendsClient::new(h.addr(), "127.0.0.9");
+        let over_http = client.fetch_frame(&req).expect("http frame");
+        let direct = service.fetch_frame(&req).expect("direct frame");
+        assert_eq!(over_http, direct, "same coordinates + tag → same sample");
+        h.shutdown();
+    }
+
+    #[test]
+    fn service_errors_cross_the_wire() {
+        let (h, _service) = spawn();
+        let client = HttpTrendsClient::new(h.addr(), "127.0.0.9");
+        let err = client
+            .fetch_frame(&FrameRequest {
+                term: SearchTerm::parse("topic:Internet outage"),
+                state: State::TX,
+                start: Hour(0),
+                len: 999,
+                tag: 0,
+            })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FetchError::Service(sift_trends::ServiceError::FrameTooLong { .. })
+            ),
+            "{err}"
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn rising_and_stats_endpoints() {
+        let (h, _service) = spawn();
+        let client = HttpTrendsClient::new(h.addr(), "127.0.0.9");
+        let rising = client
+            .fetch_rising(&RisingRequest {
+                term: SearchTerm::parse("topic:Internet outage"),
+                state: State::TX,
+                start: Hour(0),
+                len: 168,
+                tag: 0,
+            })
+            .expect("rising");
+        assert_eq!(rising.state, State::TX);
+
+        let raw = sift_net::HttpClient::new(h.addr());
+        let stats: sift_trends::api::ServiceStats =
+            raw.get_json("/stats").expect("stats json");
+        assert_eq!(stats.rising_served, 1);
+        h.shutdown();
+    }
+
+    #[test]
+    fn malformed_body_is_bad_request() {
+        let (h, _service) = spawn();
+        let raw = sift_net::HttpClient::new(h.addr());
+        let mut req = sift_net::Request::post_json("/api/frame", &"not a frame request")
+            .expect("encode");
+        req.headers.set("content-type", "application/json");
+        let resp = raw.send(&req).expect("send");
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        h.shutdown();
+    }
+}

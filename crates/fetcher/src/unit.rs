@@ -1,0 +1,235 @@
+//! Fetcher units: named identities crawling the service.
+//!
+//! The client abstraction itself ([`TrendsClient`], [`FetchError`]) lives
+//! in `sift-trends`; this module provides the two deployable unit kinds —
+//! in-process (labelled) and HTTP.
+
+use sift_net::HttpClient;
+use sift_trends::{
+    FrameRequest, FrameResponse, RisingRequest, RisingResponse, ServiceError, TrendsService,
+};
+use std::sync::Arc;
+
+pub use sift_trends::client::{FetchError, TrendsClient};
+
+/// In-process access to the service under a distinct unit identity.
+///
+/// Useful to run the full multi-unit collection machinery without sockets
+/// (and in tests).
+pub struct InProcessClient {
+    service: Arc<TrendsService>,
+    identity: String,
+}
+
+impl InProcessClient {
+    /// Wraps a shared service under the default identity.
+    pub fn new(service: Arc<TrendsService>) -> Self {
+        Self::with_identity(service, "in-process")
+    }
+
+    /// Wraps a shared service under an explicit unit identity.
+    pub fn with_identity(service: Arc<TrendsService>, identity: impl Into<String>) -> Self {
+        InProcessClient {
+            service,
+            identity: identity.into(),
+        }
+    }
+}
+
+impl TrendsClient for InProcessClient {
+    fn fetch_frame(&self, req: &FrameRequest) -> Result<FrameResponse, FetchError> {
+        self.service.fetch_frame(req).map_err(FetchError::Service)
+    }
+
+    fn fetch_rising(&self, req: &RisingRequest) -> Result<RisingResponse, FetchError> {
+        self.service.fetch_rising(req).map_err(FetchError::Service)
+    }
+
+    fn identity(&self) -> &str {
+        &self.identity
+    }
+}
+
+/// The wire envelope the HTTP endpoints answer with: the payload or a
+/// typed service error. Shared with [`crate::serve`].
+#[derive(serde::Serialize, serde::Deserialize)]
+pub(crate) enum ApiResult<T> {
+    /// Success payload.
+    Ok(T),
+    /// Service-level rejection.
+    Err(ServiceError),
+}
+
+/// Access to the service over HTTP, crawling under a declared fetcher
+/// identity. Retries and `Retry-After` handling come from the underlying
+/// [`HttpClient`] policy.
+pub struct HttpTrendsClient {
+    client: HttpClient,
+    identity: String,
+}
+
+impl HttpTrendsClient {
+    /// A unit crawling `addr` under `identity` (e.g. `"127.0.0.7"`).
+    pub fn new(addr: std::net::SocketAddr, identity: impl Into<String>) -> Self {
+        let identity = identity.into();
+        HttpTrendsClient {
+            client: HttpClient::new(addr).with_identity(identity.clone()),
+            identity,
+        }
+    }
+
+    /// Replaces the underlying client's retry policy.
+    pub fn with_retry(mut self, retry: sift_net::RetryPolicy) -> Self {
+        self.client = self.client.with_retry(retry);
+        self
+    }
+}
+
+impl TrendsClient for HttpTrendsClient {
+    fn fetch_frame(&self, req: &FrameRequest) -> Result<FrameResponse, FetchError> {
+        let result: ApiResult<FrameResponse> = self
+            .client
+            .post_json("/api/frame", req)
+            .map_err(|e| FetchError::Transport(e.to_string()))?;
+        match result {
+            ApiResult::Ok(resp) => Ok(resp),
+            ApiResult::Err(e) => Err(FetchError::Service(e)),
+        }
+    }
+
+    fn fetch_rising(&self, req: &RisingRequest) -> Result<RisingResponse, FetchError> {
+        let result: ApiResult<RisingResponse> = self
+            .client
+            .post_json("/api/rising", req)
+            .map_err(|e| FetchError::Transport(e.to_string()))?;
+        match result {
+            ApiResult::Ok(resp) => Ok(resp),
+            ApiResult::Err(e) => Err(FetchError::Service(e)),
+        }
+    }
+
+    fn identity(&self) -> &str {
+        &self.identity
+    }
+}
+
+/// Spreads requests across several fetcher units round-robin.
+///
+/// This is how a study is pointed at the whole unit fleet: wrap the units
+/// and hand the combinator to `sift_core::run_study`. Because responses
+/// are determined by request coordinates and tag — not by which unit asks
+/// — the distribution order does not affect results, only throughput
+/// (each unit has its own rate-limit bucket).
+pub struct RoundRobin {
+    units: Vec<Arc<dyn TrendsClient>>,
+    next: std::sync::atomic::AtomicUsize,
+    identity: String,
+}
+
+impl RoundRobin {
+    /// Builds a combinator over at least one unit.
+    pub fn new(units: Vec<Arc<dyn TrendsClient>>) -> Self {
+        assert!(!units.is_empty(), "at least one fetcher unit required");
+        let identity = format!("round-robin({})", units.len());
+        RoundRobin {
+            units,
+            next: std::sync::atomic::AtomicUsize::new(0),
+            identity,
+        }
+    }
+
+    fn pick(&self) -> &dyn TrendsClient {
+        let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.units[i % self.units.len()].as_ref()
+    }
+}
+
+impl TrendsClient for RoundRobin {
+    fn fetch_frame(&self, req: &FrameRequest) -> Result<FrameResponse, FetchError> {
+        self.pick().fetch_frame(req)
+    }
+
+    fn fetch_rising(&self, req: &RisingRequest) -> Result<RisingResponse, FetchError> {
+        self.pick().fetch_rising(req)
+    }
+
+    fn identity(&self) -> &str {
+        &self.identity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_geo::State;
+    use sift_simtime::Hour;
+    use sift_trends::{Scenario, SearchTerm};
+
+    fn service() -> Arc<TrendsService> {
+        Arc::new(TrendsService::with_defaults(Scenario::single_region(
+            State::CA,
+            vec![],
+        )))
+    }
+
+    #[test]
+    fn in_process_client_round_trips() {
+        let c = InProcessClient::with_identity(service(), "unit-3");
+        let resp = c
+            .fetch_frame(&FrameRequest {
+                term: SearchTerm::parse("topic:Internet outage"),
+                state: State::CA,
+                start: Hour(0),
+                len: 168,
+                tag: 0,
+            })
+            .expect("frame");
+        assert_eq!(resp.values.len(), 168);
+        assert_eq!(c.identity(), "unit-3");
+    }
+
+    #[test]
+    fn round_robin_spreads_requests() {
+        let service = service();
+        let units: Vec<Arc<dyn TrendsClient>> = (0..3)
+            .map(|i| {
+                Arc::new(InProcessClient::with_identity(
+                    Arc::clone(&service),
+                    format!("unit-{i}"),
+                )) as Arc<dyn TrendsClient>
+            })
+            .collect();
+        let rr = RoundRobin::new(units);
+        assert_eq!(rr.identity(), "round-robin(3)");
+        let req = FrameRequest {
+            term: SearchTerm::parse("topic:Internet outage"),
+            state: State::CA,
+            start: Hour(0),
+            len: 168,
+            tag: 0,
+        };
+        let a = rr.fetch_frame(&req).expect("frame");
+        let b = rr.fetch_frame(&req).expect("frame");
+        assert_eq!(a, b, "unit choice must not change the sample");
+        assert_eq!(service.stats().frames_served, 2);
+    }
+
+    #[test]
+    fn in_process_client_surfaces_service_errors() {
+        let c = InProcessClient::new(service());
+        let err = c
+            .fetch_frame(&FrameRequest {
+                term: SearchTerm::parse("topic:Internet outage"),
+                state: State::CA,
+                start: Hour(0),
+                len: 1000,
+                tag: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FetchError::Service(ServiceError::FrameTooLong { .. })
+        ));
+        assert!(err.to_string().contains("168"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Region population figures (2020 census).
+
+use crate::state::State;
+
+/// Resident population of a region (2020 census).
+///
+/// The trends simulator scales each region's synthetic search population by
+/// this figure. Because the service normalizes interest *within* a region,
+/// population does not directly inflate spike counts — it controls how
+/// large the service's random samples are, and therefore how noisy small
+/// regions' indices look (exactly the effect the paper's re-fetch averaging
+/// exists to tame).
+pub fn population(state: State) -> u64 {
+    state.census_population()
+}
+
+/// Total population over all study regions.
+pub fn total_population() -> u64 {
+    State::ALL.iter().map(|s| population(*s)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn california_is_largest() {
+        let max = State::ALL
+            .iter()
+            .max_by_key(|s| population(**s))
+            .copied()
+            .unwrap();
+        assert_eq!(max, State::CA);
+    }
+
+    #[test]
+    fn wyoming_is_smallest() {
+        let min = State::ALL
+            .iter()
+            .min_by_key(|s| population(**s))
+            .copied()
+            .unwrap();
+        assert_eq!(min, State::WY);
+    }
+
+    #[test]
+    fn total_close_to_us_population() {
+        let t = total_population();
+        // 2020 census: ~331.4M for the 50 states + DC.
+        assert!((330_000_000..335_000_000).contains(&t), "total {t}");
+    }
+}

@@ -1,0 +1,398 @@
+//! Pooling, retrying HTTP client.
+
+use crate::http::{
+    parse_response, serialize_request, ParseError, Request, Response, StatusCode,
+};
+use crate::FETCHER_IDENTITY_HEADER;
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read or write).
+    Io(std::io::Error),
+    /// The response could not be parsed.
+    Parse(ParseError),
+    /// The server kept answering 429 past the retry budget.
+    RateLimited {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// A non-success status after retries were exhausted (or the status is
+    /// not retryable).
+    Status {
+        /// The final status.
+        status: StatusCode,
+        /// Body text (truncated) for diagnostics.
+        body: String,
+    },
+    /// The response body was not the expected JSON document.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Parse(e) => write!(f, "bad response: {e}"),
+            ClientError::RateLimited { attempts } => {
+                write!(f, "rate limited after {attempts} attempts")
+            }
+            ClientError::Status { status, body } => write!(f, "server said {status}: {body}"),
+            ClientError::Json(e) => write!(f, "bad JSON payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Retry behaviour for transient failures (429 and 5xx).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff; attempt `n` waits `base * 2^(n-1)` unless the server
+    /// sent a `Retry-After`.
+    pub base_backoff: Duration,
+    /// Ceiling on any single wait.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A blocking HTTP/1.1 client with connection reuse.
+///
+/// Connections are pooled per client instance; a request taken over a
+/// pooled connection that turns out to be dead is retried once on a fresh
+/// connection before the failure is surfaced (the standard keep-alive
+/// race).
+pub struct HttpClient {
+    addr: SocketAddr,
+    identity: Option<String>,
+    pool: Mutex<Vec<TcpStream>>,
+    timeout: Duration,
+    retry: RetryPolicy,
+}
+
+impl HttpClient {
+    /// A client for one server address.
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient {
+            addr,
+            identity: None,
+            pool: Mutex::new(Vec::new()),
+            timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Declares this client's fetcher identity (sent as the
+    /// [`FETCHER_IDENTITY_HEADER`] on every request).
+    pub fn with_identity(mut self, identity: impl Into<String>) -> Self {
+        self.identity = Some(identity.into());
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-operation socket timeout.
+    pub fn with_timeout(mut self, t: Duration) -> Self {
+        self.timeout = t;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request (no status-based retries; transport-level
+    /// keep-alive races are retried once).
+    pub fn send(&self, req: &Request) -> Result<Response, ClientError> {
+        let mut req = req.clone();
+        if let Some(id) = &self.identity {
+            req.headers.set(FETCHER_IDENTITY_HEADER, id.clone());
+        }
+        let wire = serialize_request(&req);
+
+        // First try a pooled connection, if any. Pop in its own statement:
+        // an `if let` scrutinee's temporary MutexGuard would otherwise
+        // live for the whole block and deadlock against `maybe_pool`.
+        let pooled = self.pool.lock().pop();
+        if let Some(mut stream) = pooled {
+            match round_trip(&mut stream, &wire) {
+                Ok(resp) => {
+                    self.maybe_pool(stream, &resp);
+                    return Ok(resp);
+                }
+                Err(_stale) => { /* fall through to a fresh connection */ }
+            }
+        }
+
+        let mut stream = TcpStream::connect(self.addr).map_err(ClientError::Io)?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        match round_trip(&mut stream, &wire) {
+            Ok(resp) => {
+                self.maybe_pool(stream, &resp);
+                Ok(resp)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends a request, retrying 429 (honouring `Retry-After`) and 5xx
+    /// with exponential backoff per the client's [`RetryPolicy`].
+    pub fn send_with_retry(&self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let resp = self.send(req)?;
+            if resp.status.is_success() {
+                return Ok(resp);
+            }
+            let retryable = resp.status == StatusCode::TOO_MANY_REQUESTS
+                || (500..600).contains(&resp.status.0);
+            if !retryable {
+                return Err(ClientError::Status {
+                    status: resp.status,
+                    body: body_excerpt(&resp),
+                });
+            }
+            if attempt >= self.retry.max_attempts {
+                if resp.status == StatusCode::TOO_MANY_REQUESTS {
+                    return Err(ClientError::RateLimited { attempts: attempt });
+                }
+                return Err(ClientError::Status {
+                    status: resp.status,
+                    body: body_excerpt(&resp),
+                });
+            }
+            let wait = retry_wait(&self.retry, attempt, &resp);
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// POSTs a JSON document and decodes a JSON response, with retries.
+    pub fn post_json<T: serde::Serialize, R: serde::de::DeserializeOwned>(
+        &self,
+        path: &str,
+        body: &T,
+    ) -> Result<R, ClientError> {
+        let req = Request::post_json(path, body).map_err(ClientError::Json)?;
+        let resp = self.send_with_retry(&req)?;
+        resp.parse_json().map_err(ClientError::Json)
+    }
+
+    /// GETs a path and decodes a JSON response, with retries.
+    pub fn get_json<R: serde::de::DeserializeOwned>(&self, path: &str) -> Result<R, ClientError> {
+        let resp = self.send_with_retry(&Request::get(path))?;
+        resp.parse_json().map_err(ClientError::Json)
+    }
+
+    /// Number of idle pooled connections (for tests and metrics).
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    fn maybe_pool(&self, stream: TcpStream, resp: &Response) {
+        if !resp.headers.wants_close() {
+            let mut pool = self.pool.lock();
+            if pool.len() < 8 {
+                pool.push(stream);
+            }
+        }
+    }
+}
+
+/// How long to wait before retrying `attempt` given the server's response.
+fn retry_wait(policy: &RetryPolicy, attempt: u32, resp: &Response) -> Duration {
+    if let Some(ra) = resp
+        .headers
+        .get("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        return Duration::from_secs(ra).min(policy.max_backoff);
+    }
+    let exp = policy
+        .base_backoff
+        .saturating_mul(1u32 << (attempt - 1).min(16));
+    exp.min(policy.max_backoff)
+}
+
+fn round_trip(stream: &mut TcpStream, wire: &[u8]) -> Result<Response, ClientError> {
+    stream.write_all(wire).map_err(ClientError::Io)?;
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match parse_response(&mut buf) {
+            Ok(Some(resp)) => return Ok(resp),
+            Ok(None) => {
+                let n = stream.read(&mut chunk).map_err(ClientError::Io)?;
+                if n == 0 {
+                    return Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    )));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) => return Err(ClientError::Parse(e)),
+        }
+    }
+}
+
+fn body_excerpt(resp: &Response) -> String {
+    let text = String::from_utf8_lossy(&resp.body);
+    text.chars().take(200).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+    use crate::ratelimit::RateLimiterConfig;
+    use crate::router::Router;
+    use crate::server::Server;
+
+    fn spawn_server() -> crate::server::ServerHandle {
+        let router = Router::new()
+            .route(Method::Get, "/ping", |_| {
+                Response::text(StatusCode::OK, "pong")
+            })
+            .route(Method::Post, "/double", |req| {
+                let n: u64 = req.json().expect("json body");
+                Response::json(&(n * 2)).expect("encode")
+            })
+            .route(Method::Get, "/whoami", |req| {
+                let id = req
+                    .headers
+                    .get(FETCHER_IDENTITY_HEADER)
+                    .unwrap_or("anonymous")
+                    .to_owned();
+                Response::text(StatusCode::OK, id)
+            });
+        Server::new(router).bind("127.0.0.1:0").expect("bind")
+    }
+
+    #[test]
+    fn get_and_pooling() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr());
+        for _ in 0..3 {
+            let resp = c.send(&Request::get("/ping")).expect("send");
+            assert_eq!(resp.status, StatusCode::OK);
+            assert_eq!(&resp.body[..], b"pong");
+        }
+        assert_eq!(c.pooled_connections(), 1, "connection reused, not re-opened");
+        h.shutdown();
+    }
+
+    #[test]
+    fn typed_json_round_trip() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr());
+        let doubled: u64 = c.post_json("/double", &21u64).expect("post");
+        assert_eq!(doubled, 42);
+        h.shutdown();
+    }
+
+    #[test]
+    fn identity_header_is_attached() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr()).with_identity("127.0.0.42");
+        let resp = c.send(&Request::get("/whoami")).expect("send");
+        assert_eq!(&resp.body[..], b"127.0.0.42");
+        h.shutdown();
+    }
+
+    #[test]
+    fn non_retryable_status_is_an_error() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr());
+        let err = c.send_with_retry(&Request::get("/missing")).unwrap_err();
+        match err {
+            ClientError::Status { status, .. } => assert_eq!(status, StatusCode::NOT_FOUND),
+            other => panic!("expected status error, got {other}"),
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn rate_limited_requests_retry_until_allowed() {
+        let router = Router::new().route(Method::Get, "/ping", |_| {
+            Response::text(StatusCode::OK, "pong")
+        });
+        let h = Server::new(router)
+            .with_rate_limiter(RateLimiterConfig {
+                capacity: 2.0,
+                refill_per_sec: 50.0, // refills fast enough for the test
+            })
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let c = HttpClient::new(h.addr())
+            .with_identity("unit-A")
+            .with_retry(RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(100),
+            });
+        // Hammer past the burst capacity; retries absorb the 429s.
+        for _ in 0..6 {
+            let resp = c.send_with_retry(&Request::get("/ping")).expect("retry");
+            assert_eq!(resp.status, StatusCode::OK);
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn stale_pooled_connection_recovers() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr());
+        let _ = c.send(&Request::get("/ping")).expect("first");
+        assert_eq!(c.pooled_connections(), 1);
+        // Kill the server; the pooled connection goes stale.
+        let addr = h.addr();
+        h.shutdown();
+        // Restart on the same port (racy in principle; retry binds).
+        let router = Router::new().route(Method::Get, "/ping", |_| {
+            Response::text(StatusCode::OK, "pong2")
+        });
+        let h2 = Server::new(router)
+            .bind(&addr.to_string())
+            .expect("rebind same port");
+        let resp = c.send(&Request::get("/ping")).expect("recovered send");
+        assert_eq!(&resp.body[..], b"pong2");
+        h2.shutdown();
+    }
+
+    #[test]
+    fn retry_wait_honours_retry_after() {
+        let policy = RetryPolicy::default();
+        let mut resp = Response::text(StatusCode::TOO_MANY_REQUESTS, "slow down");
+        resp.headers.set("retry-after", "2");
+        assert_eq!(retry_wait(&policy, 1, &resp), Duration::from_secs(2));
+        let resp = Response::text(StatusCode::INTERNAL_SERVER_ERROR, "oops");
+        assert_eq!(retry_wait(&policy, 1, &resp), policy.base_backoff);
+        assert_eq!(retry_wait(&policy, 3, &resp), policy.base_backoff * 4);
+        assert!(retry_wait(&policy, 30, &resp) <= policy.max_backoff);
+    }
+}

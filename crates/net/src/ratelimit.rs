@@ -1,0 +1,179 @@
+//! Per-client token-bucket rate limiting.
+//!
+//! "The data collection module's primary bottleneck is GT's IP-based
+//! rate-limiting" (§4). The service side of that bottleneck lives here: a
+//! token bucket per client identity. Time is injected in milliseconds so
+//! behaviour is exactly testable; the server wires in a monotonic clock.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Token-bucket parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimiterConfig {
+    /// Maximum burst size (bucket capacity, in requests).
+    pub capacity: f64,
+    /// Sustained request rate (tokens added per second).
+    pub refill_per_sec: f64,
+}
+
+impl Default for RateLimiterConfig {
+    fn default() -> Self {
+        RateLimiterConfig {
+            capacity: 30.0,
+            refill_per_sec: 10.0,
+        }
+    }
+}
+
+/// Outcome of a rate-limit check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RateLimitDecision {
+    /// The request may proceed.
+    Allowed,
+    /// The client is over its budget and should retry after the given
+    /// number of seconds (sent as `Retry-After`). Always at least 1.
+    Limited {
+        /// Whole seconds until a token will be available.
+        retry_after_secs: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: f64,
+    last_ms: u64,
+}
+
+/// A token-bucket rate limiter keyed by client identity.
+#[derive(Debug)]
+pub struct RateLimiter {
+    config: RateLimiterConfig,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// Builds a limiter with the given parameters.
+    pub fn new(config: RateLimiterConfig) -> Self {
+        assert!(config.capacity >= 1.0, "capacity must admit one request");
+        assert!(config.refill_per_sec > 0.0, "refill rate must be positive");
+        RateLimiter {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Checks (and on success, charges) one request for `key` at time
+    /// `now_ms`.
+    pub fn check(&self, key: &str, now_ms: u64) -> RateLimitDecision {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(key.to_owned()).or_insert(Bucket {
+            tokens: self.config.capacity,
+            last_ms: now_ms,
+        });
+
+        // Refill for elapsed time. A clock that goes backwards (shouldn't
+        // happen with a monotonic source) simply refills nothing.
+        let elapsed_ms = now_ms.saturating_sub(bucket.last_ms);
+        bucket.tokens = (bucket.tokens
+            + elapsed_ms as f64 / 1000.0 * self.config.refill_per_sec)
+            .min(self.config.capacity);
+        bucket.last_ms = now_ms.max(bucket.last_ms);
+
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            RateLimitDecision::Allowed
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let secs = (deficit / self.config.refill_per_sec).ceil().max(1.0);
+            RateLimitDecision::Limited {
+                retry_after_secs: secs as u64,
+            }
+        }
+    }
+
+    /// Number of tracked client identities.
+    pub fn tracked_clients(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limiter(capacity: f64, refill: f64) -> RateLimiter {
+        RateLimiter::new(RateLimiterConfig {
+            capacity,
+            refill_per_sec: refill,
+        })
+    }
+
+    #[test]
+    fn burst_up_to_capacity_then_limited() {
+        let l = limiter(5.0, 1.0);
+        for i in 0..5 {
+            assert_eq!(l.check("a", 0), RateLimitDecision::Allowed, "req {i}");
+        }
+        assert!(matches!(
+            l.check("a", 0),
+            RateLimitDecision::Limited { retry_after_secs } if retry_after_secs >= 1
+        ));
+    }
+
+    #[test]
+    fn refill_restores_budget() {
+        let l = limiter(2.0, 2.0); // 2 tokens/sec
+        assert_eq!(l.check("a", 0), RateLimitDecision::Allowed);
+        assert_eq!(l.check("a", 0), RateLimitDecision::Allowed);
+        assert!(matches!(l.check("a", 0), RateLimitDecision::Limited { .. }));
+        // After 500ms one token has refilled.
+        assert_eq!(l.check("a", 500), RateLimitDecision::Allowed);
+        assert!(matches!(l.check("a", 500), RateLimitDecision::Limited { .. }));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let l = limiter(1.0, 0.1);
+        assert_eq!(l.check("unit-1", 0), RateLimitDecision::Allowed);
+        assert!(matches!(l.check("unit-1", 0), RateLimitDecision::Limited { .. }));
+        // A different fetcher unit has its own bucket — this is exactly
+        // why the collection module spreads load across units.
+        assert_eq!(l.check("unit-2", 0), RateLimitDecision::Allowed);
+        assert_eq!(l.tracked_clients(), 2);
+    }
+
+    #[test]
+    fn retry_after_reflects_deficit() {
+        let l = limiter(1.0, 0.5); // 2 seconds per token
+        assert_eq!(l.check("a", 0), RateLimitDecision::Allowed);
+        match l.check("a", 0) {
+            RateLimitDecision::Limited { retry_after_secs } => {
+                assert_eq!(retry_after_secs, 2);
+            }
+            other => panic!("expected limited, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tokens_cap_at_capacity() {
+        let l = limiter(3.0, 100.0);
+        // A long idle period must not bank more than `capacity` tokens.
+        assert_eq!(l.check("a", 1_000_000), RateLimitDecision::Allowed);
+        assert_eq!(l.check("a", 1_000_000), RateLimitDecision::Allowed);
+        assert_eq!(l.check("a", 1_000_000), RateLimitDecision::Allowed);
+        assert!(matches!(
+            l.check("a", 1_000_000),
+            RateLimitDecision::Limited { .. }
+        ));
+    }
+
+    #[test]
+    fn backwards_clock_is_tolerated() {
+        let l = limiter(2.0, 1.0);
+        assert_eq!(l.check("a", 1000), RateLimitDecision::Allowed);
+        // Clock jumps backwards: no refill, but no panic or inflation.
+        assert_eq!(l.check("a", 500), RateLimitDecision::Allowed);
+        assert!(matches!(l.check("a", 500), RateLimitDecision::Limited { .. }));
+    }
+}

@@ -1,0 +1,113 @@
+//! Exact-match request routing.
+
+use crate::http::{Method, Request, Response, StatusCode};
+use std::collections::HashMap;
+
+/// A request handler.
+pub type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Routes requests to handlers by method and exact path (the query string,
+/// if any, is ignored for matching and left on the request).
+#[derive(Default)]
+pub struct Router {
+    routes: HashMap<(Method, String), Handler>,
+}
+
+impl Router {
+    /// An empty router: every request 404s.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a handler. Re-registering a route replaces the handler.
+    pub fn route(
+        mut self,
+        method: Method,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes
+            .insert((method, path.to_owned()), Box::new(handler));
+        self
+    }
+
+    /// Dispatches a request: 404 for unknown paths, 405 when the path
+    /// exists under a different method.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let path = req.path.split('?').next().unwrap_or("").to_owned();
+        if let Some(h) = self.routes.get(&(req.method, path.clone())) {
+            return h(req);
+        }
+        let other_method = match req.method {
+            Method::Get => Method::Post,
+            Method::Post => Method::Get,
+        };
+        if self.routes.contains_key(&(other_method, path)) {
+            Response::text(StatusCode::METHOD_NOT_ALLOWED, "method not allowed")
+        } else {
+            Response::text(StatusCode::NOT_FOUND, "not found")
+        }
+    }
+
+    /// Number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        Router::new()
+            .route(Method::Get, "/health", |_| {
+                Response::text(StatusCode::OK, "ok")
+            })
+            .route(Method::Post, "/api/frame", |req| {
+                Response::text(StatusCode::OK, format!("got {} bytes", req.body.len()))
+            })
+    }
+
+    #[test]
+    fn dispatch_matches_method_and_path() {
+        let r = router();
+        let resp = r.dispatch(&Request::get("/health"));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"ok");
+    }
+
+    #[test]
+    fn query_string_ignored_for_matching() {
+        let r = router();
+        let resp = r.dispatch(&Request::get("/health?verbose=1"));
+        assert_eq!(resp.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn unknown_path_404s() {
+        let r = router();
+        assert_eq!(r.dispatch(&Request::get("/nope")).status, StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn wrong_method_405s() {
+        let r = router();
+        let resp = r.dispatch(&Request::get("/api/frame"));
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn len_and_replace() {
+        let r = router().route(Method::Get, "/health", |_| {
+            Response::text(StatusCode::OK, "replaced")
+        });
+        assert_eq!(r.len(), 2);
+        assert_eq!(&r.dispatch(&Request::get("/health")).body[..], b"replaced");
+    }
+}

@@ -1,0 +1,395 @@
+//! Threaded HTTP server.
+//!
+//! One acceptor thread hands connections to a fixed worker pool over a
+//! crossbeam channel; each worker runs a keep-alive loop per connection.
+//! An optional per-client token-bucket limiter answers 429 with a
+//! `Retry-After` before the request ever reaches a handler, mirroring how
+//! the real aggregation service throttles crawlers.
+
+use crate::http::{
+    parse_request, serialize_response, Request, Response, StatusCode,
+};
+use crate::ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
+use crate::router::Router;
+use crate::FETCHER_IDENTITY_HEADER;
+use bytes::BytesMut;
+use crossbeam::channel;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration and construction.
+pub struct Server {
+    router: Arc<Router>,
+    limiter: Option<Arc<RateLimiter>>,
+    workers: usize,
+    read_timeout: Duration,
+}
+
+impl Server {
+    /// A server for the given router, with 4 workers and no rate limiter.
+    pub fn new(router: Router) -> Self {
+        Server {
+            router: Arc::new(router),
+            limiter: None,
+            workers: 4,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Enables per-client rate limiting.
+    pub fn with_rate_limiter(mut self, config: RateLimiterConfig) -> Self {
+        self.limiter = Some(Arc::new(RateLimiter::new(config)));
+        self
+    }
+
+    /// Sets the worker-pool size.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one worker required");
+        self.workers = n;
+        self
+    }
+
+    /// Sets the per-connection read timeout (idle keep-alive connections
+    /// are dropped after this long).
+    pub fn with_read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Binds and starts serving. `addr` is typically `127.0.0.1:0` (pick a
+    /// free port; read it back from [`ServerHandle::addr`]).
+    pub fn bind(self, addr: &str) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+
+        let (tx, rx) = channel::unbounded::<TcpStream>();
+
+        let mut threads = Vec::with_capacity(self.workers + 1);
+        for i in 0..self.workers {
+            let rx = rx.clone();
+            let router = Arc::clone(&self.router);
+            let limiter = self.limiter.clone();
+            let read_timeout = self.read_timeout;
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sift-net-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            let _ = serve_connection(
+                                stream,
+                                &router,
+                                limiter.as_deref(),
+                                read_timeout,
+                                started,
+                                &shutdown,
+                            );
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        {
+            // Nonblocking accept with a short poll interval: shutdown only
+            // has to set the flag, with no self-connect handshake that
+            // could fail under load and leave the acceptor blocked.
+            listener
+                .set_nonblocking(true)
+                .expect("nonblocking listener");
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("sift-net-acceptor".into())
+                    .spawn(move || {
+                        loop {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            match listener.accept() {
+                                Ok((s, _)) => {
+                                    // Accepted sockets must be blocking
+                                    // regardless of the listener's mode.
+                                    if s.set_nonblocking(false).is_err() {
+                                        continue;
+                                    }
+                                    if tx.send(s).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                Err(_) => continue,
+                            }
+                        }
+                        // Dropping `tx` closes the channel; workers drain
+                        // and exit.
+                    })
+                    .expect("spawn acceptor thread"),
+            );
+        }
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            shutdown,
+            threads,
+        })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down and joins
+/// its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins every server thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The acceptor polls the flag every few milliseconds; workers
+        // exit once it drops the channel sender.
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The client identity a request is rate-limited under: the declared
+/// fetcher identity header if present, otherwise the TCP peer IP.
+fn client_identity(req: &Request, peer: &SocketAddr) -> String {
+    req.headers
+        .get(FETCHER_IDENTITY_HEADER)
+        .map(str::to_owned)
+        .unwrap_or_else(|| peer.ip().to_string())
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    router: &Router,
+    limiter: Option<&RateLimiter>,
+    read_timeout: Duration,
+    epoch: Instant,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    // Short socket timeout so idle keep-alive reads re-check the shutdown
+    // flag frequently; the configured `read_timeout` bounds total idleness.
+    let poll = Duration::from_millis(250).min(read_timeout);
+    stream.set_read_timeout(Some(poll))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let peer = stream.peer_addr()?;
+
+    let mut buf = BytesMut::with_capacity(8 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Parse any complete pipelined request already buffered before
+        // reading more.
+        let mut idle = Duration::ZERO;
+        let req = loop {
+            match parse_request(&mut buf) {
+                Ok(Some(req)) => break req,
+                Ok(None) => match stream.read(&mut chunk) {
+                    Ok(0) => return Ok(()), // clean close
+                    Ok(n) => {
+                        idle = Duration::ZERO;
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return Ok(());
+                        }
+                        idle += poll;
+                        if idle >= read_timeout {
+                            return Ok(()); // idle keep-alive expired
+                        }
+                    }
+                    Err(e) => return Err(e),
+                },
+                Err(err) => {
+                    let resp =
+                        Response::text(StatusCode::BAD_REQUEST, format!("bad request: {err}"));
+                    stream.write_all(&serialize_response(&resp))?;
+                    return Ok(()); // framing is lost; close
+                }
+            }
+        };
+
+        let close_after = req.headers.wants_close();
+
+        let resp = if let Some(limiter) = limiter {
+            let identity = client_identity(&req, &peer);
+            let now_ms = epoch.elapsed().as_millis() as u64;
+            match limiter.check(&identity, now_ms) {
+                RateLimitDecision::Allowed => dispatch_protected(router, &req),
+                RateLimitDecision::Limited { retry_after_secs } => {
+                    let mut resp =
+                        Response::text(StatusCode::TOO_MANY_REQUESTS, "rate limited");
+                    resp.headers.set("retry-after", retry_after_secs.to_string());
+                    resp
+                }
+            }
+        } else {
+            dispatch_protected(router, &req)
+        };
+
+        stream.write_all(&serialize_response(&resp))?;
+        if close_after {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches through the router, converting handler panics into 500s so
+/// one bad request cannot take a worker thread down.
+fn dispatch_protected(router: &Router, req: &Request) -> Response {
+    catch_unwind(AssertUnwindSafe(|| router.dispatch(req))).unwrap_or_else(|_| {
+        Response::text(StatusCode::INTERNAL_SERVER_ERROR, "handler panicked")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+
+    fn test_router() -> Router {
+        Router::new()
+            .route(Method::Get, "/ping", |_| Response::text(StatusCode::OK, "pong"))
+            .route(Method::Post, "/echo", |req| Response {
+                status: StatusCode::OK,
+                headers: crate::http::Headers::new(),
+                body: req.body.clone(),
+            })
+            .route(Method::Get, "/boom", |_| panic!("kaboom"))
+    }
+
+    fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(raw).expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).expect("read");
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let text = raw_roundtrip(h.addr(), b"GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.ends_with("pong"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        for _ in 0..3 {
+            s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").expect("write");
+            let mut buf = [0u8; 1024];
+            let n = s.read(&mut buf).expect("read");
+            let text = String::from_utf8_lossy(&buf[..n]);
+            assert!(text.contains("pong"), "{text}");
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn echo_posts_body() {
+        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let text = raw_roundtrip(
+            h.addr(),
+            b"POST /echo HTTP/1.1\r\ncontent-length: 5\r\nconnection: close\r\n\r\nhello",
+        );
+        assert!(text.ends_with("hello"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let text = raw_roundtrip(h.addr(), b"NONSENSE\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn handler_panic_becomes_500_and_server_survives() {
+        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let text = raw_roundtrip(h.addr(), b"GET /boom HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 500"), "{text}");
+        // Server still answers afterwards.
+        let text = raw_roundtrip(h.addr(), b"GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(text.contains("pong"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn rate_limiter_answers_429_with_retry_after() {
+        let h = Server::new(test_router())
+            .with_rate_limiter(RateLimiterConfig {
+                capacity: 2.0,
+                refill_per_sec: 0.5,
+            })
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let mut s = TcpStream::connect(h.addr()).expect("connect");
+        let mut limited = false;
+        for _ in 0..4 {
+            s.write_all(b"GET /ping HTTP/1.1\r\nx-fetcher-ip: 127.0.0.7\r\n\r\n")
+                .expect("write");
+            let mut buf = [0u8; 1024];
+            let n = s.read(&mut buf).expect("read");
+            let text = String::from_utf8_lossy(&buf[..n]);
+            if text.starts_with("HTTP/1.1 429") {
+                assert!(text.to_lowercase().contains("retry-after:"), "{text}");
+                limited = true;
+            }
+        }
+        assert!(limited, "expected to hit the rate limit");
+        // A different declared identity is not limited.
+        s.write_all(b"GET /ping HTTP/1.1\r\nx-fetcher-ip: 127.0.0.8\r\n\r\n")
+            .expect("write");
+        let mut buf = [0u8; 1024];
+        let n = s.read(&mut buf).expect("read");
+        let text = String::from_utf8_lossy(&buf[..n]);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        h.shutdown();
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: HTTP wire-format round trips and rate-limiter
+//! conservation.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use sift_net::http::{
+    parse_request, parse_response, serialize_request, serialize_response,
+};
+use sift_net::{Headers, Method, RateLimitDecision, RateLimiter, RateLimiterConfig, Request, Response, StatusCode};
+
+fn token() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9-]{0,15}".prop_map(|s| s)
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    "[ -~&&[^\r\n]]{0,30}".prop_map(|s| s.trim().to_owned())
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        prop_oneof![Just(Method::Get), Just(Method::Post)],
+        "/[a-z0-9/]{0,20}",
+        proptest::collection::vec((token(), header_value()), 0..6),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(method, path, headers, body)| {
+            let mut h = Headers::new();
+            for (name, value) in headers {
+                // content-length is owned by the serializer.
+                if !name.eq_ignore_ascii_case("content-length") {
+                    h.set(&name, value);
+                }
+            }
+            Request {
+                method,
+                path,
+                headers: h,
+                body: Bytes::from(body),
+            }
+        })
+}
+
+proptest! {
+    /// serialize ∘ parse is the identity on requests (up to the
+    /// recomputed content-length).
+    #[test]
+    fn request_round_trip(req in request_strategy()) {
+        let wire = serialize_request(&req);
+        let mut buf = BytesMut::from(&wire[..]);
+        let back = parse_request(&mut buf).expect("parse ok").expect("complete");
+        prop_assert!(buf.is_empty());
+        prop_assert_eq!(back.method, req.method);
+        prop_assert_eq!(&back.path, &req.path);
+        prop_assert_eq!(&back.body, &req.body);
+        for (name, value) in req.headers.iter() {
+            prop_assert_eq!(back.headers.get(name), Some(value));
+        }
+    }
+
+    /// Responses round-trip likewise, for every status code we emit.
+    #[test]
+    fn response_round_trip(code in 100u16..600, body in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let resp = Response {
+            status: StatusCode(code),
+            headers: Headers::new(),
+            body: Bytes::from(body),
+        };
+        let wire = serialize_response(&resp);
+        let mut buf = BytesMut::from(&wire[..]);
+        let back = parse_response(&mut buf).expect("parse ok").expect("complete");
+        prop_assert_eq!(back.status.0, code);
+        prop_assert_eq!(&back.body, &resp.body);
+    }
+
+    /// Feeding the wire bytes one chunk at a time parses the same message
+    /// (incremental parsing never depends on chunk boundaries).
+    #[test]
+    fn incremental_parse_chunking(req in request_strategy(), chunk in 1usize..40) {
+        let wire = serialize_request(&req);
+        let mut buf = BytesMut::new();
+        let mut parsed = None;
+        for piece in wire.chunks(chunk) {
+            buf.extend_from_slice(piece);
+            if let Some(msg) = parse_request(&mut buf).expect("parse ok") {
+                parsed = Some(msg);
+                break;
+            }
+        }
+        let back = parsed.expect("message completes");
+        prop_assert_eq!(back.method, req.method);
+        prop_assert_eq!(back.path, req.path);
+        prop_assert_eq!(back.body, req.body);
+    }
+
+    /// The parser never panics on arbitrary junk: it returns an error or
+    /// waits for more input.
+    #[test]
+    fn parser_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut buf = BytesMut::from(&junk[..]);
+        let _ = parse_request(&mut buf);
+        let mut buf = BytesMut::from(&junk[..]);
+        let _ = parse_response(&mut buf);
+    }
+
+    /// Token-bucket conservation: over any request pattern, the number of
+    /// allowed requests never exceeds capacity + refill * elapsed.
+    #[test]
+    fn rate_limiter_conservation(
+        gaps in proptest::collection::vec(0u64..2000, 1..60),
+        capacity in 1.0f64..20.0,
+        refill in 0.5f64..20.0,
+    ) {
+        let limiter = RateLimiter::new(RateLimiterConfig {
+            capacity,
+            refill_per_sec: refill,
+        });
+        let mut now = 0u64;
+        let mut allowed = 0u64;
+        for gap in gaps.iter() {
+            now += gap;
+            if limiter.check("k", now) == RateLimitDecision::Allowed {
+                allowed += 1;
+            }
+        }
+        let budget = capacity + refill * now as f64 / 1000.0;
+        prop_assert!(
+            (allowed as f64) <= budget + 1.0,
+            "allowed {} exceeds budget {}",
+            allowed,
+            budget
+        );
+    }
+}

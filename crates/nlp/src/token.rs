@@ -1,0 +1,79 @@
+//! Phrase normalization and tokenization.
+
+/// Stop words removed during tokenization. Deliberately short: search
+/// phrases are already terse, and words like `down` or `not` carry outage
+/// meaning and are handled by the lexicon instead.
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "at", "for", "in", "is", "my", "of", "on", "the", "to", "why", "with",
+];
+
+/// Lower-cases a phrase and collapses every non-alphanumeric run into a
+/// single space.
+///
+/// ```
+/// assert_eq!(sift_nlp::normalize("Is  Verizon down?!"), "is verizon down");
+/// ```
+pub fn normalize(phrase: &str) -> String {
+    let mut out = String::with_capacity(phrase.len());
+    let mut pending_space = false;
+    for ch in phrase.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.extend(ch.to_lowercase());
+        } else {
+            pending_space = true;
+        }
+    }
+    out
+}
+
+/// Splits a phrase into normalized content tokens, dropping stop words.
+///
+/// ```
+/// assert_eq!(sift_nlp::tokenize("Is my Verizon down?"), vec!["verizon", "down"]);
+/// ```
+pub fn tokenize(phrase: &str) -> Vec<String> {
+    normalize(phrase)
+        .split(' ')
+        .filter(|w| !w.is_empty() && !STOP_WORDS.contains(w))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for s in ["Is Verizon Down?", "san-jose POWER outage!!", "  a  b  "] {
+            let once = normalize(s);
+            assert_eq!(normalize(&once), once);
+        }
+    }
+
+    #[test]
+    fn punctuation_and_case_folded() {
+        assert_eq!(normalize("AT&T outage"), "at t outage");
+        assert_eq!(normalize("T-Mobile"), "t mobile");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("???"), "");
+    }
+
+    #[test]
+    fn stop_words_removed() {
+        assert_eq!(
+            tokenize("why is the internet down in San Jose"),
+            vec!["internet", "down", "san", "jose"]
+        );
+        assert!(tokenize("is my of").is_empty());
+    }
+
+    #[test]
+    fn unicode_survives() {
+        assert_eq!(tokenize("Zürich outage"), vec!["zürich", "outage"]);
+    }
+}

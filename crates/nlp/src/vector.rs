@@ -1,0 +1,187 @@
+//! Hashed word/character-n-gram phrase embeddings.
+
+use crate::lexicon;
+use crate::token::tokenize;
+
+/// Dimensionality of phrase embeddings. 256 is plenty for the few-thousand
+/// term vocabulary of outage search phrases while keeping hash collisions
+/// rare.
+pub const EMBEDDING_DIM: usize = 256;
+
+/// Share of a token's mass carried by the whole-word feature; the rest is
+/// spread over its character trigrams. Trigrams carry most of the mass so
+/// misspellings ("verzion") stay measurably close to their intended entity
+/// while distinct entities (few shared trigrams) stay apart.
+const WORD_FEATURE_SHARE: f32 = 0.2;
+
+/// A dense, L2-normalized phrase vector.
+///
+/// Built feature-hashing style: each token contributes a whole-word feature
+/// plus character-trigram features, scaled by its lexicon weight; the
+/// phrase vector is the sum, normalized to unit length. Deterministic
+/// across runs and platforms (FNV-1a hashing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Embedding {
+    values: [f32; EMBEDDING_DIM],
+}
+
+impl Embedding {
+    /// The all-zero embedding (an empty phrase).
+    pub fn zero() -> Self {
+        Embedding {
+            values: [0.0; EMBEDDING_DIM],
+        }
+    }
+
+    /// Embeds a raw search phrase.
+    pub fn of_phrase(phrase: &str) -> Self {
+        let tokens = tokenize(phrase);
+        let mut e = Embedding::zero();
+        for t in &tokens {
+            let canon = lexicon::canonical(t);
+            let w = lexicon::weight(canon);
+            e.add_feature(&format!("w:{canon}"), w * WORD_FEATURE_SHARE);
+            let grams = trigrams(canon);
+            if !grams.is_empty() {
+                let per = w * (1.0 - WORD_FEATURE_SHARE) / grams.len() as f32;
+                for g in grams {
+                    e.add_feature(&format!("g:{g}"), per);
+                }
+            }
+        }
+        e.normalize();
+        e
+    }
+
+    /// True if the embedding has no mass (empty or all-stop-word phrase).
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|v| *v == 0.0)
+    }
+
+    /// Adds `other` into `self`, scaled by `scale` (for centroids).
+    pub fn accumulate(&mut self, other: &Embedding, scale: f32) {
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b * scale;
+        }
+    }
+
+    /// Rescales the vector to unit L2 norm (no-op for the zero vector).
+    pub fn normalize(&mut self) {
+        let norm = self.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for v in &mut self.values {
+                *v /= norm;
+            }
+        }
+    }
+
+    fn add_feature(&mut self, feature: &str, weight: f32) {
+        let h = fnv1a(feature.as_bytes());
+        let idx = (h % EMBEDDING_DIM as u64) as usize;
+        // A second hash bit gives features signs, which keeps unrelated
+        // collisions from systematically inflating similarity.
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        self.values[idx] += sign * weight;
+    }
+}
+
+/// Cosine similarity of two embeddings, in `[-1, 1]` (0 if either is zero).
+pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
+    let dot: f32 = a.values.iter().zip(b.values.iter()).map(|(x, y)| x * y).sum();
+    let na: f32 = a.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = b.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+/// Character trigrams of a token, with boundary markers (`^tx`, `xt$`).
+fn trigrams(token: &str) -> Vec<String> {
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    if padded.len() < 3 {
+        return Vec::new();
+    }
+    padded.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+/// FNV-1a 64-bit hash: small, deterministic, good avalanche for short keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let a = Embedding::of_phrase("spectrum internet outage");
+        let b = Embedding::of_phrase("spectrum internet outage");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_norm_for_nonempty() {
+        let e = Embedding::of_phrase("verizon outage");
+        let norm: f32 = e.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5, "norm {norm}");
+    }
+
+    #[test]
+    fn empty_phrase_is_zero() {
+        assert!(Embedding::of_phrase("").is_zero());
+        assert!(Embedding::of_phrase("is my the").is_zero());
+        assert_eq!(cosine(&Embedding::zero(), &Embedding::zero()), 0.0);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let e = Embedding::of_phrase("xfinity down");
+        assert!((cosine(&e, &e) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn misspellings_stay_close() {
+        let a = Embedding::of_phrase("verizon outage");
+        let misspelled = Embedding::of_phrase("verzion outage");
+        let other_entity = Embedding::of_phrase("comcast outage");
+        let sim_misspelled = cosine(&a, &misspelled);
+        let sim_other = cosine(&a, &other_entity);
+        assert!(sim_misspelled > 0.3, "misspelling similarity {sim_misspelled}");
+        assert!(
+            sim_misspelled > sim_other + 0.1,
+            "misspelling ({sim_misspelled}) must beat a different entity ({sim_other})"
+        );
+    }
+
+    #[test]
+    fn word_order_is_ignored() {
+        let a = Embedding::of_phrase("outage spectrum");
+        let b = Embedding::of_phrase("spectrum outage");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trigram_boundaries() {
+        assert_eq!(trigrams("tx"), vec!["^tx", "tx$"]);
+        assert!(trigrams("a").len() == 1);
+        assert!(trigrams("").is_empty());
+    }
+
+    #[test]
+    fn unrelated_phrases_are_distant() {
+        let a = Embedding::of_phrase("san jose power outage");
+        let b = Embedding::of_phrase("youtube down");
+        assert!(cosine(&a, &b) < 0.5);
+    }
+}

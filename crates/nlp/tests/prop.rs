@@ -1,0 +1,65 @@
+//! Property tests: normalization, embeddings and clustering invariants.
+
+use proptest::prelude::*;
+use sift_nlp::{cluster_phrases, cosine, normalize, Embedding, DEFAULT_SIMILARITY_THRESHOLD};
+
+fn phrase_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{1,8}", 1..5).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    /// Normalization is idempotent for arbitrary unicode input.
+    #[test]
+    fn normalize_idempotent(s in "\\PC{0,40}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    /// Self-similarity of any non-degenerate phrase is 1.
+    #[test]
+    fn self_similarity(p in phrase_strategy()) {
+        let e = Embedding::of_phrase(&p);
+        if !e.is_zero() {
+            let sim = cosine(&e, &e);
+            prop_assert!((sim - 1.0).abs() < 1e-4, "sim {}", sim);
+        }
+    }
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_symmetric_bounded(a in phrase_strategy(), b in phrase_strategy()) {
+        let ea = Embedding::of_phrase(&a);
+        let eb = Embedding::of_phrase(&b);
+        let ab = cosine(&ea, &eb);
+        let ba = cosine(&eb, &ea);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+    }
+
+    /// Clustering partitions the input: every index appears exactly once,
+    /// every representative is a member of its own cluster.
+    #[test]
+    fn clustering_is_a_partition(
+        phrases in proptest::collection::vec((phrase_strategy(), 0.0f64..1000.0), 0..25)
+    ) {
+        let clusters = cluster_phrases(&phrases, DEFAULT_SIMILARITY_THRESHOLD);
+        let mut seen: Vec<usize> = clusters.iter().flat_map(|c| c.members.clone()).collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..phrases.len()).collect();
+        prop_assert_eq!(seen, expected);
+        for c in &clusters {
+            prop_assert!(c.members.contains(&c.representative));
+        }
+    }
+
+    /// Duplicated phrases always land in the same cluster.
+    #[test]
+    fn duplicates_cluster_together(p in phrase_strategy(), w1 in 1.0f64..100.0, w2 in 1.0f64..100.0) {
+        let e = Embedding::of_phrase(&p);
+        prop_assume!(!e.is_zero());
+        let phrases = vec![(p.clone(), w1), (p, w2)];
+        let clusters = cluster_phrases(&phrases, DEFAULT_SIMILARITY_THRESHOLD);
+        prop_assert_eq!(clusters.len(), 1);
+        prop_assert_eq!(clusters[0].members.len(), 2);
+    }
+}

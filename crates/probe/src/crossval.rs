@@ -1,0 +1,270 @@
+//! SIFT ↔ probing cross-validation (§4.1, §4.2, §6).
+//!
+//! The paper's qualitative finding: SIFT sees what users feel (including
+//! mobile-carrier, CDN/DNS and application failures that stay pingable),
+//! while probing confirms network- and power-level outages. This module
+//! scores both detectors against ground truth and against each other.
+
+use crate::dataset::ProbeDataset;
+use serde::{Deserialize, Serialize};
+use sift_core::detect::Spike;
+use sift_geo::State;
+use sift_simtime::HourRange;
+use sift_trends::events::OutageEvent;
+use sift_trends::Scenario;
+
+/// Visibility verdict for one ground-truth event.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EventVisibility {
+    /// Event name.
+    pub name: String,
+    /// Root-cause label (provider or power trigger).
+    pub cause: String,
+    /// Whether the cause breaks reachability (probing's theoretical
+    /// ceiling).
+    pub probe_visible_in_principle: bool,
+    /// Did SIFT raise a spike in an affected state during the event?
+    pub sift_detected: bool,
+    /// Does the probing dataset contain matching records?
+    pub probe_detected: bool,
+}
+
+/// Aggregate cross-validation outcome.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CrossValReport {
+    /// Per-event verdicts, in event order.
+    pub events: Vec<EventVisibility>,
+    /// Events only SIFT saw.
+    pub sift_only: usize,
+    /// Events only probing saw.
+    pub probe_only: usize,
+    /// Events both saw.
+    pub both: usize,
+    /// Events neither saw.
+    pub neither: usize,
+}
+
+/// Minimum spike magnitude for "SIFT saw it" (keeps texture spikes from
+/// trivially matching everything).
+const SIFT_MATCH_FLOOR: f64 = 1.0;
+
+/// Slack applied to event windows when matching, in hours.
+const MATCH_SLACK_H: i64 = 2;
+
+/// Checks whether SIFT's spikes contain a match for an event.
+pub fn sift_sees(spikes: &[Spike], event: &OutageEvent) -> bool {
+    event.states.iter().enumerate().any(|(i, (state, _))| {
+        let w = event.window_in(i);
+        let widened = HourRange::new(w.start - MATCH_SLACK_H, w.end + MATCH_SLACK_H);
+        spikes.iter().any(|s| {
+            s.state == *state && s.magnitude >= SIFT_MATCH_FLOOR && s.window().overlaps(&widened)
+        })
+    })
+}
+
+/// Checks whether the probing dataset contains a match for an event.
+///
+/// Routine outages put block records into every sizable state's every
+/// day, so "some record overlaps the window" says nothing. Matching
+/// requires a **surge**: the number of records starting inside the event
+/// window in an affected state must clearly exceed that state's own
+/// empirical background rate (`per_state_rate`, records per state-hour).
+pub fn probe_sees(dataset: &ProbeDataset, event: &OutageEvent, per_state_rate: &[f64]) -> bool {
+    // Ground-truth-tagged datasets (the fast synthesizer) answer exactly:
+    // did this event knock out blocks? Untagged datasets fall back to the
+    // statistical surge test below.
+    if dataset.records.iter().any(|r| r.cause_event.is_some()) {
+        let caused: usize = dataset
+            .records
+            .iter()
+            .filter(|r| r.cause_event == Some(event.id))
+            .count();
+        return caused >= 3;
+    }
+    (0..event.states.len()).any(|i| {
+        let (state, _) = event.states[i];
+        let w = event.window_in(i);
+        let widened = HourRange::new(w.start - MATCH_SLACK_H, w.end + MATCH_SLACK_H);
+        let observed = dataset
+            .records
+            .iter()
+            .filter(|r| r.located_state == state && widened.contains(r.start_hour()))
+            .count() as f64;
+        let expected = per_state_rate
+            .get(state.index())
+            .copied()
+            .unwrap_or(0.0)
+            * widened.len() as f64;
+        observed >= 3.0_f64.max(3.0 * expected)
+    })
+}
+
+/// Empirical record rate per state-hour over the dataset's span.
+pub fn per_state_rates(dataset: &ProbeDataset) -> Vec<f64> {
+    let span_hours = dataset
+        .records
+        .iter()
+        .map(|r| r.hour_window().end.0)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let mut counts = vec![0usize; State::COUNT];
+    for r in &dataset.records {
+        counts[r.located_state.index()] += 1;
+    }
+    counts.into_iter().map(|c| c as f64 / span_hours).collect()
+}
+
+/// Scores every event of `scenario` at least `min_duration_h` long
+/// against both detectors.
+pub fn cross_validate(
+    scenario: &Scenario,
+    spikes: &[Spike],
+    dataset: &ProbeDataset,
+    min_duration_h: u32,
+) -> CrossValReport {
+    let mut report = CrossValReport::default();
+    let rates = per_state_rates(dataset);
+    for e in &scenario.events {
+        if e.duration_h < min_duration_h {
+            continue;
+        }
+        let sift_detected = sift_sees(spikes, e);
+        let probe_detected = probe_sees(dataset, e, &rates);
+        match (sift_detected, probe_detected) {
+            (true, true) => report.both += 1,
+            (true, false) => report.sift_only += 1,
+            (false, true) => report.probe_only += 1,
+            (false, false) => report.neither += 1,
+        }
+        report.events.push(EventVisibility {
+            name: e.name.clone(),
+            cause: e.cause.label(),
+            probe_visible_in_principle: e.cause.affects_reachability(),
+            sift_detected,
+            probe_detected,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::OutageRecord;
+    use sift_geo::Prefix24;
+    use sift_simtime::Hour;
+    use sift_trends::events::{Cause, PowerTrigger};
+    use sift_trends::terms::Provider;
+
+    fn event(id: u32, cause: Cause, start: i64, duration: u32) -> OutageEvent {
+        OutageEvent {
+            id,
+            name: format!("event-{id}"),
+            cause,
+            start: Hour(start),
+            duration_h: duration,
+            states: vec![(State::TX, 0.5)],
+            severity: 9000.0,
+            lags_h: vec![0],
+        }
+    }
+
+    fn spike(start: i64, end: i64, magnitude: f64) -> Spike {
+        Spike {
+            state: State::TX,
+            start: Hour(start),
+            peak: Hour(start),
+            end: Hour(end),
+            magnitude,
+        }
+    }
+
+    fn record(start_minute: i64, duration_minutes: u32) -> OutageRecord {
+        OutageRecord {
+            prefix: Prefix24(0),
+            located_state: State::TX,
+            start_minute,
+            duration_minutes,
+            cause_event: None,
+        }
+    }
+
+    /// A surge of records (the matcher requires several simultaneous
+    /// block outages, not a lone coincidental record).
+    fn surge(start_minute: i64, duration_minutes: u32) -> Vec<OutageRecord> {
+        (0..4)
+            .map(|i| OutageRecord {
+                prefix: Prefix24(i),
+                located_state: State::TX,
+                start_minute: start_minute + i64::from(i) * 3,
+                duration_minutes,
+                cause_event: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn verdict_matrix() {
+        let scenario = Scenario::single_region(
+            State::TX,
+            vec![
+                event(0, Cause::Power(PowerTrigger::Storm), 100, 6), // both
+                event(1, Cause::MobileCarrier(Provider::TMobile), 300, 6), // sift only
+                event(2, Cause::IspNetwork(Provider::Comcast), 500, 6), // probe only
+                event(3, Cause::Application(Provider::Youtube), 700, 6), // neither
+            ],
+        );
+        let spikes = vec![spike(100, 107, 40.0), spike(301, 306, 25.0)];
+        let mut records = surge(100 * 60 + 30, 300);
+        records.extend(surge(500 * 60 + 30, 300));
+        // A lone background record elsewhere must not count as a match.
+        records.push(record(700 * 60 + 30, 60));
+        let dataset = ProbeDataset::new(records);
+        let report = cross_validate(&scenario, &spikes, &dataset, 1);
+        assert_eq!(report.events.len(), 4);
+        assert_eq!(report.both, 1);
+        assert_eq!(report.sift_only, 1);
+        assert_eq!(report.probe_only, 1);
+        assert_eq!(report.neither, 1);
+        assert!(report.events[1].sift_detected && !report.events[1].probe_detected);
+        assert!(!report.events[1].probe_visible_in_principle);
+        assert!(report.events[2].probe_visible_in_principle);
+    }
+
+    #[test]
+    fn texture_spikes_do_not_match() {
+        let scenario = Scenario::single_region(
+            State::TX,
+            vec![event(0, Cause::IspNetwork(Provider::Comcast), 100, 6)],
+        );
+        let weak = vec![spike(100, 103, 0.4)]; // below the match floor
+        let report = cross_validate(&scenario, &weak, &ProbeDataset::default(), 1);
+        assert!(!report.events[0].sift_detected);
+    }
+
+    #[test]
+    fn min_duration_filters_events() {
+        let scenario = Scenario::single_region(
+            State::TX,
+            vec![
+                event(0, Cause::IspNetwork(Provider::Comcast), 100, 2),
+                event(1, Cause::IspNetwork(Provider::Comcast), 300, 12),
+            ],
+        );
+        let report = cross_validate(&scenario, &[], &ProbeDataset::default(), 5);
+        assert_eq!(report.events.len(), 1);
+        assert_eq!(report.events[0].name, "event-1");
+    }
+
+    #[test]
+    fn wrong_state_spike_does_not_match() {
+        let e = event(0, Cause::IspNetwork(Provider::Comcast), 100, 6);
+        let wrong = Spike {
+            state: State::CA,
+            ..spike(100, 107, 40.0)
+        };
+        assert!(!sift_sees(&[wrong], &e));
+        assert!(sift_sees(&[spike(100, 107, 40.0)], &e));
+    }
+}

@@ -1,0 +1,139 @@
+//! The probing outage dataset.
+
+use serde::{Deserialize, Serialize};
+use sift_geo::{Prefix24, State};
+use sift_simtime::{Hour, HourRange};
+
+/// One inferred outage: a block that stopped answering probes.
+///
+/// Mirrors the ANT dataset rows: "IP subnets, the start time of outages,
+/// and their durations based on the reachability of the probed end nodes"
+/// (§4), augmented with a geolocation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OutageRecord {
+    /// The affected /24 block.
+    pub prefix: Prefix24,
+    /// Where the geolocation database places the block (possibly wrong).
+    pub located_state: State,
+    /// Outage start, in minutes since the study epoch.
+    pub start_minute: i64,
+    /// Outage duration in minutes.
+    pub duration_minutes: u32,
+    /// Ground-truth cause (the id of the event that took the block down),
+    /// when the dataset generator knows it. `None` for records inferred
+    /// blind by the round-based engine. Evaluation-only: a real probing
+    /// dataset never knows its causes — which is the paper's §6 point.
+    #[serde(default)]
+    pub cause_event: Option<u32>,
+}
+
+impl OutageRecord {
+    /// The hour containing the outage start.
+    pub fn start_hour(&self) -> Hour {
+        Hour(self.start_minute.div_euclid(60))
+    }
+
+    /// The outage window, rounded outward to hours.
+    pub fn hour_window(&self) -> HourRange {
+        let start = self.start_minute.div_euclid(60);
+        let end_minute = self.start_minute + i64::from(self.duration_minutes);
+        let end = end_minute.div_euclid(60) + i64::from(end_minute % 60 != 0);
+        HourRange::new(Hour(start), Hour(end.max(start + 1)))
+    }
+}
+
+/// A collection of inferred outages with the query surface the
+/// cross-validation needs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProbeDataset {
+    /// All records, sorted by start minute.
+    pub records: Vec<OutageRecord>,
+}
+
+impl ProbeDataset {
+    /// Builds a dataset, sorting records by start.
+    pub fn new(mut records: Vec<OutageRecord>) -> Self {
+        records.sort_by_key(|r| (r.start_minute, r.prefix));
+        ProbeDataset { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no outages were inferred.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records overlapping `window` that geolocate to one of `states`.
+    pub fn matching(
+        &self,
+        window: &HourRange,
+        states: &[State],
+    ) -> impl Iterator<Item = &OutageRecord> + '_ {
+        let window = *window;
+        let states = states.to_vec();
+        self.records.iter().filter(move |r| {
+            states.contains(&r.located_state) && r.hour_window().overlaps(&window)
+        })
+    }
+
+    /// Count of records overlapping `window` in `states`.
+    pub fn match_count(&self, window: &HourRange, states: &[State]) -> usize {
+        self.matching(window, states).count()
+    }
+
+    /// Merges another dataset into this one.
+    pub fn merge(&mut self, other: ProbeDataset) {
+        self.records.extend(other.records);
+        self.records.sort_by_key(|r| (r.start_minute, r.prefix));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(start_minute: i64, duration_minutes: u32, state: State) -> OutageRecord {
+        OutageRecord {
+            prefix: Prefix24(1),
+            located_state: state,
+            start_minute,
+            duration_minutes,
+            cause_event: None,
+        }
+    }
+
+    #[test]
+    fn hour_window_rounds_outward() {
+        let r = record(90, 30, State::TX); // 01:30–02:00
+        assert_eq!(r.start_hour(), Hour(1));
+        assert_eq!(r.hour_window(), HourRange::new(Hour(1), Hour(2)));
+        let r = record(90, 45, State::TX); // 01:30–02:15
+        assert_eq!(r.hour_window(), HourRange::new(Hour(1), Hour(3)));
+        let r = record(120, 11, State::TX); // exactly within hour 2
+        assert_eq!(r.hour_window(), HourRange::new(Hour(2), Hour(3)));
+    }
+
+    #[test]
+    fn matching_filters_by_state_and_time() {
+        let ds = ProbeDataset::new(vec![
+            record(60, 120, State::TX),
+            record(60, 120, State::CA),
+            record(6000, 60, State::TX),
+        ]);
+        let window = HourRange::new(Hour(0), Hour(5));
+        assert_eq!(ds.match_count(&window, &[State::TX]), 1);
+        assert_eq!(ds.match_count(&window, &[State::TX, State::CA]), 2);
+        assert_eq!(ds.match_count(&window, &[State::NY]), 0);
+    }
+
+    #[test]
+    fn new_sorts_records() {
+        let ds = ProbeDataset::new(vec![record(500, 10, State::TX), record(100, 10, State::TX)]);
+        assert_eq!(ds.records[0].start_minute, 100);
+        assert_eq!(ds.len(), 2);
+    }
+}

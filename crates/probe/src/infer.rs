@@ -1,0 +1,137 @@
+//! Outage inference from per-round response counts.
+//!
+//! A simplified Trinocular-style belief: a block that answers nothing for
+//! `down_rounds` consecutive rounds is declared down (the outage is dated
+//! to the first silent round); it is declared recovered after `up_rounds`
+//! consecutive responsive rounds.
+
+use serde::{Deserialize, Serialize};
+
+/// Inference thresholds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct InferenceParams {
+    /// Consecutive silent rounds before a block is declared down.
+    pub down_rounds: u32,
+    /// Consecutive responsive rounds before a block is declared up again.
+    pub up_rounds: u32,
+}
+
+impl Default for InferenceParams {
+    fn default() -> Self {
+        InferenceParams {
+            down_rounds: 3,
+            up_rounds: 2,
+        }
+    }
+}
+
+/// Streaming outage inference over one block's rounds.
+#[derive(Clone, Debug)]
+pub struct BlockInference {
+    params: InferenceParams,
+    silent_streak: u32,
+    responsive_streak: u32,
+    down_since_round: Option<u64>,
+    round: u64,
+    /// Completed outages as `(start_round, end_round)` (end exclusive).
+    pub outages: Vec<(u64, u64)>,
+}
+
+impl BlockInference {
+    /// A fresh inference state.
+    pub fn new(params: InferenceParams) -> Self {
+        BlockInference {
+            params,
+            silent_streak: 0,
+            responsive_streak: 0,
+            down_since_round: None,
+            round: 0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Feeds the response count of the next round.
+    pub fn observe(&mut self, responses: u64) {
+        if responses == 0 {
+            self.silent_streak += 1;
+            self.responsive_streak = 0;
+            if self.silent_streak == self.params.down_rounds && self.down_since_round.is_none() {
+                // Date the outage to the first silent round.
+                self.down_since_round =
+                    Some(self.round + 1 - u64::from(self.params.down_rounds));
+            }
+        } else {
+            self.responsive_streak += 1;
+            self.silent_streak = 0;
+            if self.responsive_streak >= self.params.up_rounds {
+                if let Some(start) = self.down_since_round.take() {
+                    // The block came back `up_rounds - 1` rounds ago.
+                    let end = self.round + 1 - u64::from(self.params.up_rounds);
+                    self.outages.push((start, end.max(start + 1)));
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Flushes an outage still open at the end of the observation window.
+    pub fn finish(&mut self) {
+        if let Some(start) = self.down_since_round.take() {
+            self.outages.push((start, self.round.max(start + 1)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seq: &[u64]) -> Vec<(u64, u64)> {
+        let mut inf = BlockInference::new(InferenceParams::default());
+        for &r in seq {
+            inf.observe(r);
+        }
+        inf.finish();
+        inf.outages
+    }
+
+    #[test]
+    fn clean_outage_detected_with_correct_bounds() {
+        // Rounds: up up silent*5 up up up
+        let seq = [3, 2, 0, 0, 0, 0, 0, 4, 3, 2];
+        assert_eq!(run(&seq), vec![(2, 7)]);
+    }
+
+    #[test]
+    fn short_blips_are_ignored() {
+        // Two silent rounds < down_rounds: no outage.
+        let seq = [3, 0, 0, 2, 3, 0, 1, 2];
+        assert!(run(&seq).is_empty());
+    }
+
+    #[test]
+    fn single_responsive_round_does_not_end_an_outage() {
+        // One responsive round inside an outage (< up_rounds) is treated
+        // as a lucky probe, not a recovery.
+        let seq = [3, 0, 0, 0, 1, 0, 0, 0, 2, 2];
+        assert_eq!(run(&seq), vec![(1, 8)]);
+    }
+
+    #[test]
+    fn outage_open_at_window_end_is_flushed() {
+        let seq = [2, 2, 0, 0, 0, 0];
+        assert_eq!(run(&seq), vec![(2, 6)]);
+    }
+
+    #[test]
+    fn multiple_outages() {
+        let seq = [2, 0, 0, 0, 2, 2, 0, 0, 0, 0, 2, 2];
+        assert_eq!(run(&seq), vec![(1, 4), (6, 10)]);
+    }
+
+    #[test]
+    fn never_down_never_records() {
+        assert!(run(&[1, 2, 3, 4, 5]).is_empty());
+        assert!(run(&[]).is_empty());
+    }
+}

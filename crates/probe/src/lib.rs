@@ -1,0 +1,40 @@
+//! Active-probing outage-detection baseline (ANT / Trinocular style).
+//!
+//! The paper compares SIFT against "a state-of-the-art active probing
+//! data set (i.e., ANT outages data set)": eleven-minute slots of
+//! reachability probes from six vantage points, reporting IP subnets,
+//! outage start times and durations, geolocated with MaxMind (§4). That
+//! dataset is not publicly redistributable, so this crate implements the
+//! methodology itself over the same ground truth the trends simulator
+//! uses:
+//!
+//! * [`address`] — a probeable address population over `sift-geo`'s
+//!   synthetic address plan: wired blocks that answer pings, mobile and
+//!   firewalled blocks that never do (the paper: only a tiny fraction of
+//!   IPv4 responds, and mobile networks escape probing entirely),
+//! * [`vantage`] — six vantage points with independent loss,
+//! * [`prober`] — the round-based probing engine: every 11 minutes each
+//!   block is probed from a vantage point; a belief counter turns
+//!   consecutive silent rounds into outage records ([`infer`]),
+//! * [`dataset`] — the resulting outage dataset, geolocated through the
+//!   (imperfect) geolocation database,
+//! * [`crossval`] — SIFT↔probing cross-validation: which user-visible
+//!   outages does probing miss (mobile carriers, CDN/DNS, applications)
+//!   and which does it confirm (ISP and power outages)?
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod crossval;
+pub mod dataset;
+pub mod infer;
+pub mod prober;
+pub mod vantage;
+
+pub use address::{AddressPopulation, BlockKind, BlockProfile};
+pub use crossval::{cross_validate, CrossValReport, EventVisibility};
+pub use dataset::{OutageRecord, ProbeDataset};
+pub use infer::InferenceParams;
+pub use prober::{ProbeConfig, Prober};
+pub use vantage::{VantagePoint, VANTAGE_COUNT};

@@ -1,0 +1,74 @@
+//! Probing vantage points.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of vantage points, matching the ANT dataset's "six distinct
+/// locations in the world" (§4).
+pub const VANTAGE_COUNT: usize = 6;
+
+/// One probing vantage point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VantagePoint {
+    /// Index, `0..VANTAGE_COUNT`.
+    pub id: usize,
+    /// Human-readable site label.
+    pub site: &'static str,
+    /// Probability that a probe (or its answer) is lost on the path from
+    /// this vantage point, independent of the target's health.
+    pub path_loss: f64,
+}
+
+/// The standard six vantage points.
+pub fn vantage_points() -> [VantagePoint; VANTAGE_COUNT] {
+    [
+        VantagePoint {
+            id: 0,
+            site: "us-west",
+            path_loss: 0.02,
+        },
+        VantagePoint {
+            id: 1,
+            site: "us-east",
+            path_loss: 0.02,
+        },
+        VantagePoint {
+            id: 2,
+            site: "europe",
+            path_loss: 0.04,
+        },
+        VantagePoint {
+            id: 3,
+            site: "asia",
+            path_loss: 0.06,
+        },
+        VantagePoint {
+            id: 4,
+            site: "south-america",
+            path_loss: 0.05,
+        },
+        VantagePoint {
+            id: 5,
+            site: "oceania",
+            path_loss: 0.05,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_sites() {
+        let vps = vantage_points();
+        assert_eq!(vps.len(), VANTAGE_COUNT);
+        for (i, vp) in vps.iter().enumerate() {
+            assert_eq!(vp.id, i);
+            assert!((0.0..0.5).contains(&vp.path_loss));
+        }
+        let mut sites: Vec<_> = vps.iter().map(|v| v.site).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        assert_eq!(sites.len(), VANTAGE_COUNT);
+    }
+}

@@ -1,0 +1,43 @@
+//! Formatting helpers matching the paper's table style.
+
+use crate::civil::Month;
+use crate::hour::Hour;
+
+/// Formats an hour in the paper's spike-time style: `15 Feb. 2021–10h`.
+///
+/// This is the format used by Tables 1–3 to identify spikes.
+pub fn format_spike_time(h: Hour) -> String {
+    let c = h.civil();
+    format!(
+        "{:02} {}. {}\u{2013}{:02}h",
+        c.day,
+        Month::from_number(c.month).abbrev(),
+        c.year,
+        c.hour
+    )
+}
+
+/// Formats the day of an hour, e.g. `15 Feb 2021`.
+pub fn format_day(h: Hour) -> String {
+    let c = h.civil();
+    format!(
+        "{:02} {} {}",
+        c.day,
+        Month::from_number(c.month).abbrev(),
+        c.year
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table_style() {
+        let h = Hour::from_ymdh(2021, 2, 15, 10);
+        assert_eq!(format_spike_time(h), "15 Feb. 2021\u{2013}10h");
+        let h = Hour::from_ymdh(2021, 7, 22, 14);
+        assert_eq!(format_spike_time(h), "22 Jul. 2021\u{2013}14h");
+        assert_eq!(format_day(h), "22 Jul 2021");
+    }
+}

@@ -1,0 +1,57 @@
+//! Hour-resolution civil-time substrate for the SIFT outage study.
+//!
+//! The trends aggregation service indexes search interest in *hourly time
+//! blocks* (the paper's terminology), so every timestamp in this workspace
+//! is an [`Hour`]: a signed number of hours since the study epoch,
+//! 2020-01-01 00:00 UTC. This crate provides:
+//!
+//! * [`Hour`] — the timestamp type, with calendar conversions,
+//! * [`Civil`] — a broken-down civil date/time (proleptic Gregorian, UTC),
+//! * [`Weekday`] and [`Month`] — calendar enums used by the evaluation
+//!   (Fig. 4 groups spikes by weekday, Fig. 6 by month),
+//! * [`HourRange`] — half-open hour intervals with the interval algebra the
+//!   frame planner and spike detector need,
+//! * formatting helpers matching the paper's `15 Feb. 2021–10h` style.
+//!
+//! The calendar math uses Howard Hinnant's `civil_from_days` /
+//! `days_from_civil` algorithms, which are exact over the whole proleptic
+//! Gregorian calendar; no external time crate is needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod civil;
+mod fmt;
+mod hour;
+mod range;
+
+pub use civil::{Civil, Month, Weekday};
+pub use fmt::{format_day, format_spike_time};
+pub use hour::{Hour, HOURS_PER_DAY, HOURS_PER_WEEK};
+pub use range::HourRange;
+
+/// First hour of the study: 2020-01-01 00:00 UTC (inclusive).
+pub const STUDY_START: Hour = Hour(0);
+
+/// One-past-the-last hour of the study: 2022-01-01 00:00 UTC (exclusive).
+///
+/// 2020 is a leap year, so the study covers 366 + 365 = 731 days.
+pub const STUDY_END: Hour = Hour(731 * 24);
+
+/// The full two-year study window, `[STUDY_START, STUDY_END)`.
+pub const STUDY_RANGE: HourRange = HourRange {
+    start: STUDY_START,
+    end: STUDY_END,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_window_is_two_years() {
+        assert_eq!(STUDY_RANGE.len(), 731 * 24);
+        assert_eq!(STUDY_START.civil(), Civil::new(2020, 1, 1, 0));
+        assert_eq!(STUDY_END.civil(), Civil::new(2022, 1, 1, 0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: calendar round trips and interval algebra.
+
+use proptest::prelude::*;
+use sift_simtime::{Hour, HourRange};
+
+proptest! {
+    /// Hour -> Civil -> Hour is the identity over a wide span
+    /// (1900..2100, hours around the study epoch).
+    #[test]
+    fn civil_round_trip(h in -1_100_000i64..1_100_000) {
+        let hour = Hour(h);
+        let c = hour.civil();
+        prop_assert_eq!(Hour::from_civil(c), hour);
+    }
+
+    /// Weekdays advance cyclically: h+24 is the next weekday.
+    #[test]
+    fn weekday_advances_daily(h in -500_000i64..500_000) {
+        let today = Hour(h * 24).weekday();
+        let tomorrow = Hour((h + 1) * 24).weekday();
+        prop_assert_eq!((today.index() + 1) % 7, tomorrow.index());
+    }
+
+    /// Hour of day matches the civil hour field.
+    #[test]
+    fn hour_of_day_consistent(h in -1_000_000i64..1_000_000) {
+        let hour = Hour(h);
+        prop_assert_eq!(u8::from(hour.hour_of_day()), hour.civil().hour);
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_laws(a in 0i64..5000, la in 0i64..500, b in 0i64..5000, lb in 0i64..500) {
+        let x = HourRange::with_len(Hour(a), la);
+        let y = HourRange::with_len(Hour(b), lb);
+        let xy = x.intersect(&y);
+        let yx = y.intersect(&x);
+        prop_assert_eq!(xy, yx);
+        if let Some(i) = xy {
+            prop_assert!(i.start >= x.start && i.end <= x.end);
+            prop_assert!(i.start >= y.start && i.end <= y.end);
+            prop_assert!(i.len() <= la.min(lb));
+        }
+    }
+
+    /// The hull contains both operands and is no larger than needed.
+    #[test]
+    fn hull_laws(a in 0i64..5000, la in 0i64..500, b in 0i64..5000, lb in 0i64..500) {
+        let x = HourRange::with_len(Hour(a), la);
+        let y = HourRange::with_len(Hour(b), lb);
+        let h = x.hull(&y);
+        prop_assert!(h.start <= x.start && h.end >= x.end);
+        prop_assert!(h.start <= y.start && h.end >= y.end);
+        prop_assert!(h.len() >= la.max(lb));
+        prop_assert!(h.len() <= la + lb + (a - b).abs());
+    }
+
+    /// Iteration yields exactly the contained hours, in order.
+    #[test]
+    fn iteration_matches_contains(a in -100i64..100, len in 0i64..200) {
+        let r = HourRange::with_len(Hour(a), len);
+        let hours: Vec<Hour> = r.iter().collect();
+        prop_assert_eq!(hours.len() as i64, r.len());
+        for w in hours.windows(2) {
+            prop_assert_eq!(w[1] - w[0], 1);
+        }
+        for h in &hours {
+            prop_assert!(r.contains(*h));
+        }
+        prop_assert!(!r.contains(Hour(a - 1)));
+        prop_assert!(!r.contains(Hour(a + len)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Search-trends aggregation-service simulator.
+//!
+//! This crate stands in for Google Trends (GT), the data source SIFT
+//! crawls. It reproduces the *mechanisms* that make GT data hard to use —
+//! the very mechanisms SIFT's processing pipeline (§3.2) exists to undo:
+//!
+//! * **Random sampling** — every request draws a fresh unbiased random
+//!   sample from the underlying search population, so the returned index
+//!   carries binomial sampling error that shrinks with the population
+//!   volume ([`sampling`]).
+//! * **Anonymity rounding** — tiny sampled volumes are rounded to zero
+//!   before indexing ([`frame`]).
+//! * **Piecewise normalization** — each time frame is indexed 0–100
+//!   against *its own* maximum, hiding global magnitudes ([`frame`]).
+//! * **Frame limits** — hourly resolution is only served for frames of at
+//!   most one week (168 data points) ([`service`]).
+//! * **Rising suggestions** — per frame and region, the service suggests
+//!   related queries weighted by their percent increase ([`rising`]).
+//!
+//! Underneath sits a generative world model: a two-year, 51-region
+//! [`scenario`] of ground-truth outage [`events`] (the paper's headline
+//! outages plus ~50 000 background outages) driving a per-region
+//! [`interest`] model of search behaviour. Ground truth is exported so the
+//! evaluation can score SIFT against what "really" happened — something
+//! the paper could only do by reading the news.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub(crate) mod dist;
+pub mod events;
+pub mod frame;
+pub mod interest;
+pub mod rising;
+pub mod sampling;
+pub mod scenario;
+pub mod service;
+pub mod terms;
+
+pub use api::{FrameRequest, FrameResponse, RisingRequest, RisingResponse, RisingTerm};
+pub use client::{FetchError, TrendsClient};
+pub use events::{Cause, OutageEvent, PowerTrigger};
+pub use interest::InterestModel;
+pub use scenario::{Scenario, ScenarioParams};
+pub use service::{ServiceConfig, ServiceError, TrendsService};
+pub use terms::SearchTerm;

@@ -1,0 +1,58 @@
+//! Property tests: service sampling and indexing invariants.
+
+use proptest::prelude::*;
+use sift_geo::State;
+use sift_simtime::Hour;
+use sift_trends::frame::index_values;
+use sift_trends::{FrameRequest, Scenario, SearchTerm, TrendsClient, TrendsService};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexing: output in 0..=100; the max value indexes to exactly 100;
+    /// order is preserved (monotone).
+    #[test]
+    fn index_values_monotone_bounded(values in proptest::collection::vec(0.0f64..1e6, 0..300)) {
+        let idx = index_values(&values);
+        prop_assert_eq!(idx.len(), values.len());
+        for v in &idx {
+            prop_assert!(*v <= 100);
+        }
+        if let Some(max_pos) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+        {
+            if values[max_pos] > 0.0 {
+                prop_assert_eq!(idx[max_pos], 100);
+            }
+        }
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] <= values[j] {
+                    prop_assert!(idx[i] <= idx[j]);
+                }
+            }
+        }
+    }
+
+    /// Frame responses: correct length, all values in range, and
+    /// reproducible for the same (coordinates, tag).
+    #[test]
+    fn frames_well_formed_and_reproducible(start in 0i64..17_000, len in 1u32..169, tag in 0u64..4) {
+        let service = TrendsService::with_defaults(Scenario::single_region(State::CA, vec![]));
+        let req = FrameRequest {
+            term: SearchTerm::parse("topic:Internet outage"),
+            state: State::CA,
+            start: Hour(start),
+            len,
+            tag,
+        };
+        let a = service.fetch_frame(&req).expect("frame");
+        prop_assert_eq!(a.values.len(), len as usize);
+        prop_assert!(a.values.iter().all(|v| *v <= 100));
+        let b = service.fetch_frame(&req).expect("frame");
+        prop_assert_eq!(a, b);
+    }
+}

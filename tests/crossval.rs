@@ -1,0 +1,119 @@
+//! Integration: SIFT vs the probing baseline over one shared ground
+//! truth — the §4 visibility contrast, asserted.
+
+use rand::SeedableRng;
+use sift::core::{run_study, StudyParams};
+use sift::geo::{AddressPlan, GeoDb, State};
+use sift::probe::address::PopulationMix;
+use sift::probe::{cross_validate, AddressPopulation, ProbeConfig, Prober};
+use sift::simtime::{Hour, HourRange};
+use sift::trends::terms::Provider;
+use sift::trends::{Cause, OutageEvent, PowerTrigger, Scenario, TrendsService};
+
+fn mk(id: u32, name: &str, cause: Cause, start: i64, dur: u32) -> OutageEvent {
+    OutageEvent {
+        id,
+        name: name.into(),
+        cause,
+        start: Hour(start),
+        duration_h: dur,
+        states: vec![(State::TX, 0.3)],
+        severity: 9_000.0,
+        lags_h: vec![0],
+    }
+}
+
+#[test]
+fn visibility_contrast_matches_the_paper() {
+    let mut events = vec![
+        mk(0, "power", Cause::Power(PowerTrigger::Storm), 100, 8),
+        mk(1, "isp", Cause::IspNetwork(Provider::Comcast), 260, 6),
+        mk(2, "mobile", Cause::MobileCarrier(Provider::TMobile), 420, 7),
+        mk(3, "cdn", Cause::CdnOrCloud(Provider::Akamai), 580, 5),
+        mk(4, "app", Cause::Application(Provider::Youtube), 740, 5),
+    ];
+    for (i, start) in (30..900).step_by(60).enumerate() {
+        let mut anchor = mk(
+            100 + i as u32,
+            "anchor",
+            Cause::IspNetwork(Provider::Frontier),
+            start,
+            2,
+        );
+        anchor.states = vec![(State::TX, 0.02)];
+        events.push(anchor);
+    }
+    let scenario = Scenario::single_region(State::TX, events);
+
+    // SIFT's view.
+    let service = TrendsService::with_defaults(scenario.clone());
+    let params = StudyParams {
+        range: HourRange::new(Hour(0), Hour(1000)),
+        regions: vec![State::TX],
+        threads: 1,
+        daily_rising: false,
+        ..StudyParams::default()
+    };
+    let study = run_study(&service, &params).expect("study");
+
+    // The probing baseline's view.
+    let plan = AddressPlan::proportional(4_000);
+    let population = AddressPopulation::new(&plan, PopulationMix::default(), 21);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(22);
+    let geodb = GeoDb::from_plan(&plan, 0.03, &mut rng);
+    let prober = Prober::new(ProbeConfig::default(), &population, &geodb);
+    let dataset = prober.run(&scenario, params.range);
+
+    let report = cross_validate(&scenario, &study.bare_spikes(), &dataset, 5);
+    let verdict = |name: &str| {
+        report
+            .events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("{name} scored"))
+    };
+
+    // SIFT sees everything that affected users.
+    for name in ["power", "isp", "mobile", "cdn", "app"] {
+        assert!(verdict(name).sift_detected, "SIFT must detect {name}");
+    }
+    // Probing sees only what stops answering pings.
+    assert!(verdict("power").probe_detected);
+    assert!(verdict("isp").probe_detected);
+    assert!(!verdict("mobile").probe_detected, "mobile escapes probing");
+    assert!(!verdict("cdn").probe_detected, "CDN/DNS escapes probing");
+    assert!(!verdict("app").probe_detected, "applications escape probing");
+}
+
+#[test]
+fn synthesized_and_exact_datasets_agree_on_visibility() {
+    let events = vec![
+        mk(0, "power", Cause::Power(PowerTrigger::Storm), 100, 8),
+        mk(1, "cdn", Cause::CdnOrCloud(Provider::Fastly), 300, 6),
+    ];
+    let scenario = Scenario::single_region(State::TX, events);
+    let plan = AddressPlan::proportional(3_000);
+    let population = AddressPopulation::new(&plan, PopulationMix::default(), 31);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(32);
+    let geodb = GeoDb::from_plan(&plan, 0.0, &mut rng);
+    let prober = Prober::new(ProbeConfig::default(), &population, &geodb);
+    let window = HourRange::new(Hour(0), Hour(400));
+
+    let exact = prober.run(&scenario, window);
+    let fast = prober.synthesize(&scenario, window);
+
+    // Same story from both engines: the power outage is present, the CDN
+    // outage is absent.
+    for ds in [&exact, &fast] {
+        let power_window = HourRange::new(Hour(100), Hour(110));
+        assert!(ds.match_count(&power_window, &[State::TX]) > 0);
+        let cdn_window = HourRange::new(Hour(300), Hour(308));
+        assert_eq!(
+            ds.records
+                .iter()
+                .filter(|r| cdn_window.contains(r.start_hour()))
+                .count(),
+            0
+        );
+    }
+}
