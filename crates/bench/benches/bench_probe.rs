@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
-use sift_geo::{AddressPlan, GeoDb, State};
+use sift_geo::{AddressPlan, GeoDb};
 use sift_probe::address::PopulationMix;
 use sift_probe::{AddressPopulation, ProbeConfig, Prober};
 use sift_simtime::{Hour, HourRange};

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sift_geo::State;
 use sift_simtime::Hour;
-use sift_trends::{RisingRequest, SearchTerm, TrendsClient as _};
+use sift_trends::{RisingRequest, SearchTerm};
 
 fn bench_rising(c: &mut Criterion) {
     let service = sift_bench::scaled_service(0.5, &[]);

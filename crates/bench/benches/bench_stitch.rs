@@ -5,7 +5,7 @@ use sift_core::plan::{plan_frames, PlanParams};
 use sift_core::timeline::stitch;
 use sift_geo::State;
 use sift_simtime::{Hour, HourRange};
-use sift_trends::{FrameRequest, FrameResponse, SearchTerm, TrendsClient as _};
+use sift_trends::{FrameRequest, FrameResponse, SearchTerm};
 
 fn frames_for(days: i64, step: u32) -> Vec<FrameResponse> {
     let service = sift_bench::scaled_service(0.05, &[State::TX]);

@@ -4,12 +4,12 @@
 
 use sift_core::{impact, run_study, StudyParams};
 use sift_geo::State;
-use std::time::Instant;
 
 fn main() {
-    let t0 = Instant::now();
+    let world_span = sift_obs::span("world");
     let service = sift_bench::full_service();
-    eprintln!("world built in {:?} ({} events)", t0.elapsed(), service.ground_truth().events.len());
+    eprintln!("world built in {:?} ({} events)", world_span.elapsed(), service.ground_truth().events.len());
+    drop(world_span);
 
     let regions = vec![State::TX, State::CA, State::WY, State::OH];
     let params = StudyParams {
@@ -18,9 +18,11 @@ fn main() {
         daily_rising: false,
         ..StudyParams::default()
     };
-    let t1 = Instant::now();
+    let study_span = sift_obs::span("study");
     let result = run_study(&service, &params).expect("study");
-    eprintln!("study ran in {:?}: {}", t1.elapsed(), sift_bench::summarize(&result));
+    eprintln!("study ran in {:?}: {}", study_span.elapsed(), sift_bench::summarize(&result));
+    drop(study_span);
+    eprint!("stage timings:\n{}", result.stats.telemetry);
 
     let spikes = result.bare_spikes();
     for state in &regions {
@@ -36,7 +38,7 @@ fn main() {
     eprintln!("weekday avg {wd:.2}% weekend avg {we:.2}%");
     // Biggest TX spikes:
     let mut tx: Vec<_> = spikes.iter().filter(|s| s.state == State::TX).collect();
-    tx.sort_by(|a,b| b.duration_h().cmp(&a.duration_h()));
+    tx.sort_by_key(|s| std::cmp::Reverse(s.duration_h()));
     for s in tx.iter().take(5) {
         eprintln!("  TX top: start {} dur {} mag {:.1}", s.start, s.duration_h(), s.magnitude);
     }

@@ -20,7 +20,6 @@ use sift_probe::{cross_validate, AddressPopulation, ProbeConfig, Prober};
 use sift_simtime::{format_day, format_spike_time, Hour, HourRange, Month, Weekday, STUDY_RANGE};
 use sift_trends::{Scenario, ScenarioParams, ServiceConfig, TrendsService};
 use std::collections::HashSet;
-use std::time::Instant;
 
 struct Args {
     scale: f64,
@@ -71,7 +70,8 @@ fn main() {
     let args = parse_args();
     let wants = |id: &str| args.only.as_ref().map_or(true, |set| set.contains(id));
 
-    let t0 = Instant::now();
+    let total_span = sift_obs::span("experiments");
+    let world_span = sift_obs::span("world");
     let scenario = Scenario::generate(ScenarioParams {
         background_scale: args.scale,
         ..ScenarioParams::default()
@@ -80,10 +80,11 @@ fn main() {
     eprintln!(
         "# world: {} ground-truth events ({:.1?})",
         service.ground_truth().events.len(),
-        t0.elapsed()
+        world_span.elapsed()
     );
+    drop(world_span);
 
-    let t1 = Instant::now();
+    let study_span = sift_obs::span("study");
     let params = StudyParams {
         threads: args.threads,
         daily_rising: args.daily_rising,
@@ -96,8 +97,10 @@ fn main() {
         result.clusters.len(),
         result.stats.frames_requested,
         result.stats.rising_requested,
-        t1.elapsed()
+        study_span.elapsed()
     );
+    drop(study_span);
+    eprint!("# stage timings:\n{}", result.stats.telemetry);
 
     let spikes = result.bare_spikes();
 
@@ -143,7 +146,7 @@ fn main() {
     if wants("ablation") {
         exp_ablation(&service);
     }
-    eprintln!("# total {:.1?}", t0.elapsed());
+    eprintln!("# total {:.1?}", total_span.elapsed());
 }
 
 fn section(id: &str, title: &str) {
@@ -234,7 +237,7 @@ fn exp_fig1(result: &StudyResult) {
             report::sparkline(&report::downsample_max(&week, 56))
         );
         idx += week_len;
-        week_start = week_start + week_len as i64;
+        week_start += week_len as i64;
     }
     for (name, at) in [
         ("Verizon outage (26 Jan)", Hour::from_ymdh(2021, 1, 26, 18)),
@@ -533,7 +536,7 @@ fn exp_truth(service: &TrendsService, result: &StudyResult) {
 /// §4.1/§4.2: SIFT vs the probing dataset.
 fn exp_ant(service: &TrendsService, spikes: &[Spike]) {
     section("ant", "cross-validation against the active-probing dataset (§4)");
-    let t = Instant::now();
+    let span = sift_obs::span("probe-synthesize");
     let plan = AddressPlan::proportional(10_000);
     let population = AddressPopulation::new(&plan, PopulationMix::default(), 0xA5);
     let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xA6);
@@ -543,8 +546,9 @@ fn exp_ant(service: &TrendsService, spikes: &[Spike]) {
     eprintln!(
         "# probing dataset: {} records ({:.1?})",
         dataset.len(),
-        t.elapsed()
+        span.elapsed()
     );
+    drop(span);
 
     let report = cross_validate(service.ground_truth(), spikes, &dataset, 5);
     println!(

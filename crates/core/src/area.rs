@@ -193,8 +193,8 @@ pub fn state_count_cdf(clusters: &[OutageCluster], max_states: usize) -> Vec<f64
     let total = clusters.len().max(1) as f64;
     let mut out = Vec::with_capacity(max_states);
     let mut acc = 0usize;
-    for k in 1..=max_states {
-        acc += counts[k];
+    for &count in &counts[1..] {
+        acc += count;
         out.push(acc as f64 / total);
     }
     out

@@ -77,8 +77,8 @@ pub fn duration_cdf(spikes: &[Spike], max_h: usize) -> Vec<f64> {
     let total = spikes.len().max(1) as f64;
     let mut cdf = Vec::with_capacity(max_h);
     let mut acc = 0usize;
-    for h in 1..=max_h {
-        acc += counts[h];
+    for &count in &counts[1..] {
+        acc += count;
         cdf.push(acc as f64 / total);
     }
     cdf

@@ -86,7 +86,7 @@ pub fn plan_frames(range: HourRange, params: PlanParams) -> FramePlan {
             break;
         }
         frames.push(HourRange::new(start, end));
-        start = start + i64::from(params.step);
+        start += i64::from(params.step);
     }
     FramePlan { params, frames }
 }
@@ -119,7 +119,7 @@ mod tests {
         // Each consecutive pair overlaps.
         for pair in plan.frames.windows(2) {
             let overlap = pair[0].intersect(&pair[1]).expect("frames overlap");
-            assert!(overlap.len() >= 1, "consecutive frames must overlap");
+            assert!(!overlap.is_empty(), "consecutive frames must overlap");
             assert!(pair[1].start > pair[0].start, "strictly advancing");
         }
         // All frames are full length.

@@ -143,24 +143,30 @@ pub fn averaged_timeline(
 
     for round in 0..params.max_rounds {
         rounds = round + 1;
-        let responses: Vec<FrameResponse> = frames
-            .iter()
-            .map(|r| {
-                client
-                    .fetch_frame(&FrameRequest {
-                        term: term.clone(),
-                        state,
-                        start: r.start,
-                        len: r.len() as u32,
-                        tag: u64::from(round),
-                    })
-                    .map_err(RefetchError::Fetch)
-            })
-            .collect::<Result<_, _>>()?;
+        let responses: Vec<FrameResponse> = {
+            let _span = sift_obs::span("fetch");
+            frames
+                .iter()
+                .map(|r| {
+                    client
+                        .fetch_frame(&FrameRequest {
+                            term: term.clone(),
+                            state,
+                            start: r.start,
+                            len: r.len() as u32,
+                            tag: u64::from(round),
+                        })
+                        .map_err(RefetchError::Fetch)
+                })
+                .collect::<Result<_, _>>()?
+        };
         frames_fetched += responses.len() as u64;
 
-        let refs: Vec<&FrameResponse> = responses.iter().collect();
-        let round_timeline = stitch(&refs).map_err(RefetchError::Stitch)?;
+        let round_timeline = {
+            let _span = sift_obs::span("stitch");
+            let refs: Vec<&FrameResponse> = responses.iter().collect();
+            stitch(&refs).map_err(RefetchError::Stitch)?
+        };
 
         let current = match &mut mean {
             None => {
@@ -174,9 +180,12 @@ pub fn averaged_timeline(
         };
         // Work on a renormalized copy; the running mean itself must stay
         // un-renormalized so later rounds average in the same units.
-        let mut detect_input = current.clone();
-        detect_input.renormalize();
-        let spikes = detect_spikes(&detect_input, detect);
+        let spikes = {
+            let _span = sift_obs::span("detect");
+            let mut detect_input = current.clone();
+            detect_input.renormalize();
+            detect_spikes(&detect_input, detect)
+        };
 
         let strong: Vec<Spike> = spikes
             .iter()
@@ -195,6 +204,15 @@ pub fn averaged_timeline(
         prev_spikes = Some(strong);
         final_spikes = spikes;
     }
+
+    let state_label = state.to_string();
+    sift_obs::counter("sift_refetch_rounds_total", &[("state", &state_label)])
+        .add(u64::from(rounds));
+    if converged {
+        sift_obs::counter("sift_refetch_converged_total", &[("state", &state_label)]).inc();
+    }
+    sift_obs::counter("sift_spikes_detected_total", &[("state", &state_label)])
+        .add(final_spikes.len() as u64);
 
     let mut timeline = mean.expect("at least one round ran");
     timeline.renormalize();

@@ -83,6 +83,8 @@ pub struct StudyStats {
     pub rounds_by_state: Vec<(State, u32)>,
     /// Regions whose spike set converged before the round cap.
     pub converged_regions: usize,
+    /// Per-stage span timings recorded while this study ran.
+    pub telemetry: sift_obs::TelemetrySnapshot,
 }
 
 /// Everything a study produces.
@@ -172,7 +174,11 @@ pub fn run_study(
     client: &dyn TrendsClient,
     params: &StudyParams,
 ) -> Result<StudyResult, StudyError> {
-    let plan = plan_frames(params.range, params.plan);
+    let baseline = sift_obs::SpanBaseline::capture();
+    let plan = {
+        let _span = sift_obs::span("plan");
+        plan_frames(params.range, params.plan)
+    };
 
     // ---- Parallel per-region phase: collect, average, detect, gather
     // rising suggestions.
@@ -214,7 +220,9 @@ pub fn run_study(
     }
     regions.sort_by_key(|r| r.state.index());
 
-    // ---- Global phase: heavy hitters over every spike's suggestion set.
+    // ---- Global phase: heavy hitters over every spike's suggestion set,
+    // then annotation.
+    let context_span = sift_obs::span("context");
     let suggestion_sets = regions.iter().flat_map(|r| {
         r.spikes
             .iter()
@@ -242,10 +250,36 @@ pub fn run_study(
         timelines.push((r.state, r.timeline));
     }
     spikes.sort_by_key(|a| (a.spike.start, a.spike.state.index()));
+    drop(context_span);
 
-    let clusters = cluster_spikes(
-        &spikes.iter().map(|a| a.spike).collect::<Vec<_>>(),
-        params.cluster_slack_h,
+    let clusters = {
+        let _span = sift_obs::span("cluster");
+        cluster_spikes(
+            &spikes.iter().map(|a| a.spike).collect::<Vec<_>>(),
+            params.cluster_slack_h,
+        )
+    };
+
+    stats.telemetry = sift_obs::TelemetrySnapshot::since(&baseline);
+    sift_obs::event(
+        sift_obs::Level::Info,
+        "core.study",
+        "study complete",
+        &[
+            (
+                "frames_requested",
+                serde_json::Value::UInt(stats.frames_requested),
+            ),
+            (
+                "rising_requested",
+                serde_json::Value::UInt(stats.rising_requested),
+            ),
+            (
+                "converged_regions",
+                serde_json::Value::UInt(stats.converged_regions as u64),
+            ),
+            ("spikes", serde_json::Value::UInt(spikes.len() as u64)),
+        ],
     );
 
     Ok(StudyResult {
@@ -277,6 +311,7 @@ fn region_study(
 
     // Rising suggestions: weekly responses are shared between spikes in
     // the same frame, so memoize per frame start.
+    let _rising_span = sift_obs::span("rising");
     let mut weekly_memo: HashMap<i64, Vec<RisingTerm>> = HashMap::new();
     let mut rising_requested = 0u64;
     let mut spikes = Vec::with_capacity(outcome.spikes.len());

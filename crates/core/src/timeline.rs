@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn gap_is_an_error() {
-        let frames = vec![
+        let frames = [
             frame(State::TX, 0, vec![10; 168]),
             frame(State::TX, 200, vec![10; 168]),
         ];
@@ -331,7 +331,7 @@ mod tests {
 
     #[test]
     fn duplicate_frame_is_an_error() {
-        let frames = vec![
+        let frames = [
             frame(State::TX, 0, vec![10; 168]),
             frame(State::TX, 0, vec![10; 168]),
         ];
@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn mixed_states_is_an_error() {
-        let frames = vec![
+        let frames = [
             frame(State::TX, 0, vec![10; 168]),
             frame(State::CA, 84, vec![10; 168]),
         ];

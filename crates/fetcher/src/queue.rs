@@ -52,6 +52,8 @@ impl CollectionRun {
             work_tx.send(item).expect("unbounded channel accepts");
         }
         drop(work_tx); // workers drain until empty
+        let depth = sift_obs::gauge("sift_fetcher_queue_depth", &[]);
+        depth.set(work_rx.len() as i64);
 
         enum Outcome {
             Frame(u64, sift_trends::FrameResponse),
@@ -67,6 +69,10 @@ impl CollectionRun {
                 let unit = Arc::clone(unit);
                 scope.spawn(move || {
                     while let Ok(item) = work_rx.recv() {
+                        // Last set wins across workers; the gauge tracks the
+                        // approximate backlog, which is all it needs to.
+                        sift_obs::gauge("sift_fetcher_queue_depth", &[])
+                            .set(work_rx.len() as i64);
                         let outcome = match &item {
                             WorkItem::Frame(req) => match unit.fetch_frame(req) {
                                 Ok(resp) => Outcome::Frame(req.tag, resp),
@@ -94,18 +100,45 @@ impl CollectionRun {
                 ..RunReport::default()
             };
             while let Ok((unit_idx, outcome)) = out_rx.recv() {
+                let unit_identity = &report.per_unit[unit_idx].0;
                 match outcome {
                     Outcome::Frame(tag, resp) => {
                         store.insert_frame(tag, resp);
                         report.completed += 1;
+                        sift_obs::counter(
+                            "sift_fetcher_completed_total",
+                            &[("unit", unit_identity)],
+                        )
+                        .inc();
                         report.per_unit[unit_idx].1 += 1;
                     }
                     Outcome::Rising(len, resp) => {
                         store.insert_rising(len, resp);
                         report.completed += 1;
+                        sift_obs::counter(
+                            "sift_fetcher_completed_total",
+                            &[("unit", unit_identity)],
+                        )
+                        .inc();
                         report.per_unit[unit_idx].1 += 1;
                     }
-                    Outcome::Failed => report.failed += 1,
+                    Outcome::Failed => {
+                        report.failed += 1;
+                        sift_obs::counter(
+                            "sift_fetcher_failed_total",
+                            &[("unit", unit_identity)],
+                        )
+                        .inc();
+                        sift_obs::event(
+                            sift_obs::Level::Warn,
+                            "fetcher.queue",
+                            "request failed past retry budget",
+                            &[(
+                                "unit",
+                                serde_json::Value::Str(unit_identity.clone()),
+                            )],
+                        );
+                    }
                 }
             }
             report
@@ -174,9 +207,46 @@ mod tests {
         }
     }
 
+    /// Delegating client that makes each request take ~1ms, so every
+    /// worker thread provably joins the drain before the queue empties
+    /// (the raw in-process path can be drained by the first worker before
+    /// the others have even spawned).
+    struct SlowClient(InProcessClient);
+
+    impl TrendsClient for SlowClient {
+        fn fetch_frame(
+            &self,
+            req: &FrameRequest,
+        ) -> Result<sift_trends::FrameResponse, sift_trends::FetchError> {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            self.0.fetch_frame(req)
+        }
+
+        fn fetch_rising(
+            &self,
+            req: &RisingRequest,
+        ) -> Result<sift_trends::RisingResponse, sift_trends::FetchError> {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            self.0.fetch_rising(req)
+        }
+
+        fn identity(&self) -> &str {
+            self.0.identity()
+        }
+    }
+
     #[test]
     fn work_is_spread_across_units() {
-        let (units, _service) = units(4);
+        let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
+            State::CA,
+            vec![],
+        )));
+        let units: Vec<Arc<dyn TrendsClient>> = (0..4)
+            .map(|_| {
+                Arc::new(SlowClient(InProcessClient::new(Arc::clone(&service))))
+                    as Arc<dyn TrendsClient>
+            })
+            .collect();
         let run = CollectionRun::new(units);
         let mut store = ResponseStore::new();
         let report = run.execute(frame_workload(0), &mut store);

@@ -13,6 +13,8 @@ use std::sync::Arc;
 ///   `ApiResult<RisingResponse>`.
 /// * `GET /healthz` — liveness.
 /// * `GET /stats` — service request counters.
+/// * `GET /metrics` — live Prometheus text exposition (via
+///   [`sift_net::mount_observability`]).
 ///
 /// Attach a rate limiter via
 /// [`sift_net::Server::with_rate_limiter`] to reproduce the
@@ -22,10 +24,7 @@ pub fn trends_router(service: Arc<TrendsService>) -> Router {
     let rising_service = Arc::clone(&service);
     let stats_service = Arc::clone(&service);
 
-    Router::new()
-        .route(Method::Get, "/healthz", |_| {
-            Response::text(StatusCode::OK, "ok")
-        })
+    sift_net::mount_observability(Router::new())
         .route(Method::Get, "/stats", move |_| {
             match Response::json(&stats_service.stats()) {
                 Ok(r) => r,

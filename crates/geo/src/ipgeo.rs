@@ -229,6 +229,6 @@ mod tests {
     #[test]
     fn prefix_display() {
         assert_eq!(Prefix24(0).to_string(), "0.0.0.0/24");
-        assert_eq!(Prefix24(0x0102_03).to_string(), "1.2.3.0/24");
+        assert_eq!(Prefix24(0x0001_0203).to_string(), "1.2.3.0/24");
     }
 }

@@ -139,12 +139,14 @@ impl HttpClient {
         if let Some(mut stream) = pooled {
             match round_trip(&mut stream, &wire) {
                 Ok(resp) => {
+                    sift_obs::counter("sift_client_pool_total", &[("outcome", "hit")]).inc();
                     self.maybe_pool(stream, &resp);
                     return Ok(resp);
                 }
                 Err(_stale) => { /* fall through to a fresh connection */ }
             }
         }
+        sift_obs::counter("sift_client_pool_total", &[("outcome", "miss")]).inc();
 
         let mut stream = TcpStream::connect(self.addr).map_err(ClientError::Io)?;
         stream.set_read_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
@@ -187,6 +189,26 @@ impl HttpClient {
                 });
             }
             let wait = retry_wait(&self.retry, attempt, &resp);
+            sift_obs::counter(
+                "sift_client_retries_total",
+                &[("status", &resp.status.0.to_string())],
+            )
+            .inc();
+            sift_obs::histogram("sift_client_backoff_seconds", &[])
+                .observe_duration(wait);
+            sift_obs::event(
+                sift_obs::Level::Warn,
+                "net.client",
+                "backing off",
+                &[
+                    ("status", serde_json::Value::UInt(u64::from(resp.status.0))),
+                    ("attempt", serde_json::Value::UInt(u64::from(attempt))),
+                    (
+                        "wait_ms",
+                        serde_json::Value::UInt(wait.as_millis() as u64),
+                    ),
+                ],
+            );
             std::thread::sleep(wait);
         }
     }

@@ -29,11 +29,13 @@
 
 pub mod client;
 pub mod http;
+pub mod obs;
 pub mod ratelimit;
 pub mod router;
 pub mod server;
 
 pub use client::{ClientError, HttpClient, RetryPolicy};
+pub use obs::{mount_observability, METRICS_CONTENT_TYPE};
 pub use http::{Headers, Method, ParseError, Request, Response, StatusCode};
 pub use ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
 pub use router::Router;

@@ -1,0 +1,65 @@
+//! Observability endpoints: `GET /metrics` and `GET /healthz`.
+//!
+//! [`mount_observability`] adds both routes to any [`Router`], so every
+//! server built on this crate (the trends service included) exposes its
+//! live metrics in the Prometheus text format alongside a liveness probe.
+
+use crate::http::{Method, Response, StatusCode};
+use crate::router::Router;
+use bytes::Bytes;
+
+/// The content type Prometheus scrapers expect from `/metrics`.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Adds `GET /metrics` (global-registry Prometheus text exposition) and
+/// `GET /healthz` (liveness, answers `ok`) to `router`.
+///
+/// Re-registering either route replaces the previous handler, so mounting
+/// on a router that already has a `/healthz` is harmless.
+pub fn mount_observability(router: Router) -> Router {
+    router
+        .route(Method::Get, "/metrics", |_| {
+            let text = sift_obs::global().render_prometheus();
+            let mut resp = Response {
+                status: StatusCode::OK,
+                headers: crate::http::Headers::new(),
+                body: Bytes::from(text.into_bytes()),
+            };
+            resp.headers.set("content-type", METRICS_CONTENT_TYPE);
+            resp
+        })
+        .route(Method::Get, "/healthz", |_| {
+            Response::text(StatusCode::OK, "ok")
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Request;
+
+    #[test]
+    fn healthz_answers_ok() {
+        let r = mount_observability(Router::new());
+        let resp = r.dispatch(&Request::get("/healthz"));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"ok");
+    }
+
+    #[test]
+    fn metrics_exposes_registered_series() {
+        sift_obs::counter("net_obs_test_total", &[("case", "mount")]).inc();
+        let r = mount_observability(Router::new());
+        let resp = r.dispatch(&Request::get("/metrics"));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some(METRICS_CONTENT_TYPE)
+        );
+        let text = String::from_utf8_lossy(&resp.body);
+        assert!(
+            text.contains("net_obs_test_total{case=\"mount\"} 1"),
+            "{text}"
+        );
+    }
+}

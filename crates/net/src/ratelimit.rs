@@ -43,6 +43,7 @@ pub enum RateLimitDecision {
 struct Bucket {
     tokens: f64,
     last_ms: u64,
+    rejections: u64,
 }
 
 /// A token-bucket rate limiter keyed by client identity.
@@ -70,6 +71,7 @@ impl RateLimiter {
         let bucket = buckets.entry(key.to_owned()).or_insert(Bucket {
             tokens: self.config.capacity,
             last_ms: now_ms,
+            rejections: 0,
         });
 
         // Refill for elapsed time. A clock that goes backwards (shouldn't
@@ -84,6 +86,7 @@ impl RateLimiter {
             bucket.tokens -= 1.0;
             RateLimitDecision::Allowed
         } else {
+            bucket.rejections += 1;
             let deficit = 1.0 - bucket.tokens;
             let secs = (deficit / self.config.refill_per_sec).ceil().max(1.0);
             RateLimitDecision::Limited {
@@ -95,6 +98,17 @@ impl RateLimiter {
     /// Number of tracked client identities.
     pub fn tracked_clients(&self) -> usize {
         self.buckets.lock().len()
+    }
+
+    /// How many requests from `key` have been rejected so far (0 for an
+    /// unseen key).
+    pub fn rejections(&self, key: &str) -> u64 {
+        self.buckets.lock().get(key).map_or(0, |b| b.rejections)
+    }
+
+    /// Total rejections across every client identity.
+    pub fn total_rejections(&self) -> u64 {
+        self.buckets.lock().values().map(|b| b.rejections).sum()
     }
 }
 
@@ -141,6 +155,19 @@ mod tests {
         // why the collection module spreads load across units.
         assert_eq!(l.check("unit-2", 0), RateLimitDecision::Allowed);
         assert_eq!(l.tracked_clients(), 2);
+    }
+
+    #[test]
+    fn rejections_are_counted_per_key() {
+        let l = limiter(1.0, 0.1);
+        assert_eq!(l.check("a", 0), RateLimitDecision::Allowed);
+        assert!(matches!(l.check("a", 0), RateLimitDecision::Limited { .. }));
+        assert!(matches!(l.check("a", 0), RateLimitDecision::Limited { .. }));
+        assert_eq!(l.check("b", 0), RateLimitDecision::Allowed);
+        assert_eq!(l.rejections("a"), 2);
+        assert_eq!(l.rejections("b"), 0);
+        assert_eq!(l.rejections("never-seen"), 0);
+        assert_eq!(l.total_rejections(), 2);
     }
 
     #[test]

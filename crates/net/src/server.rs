@@ -206,6 +206,7 @@ fn serve_connection(
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     stream.set_nodelay(true)?;
     let peer = stream.peer_addr()?;
+    let _active = sift_obs::gauge("sift_http_active_connections", &[]).track();
 
     let mut buf = BytesMut::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
@@ -250,6 +251,10 @@ fn serve_connection(
         };
 
         let close_after = req.headers.wants_close();
+        // Routing is exact-match on the pre-query path, so the route label
+        // has the same (bounded) cardinality as the route table.
+        let route = req.path.split('?').next().unwrap_or("").to_owned();
+        let started_at = Instant::now();
 
         let resp = if let Some(limiter) = limiter {
             let identity = client_identity(&req, &peer);
@@ -257,6 +262,26 @@ fn serve_connection(
             match limiter.check(&identity, now_ms) {
                 RateLimitDecision::Allowed => dispatch_protected(router, &req),
                 RateLimitDecision::Limited { retry_after_secs } => {
+                    // The rejection path is already the slow path; a metric
+                    // update and an event here cost nothing that matters.
+                    sift_obs::counter(
+                        "sift_ratelimit_rejected_total",
+                        &[("identity", &identity)],
+                    )
+                    .inc();
+                    sift_obs::event(
+                        sift_obs::Level::Warn,
+                        "net.server",
+                        "rate limited",
+                        &[
+                            ("identity", serde_json::Value::Str(identity.clone())),
+                            ("route", serde_json::Value::Str(route.clone())),
+                            (
+                                "retry_after_secs",
+                                serde_json::Value::UInt(retry_after_secs),
+                            ),
+                        ],
+                    );
                     let mut resp =
                         Response::text(StatusCode::TOO_MANY_REQUESTS, "rate limited");
                     resp.headers.set("retry-after", retry_after_secs.to_string());
@@ -266,6 +291,14 @@ fn serve_connection(
         } else {
             dispatch_protected(router, &req)
         };
+
+        sift_obs::counter(
+            "sift_http_requests_total",
+            &[("route", &route), ("status", &resp.status.0.to_string())],
+        )
+        .inc();
+        sift_obs::histogram("sift_http_request_seconds", &[("route", &route)])
+            .observe_duration(started_at.elapsed());
 
         stream.write_all(&serialize_response(&resp))?;
         if close_after {

@@ -114,7 +114,7 @@ mod tests {
         items.iter().map(|(s, w)| (s.to_string(), *w)).collect()
     }
 
-    fn cluster_of<'a>(clusters: &'a [Cluster], idx: usize) -> &'a Cluster {
+    fn cluster_of(clusters: &[Cluster], idx: usize) -> &Cluster {
         clusters
             .iter()
             .find(|c| c.members.contains(&idx))

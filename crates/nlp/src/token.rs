@@ -22,7 +22,10 @@ pub fn normalize(phrase: &str) -> String {
                 out.push(' ');
             }
             pending_space = false;
-            out.extend(ch.to_lowercase());
+            // Keep only alphanumerics from the lowercase expansion: 'İ'
+            // (U+0130) lowers to "i\u{307}", and the combining mark would
+            // read as a separator on a second pass, breaking idempotence.
+            out.extend(ch.to_lowercase().filter(|c| c.is_alphanumeric()));
         } else {
             pending_space = true;
         }
@@ -49,7 +52,12 @@ mod tests {
 
     #[test]
     fn normalization_is_idempotent() {
-        for s in ["Is Verizon Down?", "san-jose POWER outage!!", "  a  b  "] {
+        for s in [
+            "Is Verizon Down?",
+            "san-jose POWER outage!!",
+            "  a  b  ",
+            "İnternet İSS",
+        ] {
             let once = normalize(s);
             assert_eq!(normalize(&once), once);
         }

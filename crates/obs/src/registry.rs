@@ -1,0 +1,332 @@
+//! The metric registry and Prometheus text exposition.
+//!
+//! Handle resolution (`counter`/`gauge`/`histogram`) takes a read lock,
+//! and a write lock on first registration of a series; instrumented code
+//! resolves handles once (or per thread, see [`crate::counter`]) and the
+//! increments themselves never touch the registry again.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSpec, HistogramState};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A metric series identifier: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key, sorting the labels for canonical identity.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A collection of metric series, rendered together as Prometheus text.
+#[derive(Debug, Default)]
+pub struct Registry {
+    // BTreeMap keeps exposition deterministic and groups a metric's series
+    // (same name, different labels) together.
+    series: RwLock<BTreeMap<MetricKey, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter for `name` + `labels`, registering it on first use.
+    ///
+    /// Panics if the series is already registered as a different kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        if let Some(i) = self.series.read().get(&key) {
+            return match i {
+                Instrument::Counter(c) => c.clone(),
+                other => panic!("{name} already registered as a {}", other.kind()),
+            };
+        }
+        let mut series = self.series.write();
+        match series
+            .entry(key)
+            .or_insert_with(|| Instrument::Counter(Counter::new()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge for `name` + `labels`, registering it on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        if let Some(i) = self.series.read().get(&key) {
+            return match i {
+                Instrument::Gauge(g) => g.clone(),
+                other => panic!("{name} already registered as a {}", other.kind()),
+            };
+        }
+        let mut series = self.series.write();
+        match series
+            .entry(key)
+            .or_insert_with(|| Instrument::Gauge(Gauge::new()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram for `name` + `labels`, registering it with `spec` on
+    /// first use (later calls keep the original layout).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], spec: &HistogramSpec) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        if let Some(i) = self.series.read().get(&key) {
+            return match i {
+                Instrument::Histogram(h) => h.clone(),
+                other => panic!("{name} already registered as a {}", other.kind()),
+            };
+        }
+        let mut series = self.series.write();
+        match series
+            .entry(key)
+            .or_insert_with(|| Instrument::Histogram(Histogram::with_spec(spec)))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Point-in-time states of every histogram series named `name`,
+    /// keyed by label pairs.
+    pub fn histogram_states(&self, name: &str) -> Vec<(Vec<(String, String)>, HistogramState)> {
+        self.series
+            .read()
+            .iter()
+            .filter(|(k, _)| k.name() == name)
+            .filter_map(|(k, i)| match i {
+                Instrument::Histogram(h) => Some((k.labels().to_vec(), h.state())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.read().len()
+    }
+
+    /// True when no series are registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.read().is_empty()
+    }
+
+    /// Renders every series in the Prometheus text exposition format
+    /// (`# TYPE` comments, `_bucket{le=…}`/`_sum`/`_count` for
+    /// histograms), deterministically ordered.
+    pub fn render_prometheus(&self) -> String {
+        let series = self.series.read();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, instrument) in series.iter() {
+            if last_name != Some(key.name()) {
+                let _ = writeln!(out, "# TYPE {} {}", key.name(), instrument.kind());
+                last_name = Some(key.name());
+            }
+            match instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        key.name(),
+                        label_block(key.labels(), None),
+                        c.get()
+                    );
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        key.name(),
+                        label_block(key.labels(), None),
+                        g.get()
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let state = h.state();
+                    let mut cumulative = 0u64;
+                    for (bound, n) in state.bounds.iter().zip(&state.buckets) {
+                        cumulative += n;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            key.name(),
+                            label_block(key.labels(), Some(&format_bound(*bound))),
+                            cumulative
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        key.name(),
+                        label_block(key.labels(), Some("+Inf")),
+                        state.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        key.name(),
+                        label_block(key.labels(), None),
+                        state.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        key.name(),
+                        label_block(key.labels(), None),
+                        state.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders `{k="v",…}` (empty string when no labels and no `le`).
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn format_bound(b: f64) -> String {
+    // Shortest-roundtrip Display keeps the exposition stable and readable.
+    format!("{b}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_shares_instrument() {
+        let r = Registry::new();
+        let a = r.counter("reqs_total", &[("route", "/x")]);
+        // Label order must not matter.
+        let b = r.counter("reqs_total", &[("route", "/x")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m", &[]);
+        let _ = r.gauge("m", &[]);
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.counter("a_total", &[("route", "/f"), ("status", "200")]).add(3);
+        r.gauge("b_active", &[]).set(-2);
+        let h = r.histogram("c_seconds", &[], &HistogramSpec::explicit(vec![0.5, 1.0]));
+        h.observe(0.25);
+        h.observe(0.75);
+        h.observe(9.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE a_total counter"), "{text}");
+        assert!(
+            text.contains("a_total{route=\"/f\",status=\"200\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("b_active -2"), "{text}");
+        assert!(text.contains("c_seconds_bucket{le=\"0.5\"} 1"), "{text}");
+        assert!(text.contains("c_seconds_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("c_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("c_seconds_sum 10"), "{text}");
+        assert!(text.contains("c_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn label_values_escaped() {
+        let r = Registry::new();
+        r.counter("esc_total", &[("q", "say \"hi\"\\n")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"q="say \"hi\"\\n""#), "{text}");
+    }
+
+    #[test]
+    fn histogram_states_filters_by_name() {
+        let r = Registry::new();
+        let spec = HistogramSpec::explicit(vec![1.0]);
+        r.histogram("spans", &[("span", "a")], &spec).observe(0.5);
+        r.histogram("spans", &[("span", "b")], &spec).observe(2.0);
+        r.counter("other_total", &[]).inc();
+        let states = r.histogram_states("spans");
+        assert_eq!(states.len(), 2);
+        assert_eq!(states[0].0, vec![("span".to_owned(), "a".to_owned())]);
+        assert_eq!(states[0].1.count, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Lightweight span timers.
+//!
+//! A span measures one stage of work. Entering pushes the span onto a
+//! thread-local stack (so events and nested spans know their context);
+//! dropping the guard records the elapsed time into the global histogram
+//! `sift_span_seconds{span="<name>"}`.
+
+use crate::metrics::HistogramSpec;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// The histogram every span records into, labelled by span name.
+pub const SPAN_METRIC: &str = "sift_span_seconds";
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An in-progress span; dropping it records the duration. Create with
+/// [`crate::span`].
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn enter(name: &str) -> Span {
+        STACK.with(|s| s.borrow_mut().push(name.to_owned()));
+        Span {
+            name: name.to_owned(),
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Time since the span was entered.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards drop LIFO in correct code; tolerate out-of-order
+            // drops by removing the nearest matching frame.
+            if let Some(pos) = stack.iter().rposition(|n| n == &self.name) {
+                stack.remove(pos);
+            }
+        });
+        crate::global()
+            .histogram(
+                SPAN_METRIC,
+                &[("span", &self.name)],
+                &HistogramSpec::duration_seconds(),
+            )
+            .observe_duration(elapsed);
+    }
+}
+
+/// The `/`-joined path of spans currently open on this thread (empty
+/// string outside any span).
+pub fn current_path() -> String {
+    STACK.with(|s| s.borrow().join("/"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record() {
+        let before = crate::global()
+            .histogram_states(SPAN_METRIC)
+            .into_iter()
+            .find(|(labels, _)| labels == &[("span".to_owned(), "outer-test".to_owned())])
+            .map(|(_, s)| s.count)
+            .unwrap_or(0);
+        {
+            let _outer = crate::span("outer-test");
+            assert_eq!(current_path(), "outer-test");
+            {
+                let _inner = crate::span("inner-test");
+                assert_eq!(current_path(), "outer-test/inner-test");
+            }
+            assert_eq!(current_path(), "outer-test");
+        }
+        assert_eq!(current_path(), "");
+        let after = crate::global()
+            .histogram_states(SPAN_METRIC)
+            .into_iter()
+            .find(|(labels, _)| labels == &[("span".to_owned(), "outer-test".to_owned())])
+            .map(|(_, s)| s.count)
+            .unwrap_or(0);
+        assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let span = Span::enter("elapsed-test");
+        let a = span.elapsed();
+        let b = span.elapsed();
+        assert!(b >= a);
+    }
+}

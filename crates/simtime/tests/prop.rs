@@ -25,7 +25,7 @@ proptest! {
     #[test]
     fn hour_of_day_consistent(h in -1_000_000i64..1_000_000) {
         let hour = Hour(h);
-        prop_assert_eq!(u8::from(hour.hour_of_day()), hour.civil().hour);
+        prop_assert_eq!(hour.hour_of_day(), hour.civil().hour);
     }
 
     /// Intersection is commutative and contained in both operands.

@@ -24,20 +24,27 @@ pub fn build_frame(
     state: State,
     range: HourRange,
 ) -> Vec<u8> {
+    let mut zeroed = 0u64;
     let proportions: Vec<f64> = range
         .iter()
         .map(|h| {
             let volume = model.search_volume(state, h);
             let p = model.proportion(term, state, h);
             let (sampled, hits) = sampling::sample_hour(rng, cfg, volume, p);
-            let hits = sampling::anonymize(cfg, hits);
+            let anon = sampling::anonymize(cfg, hits);
+            if anon != hits {
+                zeroed += 1;
+            }
             if sampled == 0 {
                 0.0
             } else {
-                hits as f64 / sampled as f64
+                anon as f64 / sampled as f64
             }
         })
         .collect();
+    if zeroed > 0 {
+        sift_obs::counter("sift_trends_anonymized_points_total", &[]).add(zeroed);
+    }
     index_values(&proportions)
 }
 

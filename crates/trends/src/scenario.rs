@@ -264,6 +264,8 @@ fn national_event(
 
 /// The paper's headline events: every row of Tables 1–3 plus the Fig. 1
 /// and Fig. 2 walkthrough spikes.
+// Sequential pushes keep each table row next to its source comment.
+#[allow(clippy::vec_init_then_push)]
 fn named_events(rng: &mut ChaCha8Rng) -> Vec<OutageEvent> {
     let h = Hour::from_ymdh;
     let mut out = Vec::new();
@@ -988,10 +990,8 @@ mod tests {
         );
         let idx = one.build_index();
         assert_eq!(idx.candidates(HourRange::new(Hour(480), Hour(520))), vec![0]);
-        // Windows far outside the indexed span clamp safely.
-        assert!(idx
-            .candidates(HourRange::new(Hour(-10_000), Hour(-9_000)))
-            .is_empty() || true);
+        // Windows far outside the indexed span clamp safely (no panic).
+        let _ = idx.candidates(HourRange::new(Hour(-10_000), Hour(-9_000)));
         let far = idx.candidates(HourRange::new(Hour(1_000_000), Hour(1_000_100)));
         assert!(far.len() <= 1);
         assert!(idx.candidates(HourRange::new(Hour(0), Hour(0))).is_empty());

@@ -119,6 +119,7 @@ impl TrendsService {
     pub fn fetch_frame(&self, req: &FrameRequest) -> Result<FrameResponse, ServiceError> {
         validate_len(req.len)?;
         self.frames_served.fetch_add(1, Ordering::Relaxed);
+        sift_obs::counter("sift_trends_frames_served_total", &[]).inc();
         let seed = request_seed(self.config.seed, req.state, &req.term, req.start, req.tag);
         let mut rng = request_rng(seed);
         let values = build_frame(
@@ -141,6 +142,7 @@ impl TrendsService {
     pub fn fetch_rising(&self, req: &RisingRequest) -> Result<RisingResponse, ServiceError> {
         validate_len(req.len)?;
         self.rising_served.fetch_add(1, Ordering::Relaxed);
+        sift_obs::counter("sift_trends_rising_served_total", &[]).inc();
         // Distinct seed stream from frames: suggestions and indices are
         // sampled independently by the service.
         let seed = request_seed(

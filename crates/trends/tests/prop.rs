@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use sift_geo::State;
 use sift_simtime::Hour;
 use sift_trends::frame::index_values;
-use sift_trends::{FrameRequest, Scenario, SearchTerm, TrendsClient, TrendsService};
+use sift_trends::{FrameRequest, Scenario, SearchTerm, TrendsService};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local gate: release build, every test in the workspace, and a
+# warning-free clippy pass. The build environment has no crates.io access
+# (external deps resolve to the vendored shims), hence --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo clippy --workspace --offline -- -D warnings
+echo "all checks passed"

@@ -14,6 +14,8 @@
 //! * [`fetcher`] — the collection module mapping workload onto fetcher
 //!   units behind distinct source IPs.
 //! * [`probe`] — the active-probing baseline (ANT/Trinocular-style).
+//! * [`obs`] — zero-dependency metrics, span timing and structured
+//!   event logging, exposed live at `GET /metrics`.
 //! * [`geo`], [`simtime`], [`nlp`] — geography, civil time and semantic
 //!   clustering substrates.
 //!
@@ -27,6 +29,7 @@ pub use sift_fetcher as fetcher;
 pub use sift_geo as geo;
 pub use sift_net as net;
 pub use sift_nlp as nlp;
+pub use sift_obs as obs;
 pub use sift_probe as probe;
 pub use sift_simtime as simtime;
 pub use sift_trends as trends;

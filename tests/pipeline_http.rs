@@ -118,13 +118,16 @@ fn http_study_matches_in_process_study() {
 #[test]
 fn rate_limited_single_identity_still_completes() {
     // One unit behind a tight limiter: the crawl must finish (slowly)
-    // thanks to Retry-After handling, and the results stay correct.
+    // thanks to Retry-After handling, and the results stay correct. The
+    // bucket is small enough that back-to-back in-process requests are
+    // guaranteed to overrun it (the client would need >20ms between
+    // requests to stay under the refill rate).
     let scenario = world();
     let service = Arc::new(TrendsService::with_defaults(scenario));
     let server = Server::new(trends_router(Arc::clone(&service)))
         .with_rate_limiter(RateLimiterConfig {
-            capacity: 25.0,
-            refill_per_sec: 300.0,
+            capacity: 2.0,
+            refill_per_sec: 50.0,
         })
         .bind("127.0.0.1:0")
         .expect("bind");
@@ -143,5 +146,18 @@ fn rate_limited_single_identity_still_completes() {
     };
     let result = run_study(&unit, &params).expect("rate-limited study completes");
     assert!(result.stats.frames_requested > 0);
+
+    // The tight limiter must actually have fired, and every rejection is
+    // accounted per identity in the global registry (the identity is unique
+    // to this test, so concurrent tests cannot disturb the counter).
+    let rejected = sift::obs::counter(
+        "sift_ratelimit_rejected_total",
+        &[("identity", "127.0.0.9")],
+    )
+    .get();
+    assert!(
+        rejected > 0,
+        "expected the 25-token limiter to reject at least once"
+    );
     server.shutdown();
 }

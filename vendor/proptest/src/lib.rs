@@ -1,0 +1,823 @@
+//! Offline shim of `proptest`: deterministic random testing without
+//! shrinking.
+//!
+//! Vendored because the build container has no crates.io access (see
+//! `vendor/README.md`). The API subset matches what this workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`, range and
+//! regex-literal strategies, `collection::vec`, tuples, `Just`, `any`,
+//! `prop_oneof!`, and the `proptest!`/`prop_assert*` macros. Each test
+//! runs `cases` deterministic iterations seeded from the test name; on
+//! failure the generated inputs are printed, but no shrinking is
+//! attempted — the failing values are reported as-is.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Test execution: config, RNG, and the case loop.
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` iterations.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure: fails the whole test.
+        Fail(String),
+        /// `prop_assume!` rejection: the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Deterministic generator: splitmix64.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary value.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next 32 bits.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runs one property test: `cases` deterministic iterations of `f`.
+    pub fn run<F>(name: &str, config: &Config, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Stable seed derived from the test name (FNV-1a) so failures
+        // reproduce across runs without an external seed file.
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        let mut passed = 0u32;
+        let mut case = 0u64;
+        // Allow a bounded number of prop_assume! rejections, as the real
+        // crate does, rather than counting them as passes.
+        let max_attempts = config.cases as u64 * 16;
+        while passed < config.cases && case < max_attempts {
+            let mut rng = TestRng::new(seed ^ case.wrapping_mul(0x9E3779B97F4A7C15));
+            case += 1;
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed for `{name}` \
+                         (case {case} of {}): {msg}",
+                        config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A boxed strategy, used by `prop_oneof!` to mix strategy types.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Boxes a strategy (helper for `prop_oneof!` type unification).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from a non-empty list of options.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            // Guard against rounding up to the excluded endpoint.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (rng.unit_f64() as f32) * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+)),* $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Any valid scalar value, rejection-sampled.
+            loop {
+                if let Some(c) = char::from_u32(rng.next_u32() & 0x10FFFF) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `Vec`s with lengths drawn from `sizes` and elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty size range");
+        VecStrategy { element, sizes }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-literal string strategies: `"[a-z]{1,8}"` as a `Strategy`.
+    //!
+    //! Supports the subset of proptest's regex syntax this workspace
+    //! uses: literal characters, character classes with ranges, negation
+    //! (`[^…]`) and `&&`-intersection, the `\PC` / `\pC` unicode-category
+    //! escapes, and `{m}` / `{m,n}` repetition.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A set of chars as inclusive ranges.
+    #[derive(Clone, Debug)]
+    struct CharSet {
+        ranges: Vec<(u32, u32)>,
+    }
+
+    impl CharSet {
+        fn from_ranges(ranges: Vec<(u32, u32)>) -> CharSet {
+            CharSet { ranges }
+        }
+
+        /// All printable non-category-C chars the shim draws `\PC` from:
+        /// a representative spread rather than the full unicode table.
+        fn not_control() -> CharSet {
+            CharSet::from_ranges(vec![
+                (0x20, 0x7E),     // ASCII printable
+                (0xA1, 0xFF),     // Latin-1 supplement (printables)
+                (0x100, 0x17F),   // Latin extended-A
+                (0x391, 0x3C9),   // Greek
+                (0x410, 0x44F),   // Cyrillic
+                (0x4E00, 0x4EFF), // CJK (slice)
+                (0x1F600, 0x1F64F), // emoticons
+            ])
+        }
+
+        /// Removes every char of `other` from `self`.
+        fn subtract(&mut self, other: &CharSet) {
+            let mut out = Vec::new();
+            for &(lo, hi) in &self.ranges {
+                let mut pieces = vec![(lo, hi)];
+                for &(olo, ohi) in &other.ranges {
+                    let mut next = Vec::new();
+                    for (plo, phi) in pieces {
+                        if ohi < plo || olo > phi {
+                            next.push((plo, phi));
+                        } else {
+                            if olo > plo {
+                                next.push((plo, olo - 1));
+                            }
+                            if ohi < phi {
+                                next.push((ohi + 1, phi));
+                            }
+                        }
+                    }
+                    pieces = next;
+                }
+                out.extend(pieces);
+            }
+            self.ranges = out;
+        }
+
+        fn size(&self) -> u64 {
+            self.ranges
+                .iter()
+                .map(|&(lo, hi)| (hi - lo + 1) as u64)
+                .sum()
+        }
+
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let total = self.size();
+            assert!(total > 0, "empty character class in regex strategy");
+            loop {
+                let mut idx = rng.below(total);
+                for &(lo, hi) in &self.ranges {
+                    let span = (hi - lo + 1) as u64;
+                    if idx < span {
+                        if let Some(c) = char::from_u32(lo + idx as u32) {
+                            return c;
+                        }
+                        // Surrogate gap etc.: resample.
+                        break;
+                    }
+                    idx -= span;
+                }
+            }
+        }
+    }
+
+    struct PatternPart {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    /// The strategy a regex string literal compiles into.
+    pub struct RegexStrategy {
+        parts: Vec<PatternPart>,
+    }
+
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> CharSet {
+        match chars.next().expect("dangling backslash in regex strategy") {
+            'n' => CharSet::from_ranges(vec![(0x0A, 0x0A)]),
+            'r' => CharSet::from_ranges(vec![(0x0D, 0x0D)]),
+            't' => CharSet::from_ranges(vec![(0x09, 0x09)]),
+            'P' | 'p' => {
+                // Only the category-C forms appear in this workspace:
+                // \PC (not-control) and \pC (control).
+                let cat = match chars.next() {
+                    Some('{') => {
+                        let mut name = String::new();
+                        for c in chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                            name.push(c);
+                        }
+                        name
+                    }
+                    Some(c) => c.to_string(),
+                    None => panic!("truncated \\P escape in regex strategy"),
+                };
+                assert_eq!(cat, "C", "only category C supported in \\P escapes");
+                CharSet::not_control()
+            }
+            c => CharSet::from_ranges(vec![(c as u32, c as u32)]),
+        }
+    }
+
+    /// Parses `[…]` after the opening bracket, handling `^`, ranges,
+    /// escapes, and `&&`-intersection with a nested class.
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> CharSet {
+        let negated = chars.peek() == Some(&'^') && {
+            chars.next();
+            true
+        };
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        let mut subtract: Vec<CharSet> = Vec::new();
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => {
+                    let mut set = if negated {
+                        let mut full = CharSet::not_control();
+                        // Negation inside a class: complement within the
+                        // printable universe plus the named chars.
+                        full.ranges.push((0x00, 0x1F));
+                        full.subtract(&CharSet::from_ranges(ranges));
+                        full
+                    } else {
+                        CharSet::from_ranges(ranges)
+                    };
+                    for s in &subtract {
+                        // `&&[^X]` intersection = subtract X.
+                        set.subtract(s);
+                    }
+                    return set;
+                }
+                '&' if chars.peek() == Some(&'&') => {
+                    chars.next();
+                    assert_eq!(
+                        chars.next(),
+                        Some('['),
+                        "only [..&&[^..]] intersections are supported"
+                    );
+                    assert_eq!(
+                        chars.next(),
+                        Some('^'),
+                        "only negated intersection classes are supported"
+                    );
+                    let mut inner: Vec<(u32, u32)> = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => {
+                                inner.extend(parse_escape(chars).ranges);
+                            }
+                            Some(c) => inner.push((c as u32, c as u32)),
+                            None => panic!("unterminated intersection class"),
+                        }
+                    }
+                    subtract.push(CharSet::from_ranges(inner));
+                }
+                '\\' => {
+                    ranges.extend(parse_escape(chars).ranges);
+                }
+                lo => {
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(&']') | None => {
+                                // Trailing '-' is a literal.
+                                ranges.push((lo as u32, lo as u32));
+                                ranges.push(('-' as u32, '-' as u32));
+                            }
+                            Some(&hi) => {
+                                chars.next();
+                                ranges.push((lo as u32, hi as u32));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo as u32, lo as u32));
+                    }
+                }
+            }
+        }
+        panic!("unterminated character class in regex strategy");
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            spec.push(c);
+        }
+        match spec.split_once(',') {
+            Some((m, n)) => (
+                m.trim().parse().expect("bad quantifier"),
+                n.trim().parse().expect("bad quantifier"),
+            ),
+            None => {
+                let n = spec.trim().parse().expect("bad quantifier");
+                (n, n)
+            }
+        }
+    }
+
+    /// Compiles the regex subset into a strategy. Panics on syntax this
+    /// shim does not support, so unsupported patterns fail loudly.
+    pub fn compile(pattern: &str) -> RegexStrategy {
+        let mut chars = pattern.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => parse_escape(&mut chars),
+                '.' => CharSet::not_control(),
+                '(' | ')' | '|' | '*' | '+' | '?' => panic!(
+                    "regex strategy shim does not support `{c}` (pattern `{pattern}`)"
+                ),
+                lit => CharSet::from_ranges(vec![(lit as u32, lit as u32)]),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            parts.push(PatternPart { set, min, max });
+        }
+        RegexStrategy { parts }
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for part in &self.parts {
+                let span = (part.max - part.min + 1) as u64;
+                let n = part.min + rng.below(span) as usize;
+                for _ in 0..n {
+                    out.push(part.set.sample(rng));
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            compile(self).generate(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import with `use proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec::Vec::from([
+            $( $crate::strategy::boxed($option) ),+
+        ]))
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)*
+                // Capture inputs before the body, which may consume them.
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),*),
+                    $(&$arg),*
+                );
+                let __result: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("{__msg}\n  inputs: {__inputs}"),
+                    )),
+                    __other => __other,
+                }
+            });
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_strategies_match_their_patterns() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..200 {
+            let s = "[a-zA-Z][a-zA-Z0-9-]{0,15}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 16);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-'));
+
+            let h = "[ -~&&[^\r\n]]{0,30}".generate(&mut rng);
+            assert!(h.len() <= 30);
+            assert!(h.chars().all(|c| (' '..='~').contains(&c)));
+
+            let p = "/[a-z0-9/]{0,20}".generate(&mut rng);
+            assert!(p.starts_with('/') && p.len() <= 21);
+
+            let w = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&w.len()));
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+
+            let u = "\\PC{0,40}".generate(&mut rng);
+            assert!(u.chars().count() <= 40);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let x = (100u16..600).generate(&mut rng);
+            assert!((100..600).contains(&x));
+            let y = (-1_100_000i64..1_100_000).generate(&mut rng);
+            assert!((-1_100_000..1_100_000).contains(&y));
+            let f = (0.5f64..20.0).generate(&mut rng);
+            assert!((0.5..20.0).contains(&f));
+            let v = crate::collection::vec(any::<u8>(), 0..6).generate(&mut rng);
+            assert!(v.len() < 6);
+            let (a, b) = ((0u32..4), Just("x")).generate(&mut rng);
+            assert!(a < 4);
+            assert_eq!(b, "x");
+            let m = prop_oneof![Just(1u8), Just(2u8)].generate(&mut rng);
+            assert!(m == 1 || m == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires args, assertions, and assumptions together.
+        #[test]
+        fn macro_smoke(x in 0u32..50, s in "[a-z]{1,8}") {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+}

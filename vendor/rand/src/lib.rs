@@ -1,0 +1,349 @@
+//! Offline shim of `rand` 0.8: the trait surface and distributions this
+//! workspace uses, with bit-identical output streams.
+//!
+//! Vendored because the build container has no crates.io access (see
+//! `vendor/README.md`). The sampling algorithms are faithful
+//! re-implementations of the upstream ones — `seed_from_u64` is the
+//! rand_core 0.6 PCG expansion, integer `gen_range` is Lemire widening
+//! multiply with the same zone computation, float sampling uses the same
+//! 53-bit / [1,2)-mantissa constructions, `gen_bool` the same fixed-point
+//! comparison, and slice `choose`/`shuffle` the same index sampling — so a
+//! given seed yields the same values as the real crate. The repo's seeded
+//! simulations and statistically-tuned tests depend on this.
+
+#![forbid(unsafe_code)]
+
+/// Core generator interface: raw 32/64-bit output.
+pub trait RngCore {
+    /// Next 32 bits of output.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 bits of output.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with generator output.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed-width seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed using the rand_core 0.6 PCG
+    /// expansion, so `seed_from_u64(n)` matches the real crate exactly.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A distribution that produces `T` values from raw generator output.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform over a type's natural domain
+/// (`[0, 1)` for floats, all values for integers and `bool`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1) — upstream's
+        // multiply-based conversion.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $m:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64,
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream samples a u32 and checks the sign bit region.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! uniform_int_range {
+    ($($t:ty => ($uty:ty, $large:ty, $wide:ty, $m:ident)),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = self.end.wrapping_sub(self.start) as $uty as $large;
+                // Lemire widening-multiply rejection with the upstream
+                // zone so accepted samples match bit-for-bit.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$m() as $large;
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> <$large>::BITS) as $large;
+                    let lo = wide as $large;
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let range = end.wrapping_sub(start).wrapping_add(1) as $uty as $large;
+                if range == 0 {
+                    // The range spans the whole type.
+                    return rng.$m() as $t;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$m() as $large;
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> <$large>::BITS) as $large;
+                    let lo = wide as $large;
+                    if lo <= zone {
+                        return start.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+uniform_int_range! {
+    i8 => (u8, u32, u64, next_u32),
+    u8 => (u8, u32, u64, next_u32),
+    i16 => (u16, u32, u64, next_u32),
+    u16 => (u16, u32, u64, next_u32),
+    i32 => (u32, u32, u64, next_u32),
+    u32 => (u32, u32, u64, next_u32),
+    i64 => (u64, u64, u128, next_u64),
+    u64 => (u64, u64, u128, next_u64),
+    isize => (usize, u64, u128, next_u64),
+    usize => (usize, u64, u128, next_u64),
+}
+
+macro_rules! uniform_float_range {
+    ($($t:ty => ($uty:ty, $m:ident, $discard:expr, $exp:expr)),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let mut scale = self.end - self.start;
+                loop {
+                    // A value in [1, 2) from the raw mantissa bits, then
+                    // mapped to [start, end) — upstream's construction.
+                    let mantissa = rng.$m() >> $discard;
+                    let value1_2 = <$t>::from_bits(mantissa | $exp);
+                    let res = (value1_2 * scale - scale) + self.start;
+                    if res < self.end {
+                        return res;
+                    }
+                    // Boundary rounding produced `end`; shrink by one ulp.
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    )*};
+}
+
+uniform_float_range! {
+    f64 => (u64, next_u64, 12, 1023u64 << 52),
+    f32 => (u32, next_u32, 9, 127u32 << 23),
+}
+
+/// Convenience methods layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        // Upstream Bernoulli: compare 64 random bits against p scaled
+        // into fixed point.
+        let p_int = (p * (2.0f64).powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Slice sampling helpers (`choose`, `shuffle`).
+    use super::{Rng, RngCore};
+
+    /// Samples an index below `ubound`, using 32-bit sampling when the
+    /// bound fits — matching upstream `gen_index` so streams line up.
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Random selection and shuffling over slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Re-exports matching the upstream module layout.
+    pub use super::{Distribution, Standard};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counting(9);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let r = rng.gen_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&r));
+            let i = rng.gen_range(6..23);
+            assert!((6..23).contains(&i));
+            let k = rng.gen_range(3..=5);
+            assert!((3..=5).contains(&k));
+            let u = rng.gen_range(0..7usize);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn slice_helpers() {
+        use seq::SliceRandom;
+        let mut rng = Counting(3);
+        let items = [1, 2, 3, 4];
+        assert!(items.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counting(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+}

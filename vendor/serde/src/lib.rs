@@ -1,0 +1,561 @@
+//! Offline shim of `serde`: a small value-tree data model with
+//! `Serialize`/`Deserialize` traits and derive macros.
+//!
+//! Vendored because the build container has no crates.io access (see
+//! `vendor/README.md`). Instead of the real crate's visitor architecture,
+//! types convert to and from a single [`Value`] tree and `serde_json`
+//! renders that tree as JSON text. The wire format matches real serde's
+//! external representation for everything this workspace serializes:
+//! structs are objects, newtype structs are transparent, unit enum
+//! variants are strings, data-carrying variants are externally tagged
+//! one-entry objects, and missing `Option` fields deserialize to `None`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+// Derive macros, re-exported under the same names as the traits just like
+// the real crate's `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed or to-be-serialized JSON-like value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => de::get(fields, key),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            Value::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message, as in `serde_json`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(name: &str) -> Error {
+        Error::custom(format!("missing field `{name}`"))
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Error {
+        Error::custom(format!("unknown variant `{tag}` for {ty}"))
+    }
+
+    /// A value had the wrong JSON type.
+    pub fn invalid_type(expected: &str, got: &Value) -> Error {
+        let got = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "floating point number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error::custom(format!("invalid type: {got}, expected {expected}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type constructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Converts from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent, or `None` to make
+    /// absence an error. Overridden by `Option` so missing optional
+    /// fields become `None`, matching real serde.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+pub mod ser {
+    //! Serialization-side re-exports matching the upstream module layout.
+    pub use crate::{Error, Serialize};
+}
+
+pub mod de {
+    //! Deserialization-side helpers, used by derive-generated code.
+    pub use crate::{Deserialize, Error};
+    use crate::Value;
+
+    /// `Deserialize` for types without borrowed data. In this shim every
+    /// `Deserialize` qualifies, as in `serde::de::DeserializeOwned` for
+    /// `'static` types.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+
+    /// Converts a value, with inference from the call site.
+    pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+        T::from_value(v)
+    }
+
+    /// Borrows the fields of an object value.
+    pub fn as_object<'a>(v: &'a Value, what: &str) -> Result<&'a [(String, Value)], Error> {
+        match v {
+            Value::Object(fields) => Ok(fields),
+            _ => Err(Error::custom(format!(
+                "invalid type: expected {what} as an object"
+            ))),
+        }
+    }
+
+    /// Borrows the elements of an array value, checking the exact length.
+    pub fn as_array<'a>(v: &'a Value, len: usize, what: &str) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "invalid length {} for {what}, expected {len}",
+                items.len()
+            ))),
+            _ => Err(Error::custom(format!(
+                "invalid type: expected {what} as an array"
+            ))),
+        }
+    }
+
+    /// First value for a key in insertion-ordered object fields.
+    pub fn get<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+        fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Extracts and converts a struct field; absent fields fall back to
+    /// [`Deserialize::from_missing`] (so `Option` becomes `None`).
+    pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match get(fields, name) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => T::from_missing().ok_or_else(|| Error::missing_field(name)),
+        }
+    }
+
+    /// Like [`field`], but an absent field yields `T::default()` — the
+    /// behaviour of `#[serde(default)]`.
+    pub fn field_or_default<T: Deserialize + Default>(
+        fields: &[(String, Value)],
+        name: &str,
+    ) -> Result<T, Error> {
+        match get(fields, name) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::invalid_type("a boolean", v)),
+        }
+    }
+}
+
+macro_rules! serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let wide: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| Error::invalid_type("a signed integer", v))?,
+                    // Accept integral floats; JSON writers for this tree
+                    // never produce them for ints, but be permissive.
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => f as i64,
+                    _ => return Err(Error::invalid_type("an integer", v)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let wide: u64 = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) => u64::try_from(i)
+                        .map_err(|_| Error::invalid_type("an unsigned integer", v))?,
+                    Value::Float(f) if f.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&f) => {
+                        f as u64
+                    }
+                    _ => return Err(Error::invalid_type("an unsigned integer", v)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    // serde_json deserializes `null` into NaN-capable
+                    // floats only via `Option`; reject here.
+                    _ => Err(Error::invalid_type("a number", v)),
+                }
+            }
+        }
+    )*};
+}
+
+serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::invalid_type("a string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// The real crate borrows `&str` from the input buffer; this shim's
+    /// [`Value`] tree owns its strings, so deserializing to `&'static str`
+    /// leaks the string instead. Acceptable at the workspace's test scale,
+    /// and observationally equivalent otherwise.
+    fn from_value(v: &Value) -> Result<&'static str, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::invalid_type("a string", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, Error> {
+        match v {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(Error::custom("expected a single-character string")),
+                }
+            }
+            _ => Err(Error::invalid_type("a string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Option<T>> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::invalid_type("an array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                let items = de::as_array(v, LEN, "a tuple")?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+serde_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output; HashMap iteration order is not
+        // stable and the repo asserts on serialized text in tests.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, Error> {
+        let fields = de::as_object(v, "a map")?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, Error> {
+        let fields = de::as_object(v, "a map")?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_behaviour() {
+        let fields = vec![("present".to_string(), Value::Int(3))];
+        let present: Option<u32> = de::field(&fields, "present").unwrap();
+        assert_eq!(present, Some(3));
+        let absent: Option<u32> = de::field(&fields, "absent").unwrap();
+        assert_eq!(absent, None);
+        let err: Result<u32, Error> = de::field(&fields, "absent");
+        assert!(err.is_err());
+        let defaulted: u32 = de::field_or_default(&fields, "absent").unwrap();
+        assert_eq!(defaulted, 0);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(i64::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert_eq!(f64::from_value(&Value::Int(-2)).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let v = (1u32, "x".to_string()).to_value();
+        let back: (u32, String) = de::from_value(&v).unwrap();
+        assert_eq!(back, (1, "x".to_string()));
+        let arr = vec![1u8, 2, 3].to_value();
+        let back: Vec<u8> = de::from_value(&arr).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,556 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented without syn/quote.
+//!
+//! Vendored because the build container has no crates.io access (see
+//! `vendor/README.md`). The item is parsed by walking raw token trees and
+//! the impl is emitted as a source string, which keeps the whole macro a
+//! few hundred lines. Supported shapes are exactly what this workspace
+//! derives on: named structs (optionally generic), tuple and unit
+//! structs, and enums with unit / tuple / struct variants. Recognised
+//! serde attributes: `#[serde(default)]` on fields and
+//! `#[serde(transparent)]` on newtype structs (newtypes already
+//! serialize transparently here, so the attribute is accepted and
+//! otherwise ignored). Anything else fails loudly at compile time rather
+//! than serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim): converts the type into a
+/// `serde::Value` tree using real serde's external data layout.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl did not parse")
+}
+
+/// Derives `serde::Deserialize` (shim): reconstructs the type from a
+/// `serde::Value` tree.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl did not parse")
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` was present.
+    default: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Type parameter idents, e.g. `["T"]` for `ApiResult<T>`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------
+// Token-tree parsing.
+// ---------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips leading attributes; returns true if any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if inner.first().and_then(ident_of).as_deref() == Some("serde") {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            match ident_of(&t).as_deref() {
+                                Some("default") => has_default = true,
+                                // Newtype structs serialize as their inner
+                                // value in this shim, so transparent is
+                                // already the behaviour.
+                                Some("transparent") | None => {}
+                                Some(other) => panic!(
+                                    "serde_derive shim: unsupported serde attribute `{other}`"
+                                ),
+                            }
+                        }
+                    }
+                }
+                *i += 1;
+            }
+            _ => panic!("serde_derive shim: malformed attribute"),
+        }
+    }
+    has_default
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in …)`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if tokens.get(*i).and_then(ident_of).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Parses `<…>` after the type name, collecting type-parameter idents.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(t) if is_punct(t, '<')) {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while *i < tokens.len() && depth > 0 {
+        let t = &tokens[*i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 1 {
+            at_param_start = true;
+        } else if is_punct(t, '\'') {
+            panic!("serde_derive shim: lifetime parameters are not supported");
+        } else if at_param_start && depth == 1 {
+            if let Some(name) = ident_of(t) {
+                if name == "const" {
+                    panic!("serde_derive shim: const generics are not supported");
+                }
+                params.push(name);
+                at_param_start = false;
+            }
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Advances past a type, stopping at a top-level `,` (not consumed) or
+/// end of tokens. Tracks `<`/`>` nesting; groups are opaque single tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while *i < tokens.len() {
+        let t = &tokens[*i];
+        if angle == 0 && is_punct(t, ',') {
+            return;
+        }
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle = angle.saturating_sub(1);
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let name = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("serde_derive shim: expected field name"));
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde_derive shim: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0usize;
+    let mut in_segment = false;
+    let mut angle = 0usize;
+    for t in &tokens {
+        if angle == 0 && is_punct(t, ',') {
+            if in_segment {
+                arity += 1;
+            }
+            in_segment = false;
+        } else {
+            if is_punct(t, '<') {
+                angle += 1;
+            } else if is_punct(t, '>') {
+                angle = angle.saturating_sub(1);
+            }
+            in_segment = true;
+        }
+    }
+    if in_segment {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("serde_derive shim: expected variant name"));
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separator.
+        if matches!(tokens.get(i), Some(t) if is_punct(t, '=')) {
+            while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                i += 1;
+            }
+        }
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = ident_of(&tokens[i])
+        .unwrap_or_else(|| panic!("serde_derive shim: expected `struct` or `enum`"));
+    i += 1;
+    let name = ident_of(&tokens[i])
+        .unwrap_or_else(|| panic!("serde_derive shim: expected type name"));
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    // Anything between generics and the body (a where clause) is skipped.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if kw == "enum" {
+                    Kind::Enum(parse_variants(g.stream()))
+                } else {
+                    Kind::Struct(Shape::Named(parse_named_fields(g.stream())))
+                };
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kw == "struct" =>
+            {
+                break Kind::Struct(Shape::Tuple(tuple_arity(g.stream())));
+            }
+            Some(t) if is_punct(t, ';') && kw == "struct" => {
+                break Kind::Struct(Shape::Unit);
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: could not find body of `{name}`"),
+        }
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation (plain source strings, parsed back into tokens).
+// ---------------------------------------------------------------------
+
+/// `impl<T: BOUND> … for Name<T>` pieces: (impl generics, type generics).
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let with_bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", with_bounds.join(", ")),
+            format!("<{}>", item.generics.join(", ")),
+        )
+    }
+}
+
+fn obj_entries(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+fn arr_entries(items: &[String]) -> String {
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_for(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.name.clone(),
+                        format!("::serde::Serialize::to_value(&self.{})", f.name),
+                    )
+                })
+                .collect();
+            obj_entries(&pairs)
+        }
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            arr_entries(&items)
+        }
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Shape::Tuple(1) => {
+                            let inner = "::serde::Serialize::to_value(__f0)".to_string();
+                            format!(
+                                "{name}::{vname}(__f0) => {},",
+                                obj_entries(&[(vname.clone(), inner)])
+                            )
+                        }
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                obj_entries(&[(vname.clone(), arr_entries(&items))])
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<(String, String)> = fields
+                                .iter()
+                                .map(|f| {
+                                    (
+                                        f.name.clone(),
+                                        format!("::serde::Serialize::to_value({})", f.name),
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                binds.join(", "),
+                                obj_entries(&[(vname.clone(), obj_entries(&pairs))])
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_ctor(path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let helper = if f.default {
+                "field_or_default"
+            } else {
+                "field"
+            };
+            format!("{}: ::serde::de::{helper}({src}, \"{}\")?", f.name, f.name)
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_for(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            format!(
+                "let __fields = ::serde::de::as_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({})",
+                named_ctor(name, fields, "__fields")
+            )
+        }
+        Kind::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::de::from_value(__v)?))"
+        ),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::de::as_array(__v, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Unit) => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+             \"invalid type: expected null for unit struct {name}\")),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::de::from_value(__inner)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de::from_value(&__items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = ::serde::de::as_array(\
+                                 __inner, {n}, \"{name}::{vname}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                inits.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => format!(
+                            "\"{vname}\" => {{\n\
+                             let __vfields = ::serde::de::as_object(\
+                             __inner, \"{name}::{vname}\")?;\n\
+                             ::std::result::Result::Ok({})\n\
+                             }}",
+                            named_ctor(&format!("{name}::{vname}"), fields, "__vfields")
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {}\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(__tag, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {}\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(__tag, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"invalid type: expected externally tagged enum {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
