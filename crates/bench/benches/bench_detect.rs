@@ -34,13 +34,9 @@ fn bench_detect(c: &mut Criterion) {
     }
     for spike_every in [10usize, 40, 400] {
         let tl = synthetic_series(24 * 365, spike_every);
-        group.bench_with_input(
-            BenchmarkId::new("density", spike_every),
-            &tl,
-            |b, tl| {
-                b.iter(|| detect_spikes(std::hint::black_box(tl), &params));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("density", spike_every), &tl, |b, tl| {
+            b.iter(|| detect_spikes(std::hint::black_box(tl), &params));
+        });
     }
     group.finish();
 }

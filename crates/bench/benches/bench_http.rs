@@ -9,13 +9,16 @@ fn bench_http(c: &mut Criterion) {
     let mut group = c.benchmark_group("http");
 
     // Parser throughput on a realistic POST.
-    let req = Request::post_json("/api/frame", &serde_json::json!({
-        "term": {"Topic": "InternetOutage"},
-        "state": "TX",
-        "start": 9874,
-        "len": 168,
-        "tag": 3,
-    }))
+    let req = Request::post_json(
+        "/api/frame",
+        &serde_json::json!({
+            "term": {"Topic": "InternetOutage"},
+            "state": "TX",
+            "start": 9874,
+            "len": 168,
+            "tag": 3,
+        }),
+    )
     .expect("encode");
     let wire = serialize_request(&req);
     group.bench_function("parse_request", |b| {

@@ -5,7 +5,13 @@ use sift_nlp::{cluster_phrases, Embedding, DEFAULT_SIMILARITY_THRESHOLD};
 
 fn corpus(n: usize) -> Vec<(String, f64)> {
     let providers = ["verizon", "comcast", "spectrum", "xfinity", "att", "cox"];
-    let variants = ["outage", "down", "not working", "internet outage", "outage map"];
+    let variants = [
+        "outage",
+        "down",
+        "not working",
+        "internet outage",
+        "outage map",
+    ];
     (0..n)
         .map(|i| {
             let p = providers[i % providers.len()];

@@ -44,13 +44,9 @@ fn bench_stitch(c: &mut Criterion) {
     for step in [84u32, 144] {
         let frames = frames_for(180, step);
         let refs: Vec<&FrameResponse> = frames.iter().collect();
-        group.bench_with_input(
-            BenchmarkId::new("overlap", 168 - step),
-            &refs,
-            |b, refs| {
-                b.iter(|| stitch(std::hint::black_box(refs)).expect("stitch"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("overlap", 168 - step), &refs, |b, refs| {
+            b.iter(|| stitch(std::hint::black_box(refs)).expect("stitch"));
+        });
     }
     group.finish();
 }

@@ -8,7 +8,11 @@ use sift_geo::State;
 fn main() {
     let world_span = sift_obs::span("world");
     let service = sift_bench::full_service();
-    eprintln!("world built in {:?} ({} events)", world_span.elapsed(), service.ground_truth().events.len());
+    eprintln!(
+        "world built in {:?} ({} events)",
+        world_span.elapsed(),
+        service.ground_truth().events.len()
+    );
     drop(world_span);
 
     let regions = vec![State::TX, State::CA, State::WY, State::OH];
@@ -20,14 +24,21 @@ fn main() {
     };
     let study_span = sift_obs::span("study");
     let result = run_study(&service, &params).expect("study");
-    eprintln!("study ran in {:?}: {}", study_span.elapsed(), sift_bench::summarize(&result));
+    eprintln!(
+        "study ran in {:?}: {}",
+        study_span.elapsed(),
+        sift_bench::summarize(&result)
+    );
     drop(study_span);
     eprint!("stage timings:\n{}", result.stats.telemetry);
 
     let spikes = result.bare_spikes();
     for state in &regions {
         let n = spikes.iter().filter(|s| s.state == *state).count();
-        let long = spikes.iter().filter(|s| s.state == *state && s.duration_h() >= 3).count();
+        let long = spikes
+            .iter()
+            .filter(|s| s.state == *state && s.duration_h() >= 3)
+            .count();
         eprintln!("  {state}: {n} spikes, {long} >=3h");
     }
     eprintln!("share >=3h: {:.3}", impact::share_at_least(&spikes, 3));
@@ -40,8 +51,18 @@ fn main() {
     let mut tx: Vec<_> = spikes.iter().filter(|s| s.state == State::TX).collect();
     tx.sort_by_key(|s| std::cmp::Reverse(s.duration_h()));
     for s in tx.iter().take(5) {
-        eprintln!("  TX top: start {} dur {} mag {:.1}", s.start, s.duration_h(), s.magnitude);
+        eprintln!(
+            "  TX top: start {} dur {} mag {:.1}",
+            s.start,
+            s.duration_h(),
+            s.magnitude
+        );
     }
-    let rounds: Vec<_> = result.stats.rounds_by_state.iter().map(|(s,r)| format!("{s}:{r}")).collect();
+    let rounds: Vec<_> = result
+        .stats
+        .rounds_by_state
+        .iter()
+        .map(|(s, r)| format!("{s}:{r}"))
+        .collect();
     eprintln!("rounds: {}", rounds.join(" "));
 }

@@ -214,7 +214,10 @@ fn exp_stats(service: &TrendsService, result: &StudyResult, spikes: &[Spike]) {
 
 /// Fig. 1: the Texas winter 2021 timeline.
 fn exp_fig1(result: &StudyResult) {
-    section("fig1", "<Internet outage> popularity index, Texas, winter 2021");
+    section(
+        "fig1",
+        "<Internet outage> popularity index, Texas, winter 2021",
+    );
     let timeline = result.timeline(State::TX).expect("TX timeline");
     let cut = HourRange::new(
         Hour::from_ymdh(2021, 1, 19, 0),
@@ -261,7 +264,10 @@ fn exp_fig1(result: &StudyResult) {
 
 /// Fig. 2: the California walkthrough spike.
 fn exp_fig2(result: &StudyResult) {
-    section("fig2", "workflow walkthrough: San Jose power outage, 17 Jul 2020");
+    section(
+        "fig2",
+        "workflow walkthrough: San Jose power outage, 17 Jul 2020",
+    );
     let at = Hour::from_ymdh(2020, 7, 17, 18);
     match result
         .spikes
@@ -269,7 +275,10 @@ fn exp_fig2(result: &StudyResult) {
         .find(|a| a.spike.state == State::CA && a.spike.window().contains(at))
     {
         Some(a) => {
-            println!("  start time: {} (paper: 17 July 2020 15:00)", a.spike.start);
+            println!(
+                "  start time: {} (paper: 17 July 2020 15:00)",
+                a.spike.start
+            );
             println!("  peak time:  {} (paper: 17 July 2020 18:00)", a.spike.peak);
             println!(
                 "  duration:   {} hours (paper: 10 hours)",
@@ -404,7 +413,10 @@ fn exp_tab1(result: &StudyResult) {
     section("tab1", "most impactful spikes by duration (paper Table 1)");
     let spikes = result.bare_spikes();
     let top = impact::top_by_duration(&spikes, 7);
-    println!("  {:<18} {:<5} {:>4}  annotation", "spike time", "state", "h");
+    println!(
+        "  {:<18} {:<5} {:>4}  annotation",
+        "spike time", "state", "h"
+    );
     for s in top {
         let annotated = find_annotated(result, &s);
         println!(
@@ -420,7 +432,10 @@ fn exp_tab1(result: &StudyResult) {
 
 /// Table 2: most extensive spikes.
 fn exp_tab2(result: &StudyResult) {
-    section("tab2", "most extensive spikes by state count (paper Table 2)");
+    section(
+        "tab2",
+        "most extensive spikes by state count (paper Table 2)",
+    );
     let top = area::top_by_extent(&result.clusters, 9);
     println!("  {:<18} {:>6}  annotation", "spike time", "states");
     for c in top {
@@ -452,7 +467,10 @@ fn exp_tab2(result: &StudyResult) {
 
 /// Table 3: most impactful power outages per state.
 fn exp_tab3(result: &StudyResult) {
-    section("tab3", "most impactful power outages by state (paper Table 3)");
+    section(
+        "tab3",
+        "most impactful power outages by state (paper Table 3)",
+    );
     // Longest power-annotated spike per state, top 7 states.
     let mut best: Vec<&AnnotatedSpike> = Vec::new();
     for state in State::ALL {
@@ -466,7 +484,10 @@ fn exp_tab3(result: &StudyResult) {
         }
     }
     best.sort_by_key(|a| std::cmp::Reverse(a.spike.duration_h()));
-    println!("  {:<18} {:<5} {:>4}  annotation", "spike time", "state", "h");
+    println!(
+        "  {:<18} {:<5} {:>4}  annotation",
+        "spike time", "state", "h"
+    );
     for a in best.iter().take(7) {
         println!(
             "  {:<18} {:<5} {:>4}  {}",
@@ -481,7 +502,10 @@ fn exp_tab3(result: &StudyResult) {
 
 /// Ground-truth scoring — possible here, impossible in the paper.
 fn exp_truth(service: &TrendsService, result: &StudyResult) {
-    section("truth", "detection scored against ground truth (not in the paper)");
+    section(
+        "truth",
+        "detection scored against ground truth (not in the paper)",
+    );
     let scenario = service.ground_truth();
     let spikes = result.bare_spikes();
     // Per-state sorted spikes for fast window matching.
@@ -491,9 +515,7 @@ fn exp_truth(service: &TrendsService, result: &StudyResult) {
     }
     let matches = |state: State, w: HourRange| {
         per_state[state.index()].iter().any(|s| {
-            s.magnitude >= 1.0
-                && s.window()
-                    .overlaps(&HourRange::new(w.start - 2, w.end + 2))
+            s.magnitude >= 1.0 && s.window().overlaps(&HourRange::new(w.start - 2, w.end + 2))
         })
     };
     let mut detected = 0usize;
@@ -520,8 +542,7 @@ fn exp_truth(service: &TrendsService, result: &StudyResult) {
         let w = HourRange::new(s.start - 2, s.end + 2);
         let found = index.candidates(w).iter().any(|i| {
             let e = &scenario.events[*i as usize];
-            (0..e.states.len())
-                .any(|j| e.states[j].0 == s.state && e.window_in(j).overlaps(&w))
+            (0..e.states.len()).any(|j| e.states[j].0 == s.state && e.window_in(j).overlaps(&w))
         });
         if found {
             hits += 1;
@@ -535,7 +556,10 @@ fn exp_truth(service: &TrendsService, result: &StudyResult) {
 
 /// §4.1/§4.2: SIFT vs the probing dataset.
 fn exp_ant(service: &TrendsService, spikes: &[Spike]) {
-    section("ant", "cross-validation against the active-probing dataset (§4)");
+    section(
+        "ant",
+        "cross-validation against the active-probing dataset (§4)",
+    );
     let span = sift_obs::span("probe-synthesize");
     let plan = AddressPlan::proportional(10_000);
     let population = AddressPopulation::new(&plan, PopulationMix::default(), 0xA5);

@@ -166,7 +166,11 @@ pub fn annotate(
     annotations.sort_by(|a, b| {
         b.heavy_hitter
             .cmp(&a.heavy_hitter)
-            .then(b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                b.weight
+                    .partial_cmp(&a.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
             .then(a.label.cmp(&b.label))
     });
     annotations.truncate(params.max_annotations);
@@ -201,12 +205,7 @@ mod tests {
     fn heavy_hitters_cover_half_the_mass() {
         // "power outage" appears in most sets; the tail is diverse.
         let sets: Vec<Vec<String>> = (0..100)
-            .map(|i| {
-                vec![
-                    "power outage".to_string(),
-                    format!("rare term {i}"),
-                ]
-            })
+            .map(|i| vec!["power outage".to_string(), format!("rare term {i}")])
             .collect();
         let (heavy, distinct) = heavy_hitters(sets, 0.5);
         assert_eq!(distinct, 101);
@@ -249,7 +248,10 @@ mod tests {
 
     #[test]
     fn power_annotation_detection() {
-        let suggestions = vec![term("san jose power outage", 90), term("spectrum outage", 80)];
+        let suggestions = vec![
+            term("san jose power outage", 90),
+            term("spectrum outage", 80),
+        ];
         let a = annotate(spike(), &suggestions, &[], &ContextParams::default());
         assert!(a.power_annotated());
 

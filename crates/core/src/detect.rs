@@ -171,7 +171,7 @@ mod tests {
         assert_eq!(spikes.len(), 1);
         let s = spikes[0];
         assert_eq!(s.peak, Hour(12));
-        assert_eq!(s.magnitude, 100.0);
+        assert!((s.magnitude - 100.0).abs() < 1e-9);
         assert_eq!(s.start, Hour(10), "backward walk stops at zero");
         assert_eq!(s.end, Hour(16), "forward walk stops at the half-drop");
         assert_eq!(s.duration_h(), 6);

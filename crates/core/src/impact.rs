@@ -32,10 +32,8 @@ pub fn state_ranking(spikes: &[Spike]) -> Vec<StateShare> {
         counts[s.state.index()] += 1;
     }
     let total: usize = counts.iter().sum();
-    let mut ranked: Vec<(State, usize)> = State::ALL
-        .iter()
-        .map(|s| (*s, counts[s.index()]))
-        .collect();
+    let mut ranked: Vec<(State, usize)> =
+        State::ALL.iter().map(|s| (*s, counts[s.index()])).collect();
     ranked.sort_by_key(|(s, c)| (std::cmp::Reverse(*c), s.index()));
 
     let mut cumulative = 0usize;
@@ -209,9 +207,7 @@ mod tests {
 
     #[test]
     fn weekday_distribution_sums_to_100() {
-        let spikes: Vec<Spike> = (0..70)
-            .map(|i| spike(State::CA, i * 24, 2, 10.0))
-            .collect();
+        let spikes: Vec<Spike> = (0..70).map(|i| spike(State::CA, i * 24, 2, 10.0)).collect();
         let dist = weekday_distribution(&spikes);
         let sum: f64 = dist.iter().sum();
         assert!((sum - 100.0).abs() < 1e-9);
@@ -237,9 +233,9 @@ mod tests {
     #[test]
     fn yearly_counts() {
         let spikes = vec![
-            spike(State::CA, 100, 2, 10.0),              // 2020
-            spike(State::CA, 9000, 2, 10.0),             // 2021
-            spike(State::CA, 9100, 2, 10.0),             // 2021
+            spike(State::CA, 100, 2, 10.0),  // 2020
+            spike(State::CA, 9000, 2, 10.0), // 2021
+            spike(State::CA, 9100, 2, 10.0), // 2021
         ];
         let by_year = count_by_year(&spikes);
         assert_eq!(by_year, vec![(2020, 1), (2021, 2)]);
@@ -248,9 +244,9 @@ mod tests {
     #[test]
     fn empty_inputs_are_harmless() {
         assert_eq!(duration_cdf(&[], 5), vec![0.0; 5]);
-        assert_eq!(share_at_least(&[], 3), 0.0);
+        assert!(share_at_least(&[], 3).abs() < 1e-12);
         assert_eq!(weekday_distribution(&[]), [0.0; 7]);
-        assert_eq!(top_k_share(&[], 10), 0.0);
+        assert!(top_k_share(&[], 10).abs() < 1e-12);
         assert!(top_by_duration(&[], 5).is_empty());
         assert!(count_by_year(&[]).is_empty());
     }

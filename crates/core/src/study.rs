@@ -210,6 +210,7 @@ pub fn run_study(
             .collect();
         handles
             .into_iter()
+            // sift-lint: allow(no-panic) — re-raising a worker panic on join is the only sane option
             .flat_map(|h| h.join().expect("region worker panicked"))
             .collect()
     });
@@ -228,8 +229,7 @@ pub fn run_study(
             .iter()
             .map(|(_, sugg)| sugg.iter().map(|t| t.term.clone()).collect::<Vec<_>>())
     });
-    let (heavy, distinct_terms) =
-        heavy_hitters(suggestion_sets, params.context.heavy_hitter_mass);
+    let (heavy, distinct_terms) = heavy_hitters(suggestion_sets, params.context.heavy_hitter_mass);
 
     // ---- Annotate and assemble.
     let mut stats = StudyStats::default();
@@ -329,7 +329,7 @@ fn region_study(
                             term: params.term.clone(),
                             state,
                             start: frame.start,
-                            len: frame.len() as u32,
+                            len: u32::try_from(frame.len()).unwrap_or(u32::MAX),
                             tag: 0,
                         })
                         .map_err(|source| StudyError::Rising { state, source })?;
@@ -357,6 +357,7 @@ fn region_study(
                     })
                     .map_err(|source| StudyError::Rising { state, source })?;
                 suggestions.extend(resp.rising.into_iter().map(|mut t| {
+                    // sift-lint: allow(lossy-cast) — float `as u32` saturates; rounding the boosted weight down is intended
                     t.weight = (f64::from(t.weight) * params.daily_weight_boost) as u32;
                     t
                 }));
@@ -478,7 +479,11 @@ mod tests {
             .iter()
             .find(|a| a.spike.state == State::TX && a.spike.window().contains(Hour(805)))
             .expect("power spike detected");
-        assert!(tx_power.power_annotated(), "annotations: {:?}", tx_power.annotations);
+        assert!(
+            tx_power.power_annotated(),
+            "annotations: {:?}",
+            tx_power.annotations
+        );
 
         let tx_verizon = result
             .spikes

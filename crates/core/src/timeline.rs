@@ -37,10 +37,17 @@ pub struct Timeline {
     pub values: Vec<f64>,
 }
 
+/// Saturating `usize → i64` for lengths and indices: a series cannot
+/// approach 2⁶³ hours, and saturation keeps the conversion total without
+/// introducing a panic path.
+fn to_i64(n: usize) -> i64 {
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
 impl Timeline {
     /// The covered hour range.
     pub fn range(&self) -> HourRange {
-        HourRange::with_len(self.start, self.values.len() as i64)
+        HourRange::with_len(self.start, to_i64(self.values.len()))
     }
 
     /// The value at `at`, or `None` outside the range.
@@ -48,21 +55,23 @@ impl Timeline {
         if at < self.start {
             return None;
         }
-        self.values.get((at - self.start) as usize).copied()
+        self.values
+            .get(usize::try_from(at - self.start).ok()?)
+            .copied()
     }
 
     /// Index of an hour within `values`, or `None` outside the range.
     pub fn index_of(&self, at: Hour) -> Option<usize> {
-        if at < self.start || at >= self.start + self.values.len() as i64 {
+        if at < self.start || at >= self.start + to_i64(self.values.len()) {
             None
         } else {
-            Some((at - self.start) as usize)
+            usize::try_from(at - self.start).ok()
         }
     }
 
     /// The hour of `values[idx]`.
     pub fn hour_of(&self, idx: usize) -> Hour {
-        self.start + idx as i64
+        self.start + to_i64(idx)
     }
 
     /// Renormalizes the series so its maximum is 100 (no-op if all zero).
@@ -148,22 +157,24 @@ pub fn stitch(frames: &[&FrameResponse]) -> Result<Timeline, StitchError> {
     let mut prev_scale = 1.0f64;
 
     for frame in &frames[1..] {
-        let covered_until = start + values.len() as i64;
+        let covered_until = start + to_i64(values.len());
         if frame.start > covered_until {
             return Err(StitchError::Gap {
                 covered_until,
                 next_start: frame.start,
             });
         }
-        let frame_end = frame.start + frame.values.len() as i64;
+        let frame_end = frame.start + to_i64(frame.values.len());
         if frame_end <= covered_until {
             return Err(StitchError::NoProgress {
                 frame_start: frame.start,
             });
         }
 
-        // Overlap of the incoming frame with the series built so far.
-        let overlap_len = (covered_until - frame.start) as usize;
+        // Overlap of the incoming frame with the series built so far
+        // (nonnegative: the gap check above guarantees
+        // `frame.start <= covered_until`).
+        let overlap_len = usize::try_from(covered_until - frame.start).unwrap_or(0);
         let series_tail = &values[values.len() - overlap_len..];
         let frame_head = &frame.values[..overlap_len];
 
@@ -221,7 +232,7 @@ mod tests {
             let values: Vec<u8> = window
                 .iter()
                 .map(|v| {
-                    if max == 0.0 || *v == 0.0 {
+                    if max <= 0.0 || *v <= 0.0 {
                         0
                     } else {
                         ((v * 100.0 / max).round() as u8).max(1)
@@ -254,7 +265,10 @@ mod tests {
 
         let big = tl.values[50];
         let small = tl.values[300];
-        assert!((big - 100.0).abs() < 1.0, "biggest spike renormalizes to 100");
+        assert!(
+            (big - 100.0).abs() < 1.0,
+            "biggest spike renormalizes to 100"
+        );
         assert!(
             (small / big - 0.5).abs() < 0.1,
             "relative magnitude recovered: {small} vs {big}"
@@ -336,10 +350,7 @@ mod tests {
             frame(State::TX, 0, vec![10; 168]),
         ];
         let refs: Vec<&FrameResponse> = frames.iter().collect();
-        assert!(matches!(
-            stitch(&refs),
-            Err(StitchError::NoProgress { .. })
-        ));
+        assert!(matches!(stitch(&refs), Err(StitchError::NoProgress { .. })));
     }
 
     #[test]
@@ -384,6 +395,6 @@ mod tests {
     fn all_zero_series_stays_zero() {
         let f = frame(State::TX, 0, vec![0; 168]);
         let tl = stitch(&[&f]).expect("stitch");
-        assert!(tl.values.iter().all(|v| *v == 0.0));
+        assert!(tl.values.iter().all(|v| v.abs() < f64::EPSILON));
     }
 }

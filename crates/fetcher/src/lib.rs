@@ -28,8 +28,8 @@ pub mod serve;
 pub mod store;
 pub mod unit;
 
-pub use sift_core::plan::{plan_frames, FramePlan, PlanParams};
 pub use queue::{CollectionRun, RunReport};
 pub use serve::trends_router;
+pub use sift_core::plan::{plan_frames, FramePlan, PlanParams};
 pub use store::ResponseStore;
 pub use unit::{FetchError, HttpTrendsClient, InProcessClient, RoundRobin, TrendsClient};

@@ -49,6 +49,7 @@ impl CollectionRun {
     pub fn execute(&self, items: Vec<WorkItem>, store: &mut ResponseStore) -> RunReport {
         let (work_tx, work_rx) = channel::unbounded::<WorkItem>();
         for item in items {
+            // sift-lint: allow(no-panic) — send to an unbounded channel with a live receiver cannot fail
             work_tx.send(item).expect("unbounded channel accepts");
         }
         drop(work_tx); // workers drain until empty
@@ -71,8 +72,7 @@ impl CollectionRun {
                     while let Ok(item) = work_rx.recv() {
                         // Last set wins across workers; the gauge tracks the
                         // approximate backlog, which is all it needs to.
-                        sift_obs::gauge("sift_fetcher_queue_depth", &[])
-                            .set(work_rx.len() as i64);
+                        sift_obs::gauge("sift_fetcher_queue_depth", &[]).set(work_rx.len() as i64);
                         let outcome = match &item {
                             WorkItem::Frame(req) => match unit.fetch_frame(req) {
                                 Ok(resp) => Outcome::Frame(req.tag, resp),
@@ -124,19 +124,13 @@ impl CollectionRun {
                     }
                     Outcome::Failed => {
                         report.failed += 1;
-                        sift_obs::counter(
-                            "sift_fetcher_failed_total",
-                            &[("unit", unit_identity)],
-                        )
-                        .inc();
+                        sift_obs::counter("sift_fetcher_failed_total", &[("unit", unit_identity)])
+                            .inc();
                         sift_obs::event(
                             sift_obs::Level::Warn,
                             "fetcher.queue",
                             "request failed past retry budget",
-                            &[(
-                                "unit",
-                                serde_json::Value::Str(unit_identity.clone()),
-                            )],
+                            &[("unit", serde_json::Value::Str(unit_identity.clone()))],
                         );
                     }
                 }
@@ -161,18 +155,13 @@ mod tests {
             vec![],
         )));
         let units: Vec<Arc<dyn TrendsClient>> = (0..n)
-            .map(|_| {
-                Arc::new(InProcessClient::new(Arc::clone(&service))) as Arc<dyn TrendsClient>
-            })
+            .map(|_| Arc::new(InProcessClient::new(Arc::clone(&service))) as Arc<dyn TrendsClient>)
             .collect();
         (units, service)
     }
 
     fn frame_workload(tag: u64) -> Vec<WorkItem> {
-        let plan = plan_frames(
-            HourRange::new(Hour(0), Hour(1000)),
-            PlanParams::default(),
-        );
+        let plan = plan_frames(HourRange::new(Hour(0), Hour(1000)), PlanParams::default());
         plan.frames
             .iter()
             .map(|f| {

@@ -26,6 +26,7 @@ pub fn trends_router(service: Arc<TrendsService>) -> Router {
 
     sift_net::mount_observability(Router::new())
         .route(Method::Get, "/stats", move |_| {
+            sift_obs::counter("sift_trends_stats_served_total", &[]).inc();
             match Response::json(&stats_service.stats()) {
                 Ok(r) => r,
                 Err(e) => Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string()),
@@ -35,15 +36,19 @@ pub fn trends_router(service: Arc<TrendsService>) -> Router {
             let parsed: FrameRequest = match req.json() {
                 Ok(p) => p,
                 Err(e) => {
-                    return Response::text(StatusCode::BAD_REQUEST, format!("bad frame request: {e}"))
+                    return Response::text(
+                        StatusCode::BAD_REQUEST,
+                        format!("bad frame request: {e}"),
+                    )
                 }
             };
             let result = match frame_service.fetch_frame(&parsed) {
                 Ok(resp) => ApiResult::Ok(resp),
                 Err(e) => ApiResult::Err(e),
             };
-            Response::json(&result)
-                .unwrap_or_else(|e| Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string()))
+            Response::json(&result).unwrap_or_else(|e| {
+                Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string())
+            })
         })
         .route(Method::Post, "/api/rising", move |req: &Request| {
             let parsed: RisingRequest = match req.json() {
@@ -59,8 +64,9 @@ pub fn trends_router(service: Arc<TrendsService>) -> Router {
                 Ok(resp) => ApiResult::Ok(resp),
                 Err(e) => ApiResult::Err(e),
             };
-            Response::json(&result)
-                .unwrap_or_else(|e| Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string()))
+            Response::json(&result).unwrap_or_else(|e| {
+                Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string())
+            })
         })
 }
 
@@ -140,8 +146,7 @@ mod tests {
         assert_eq!(rising.state, State::TX);
 
         let raw = sift_net::HttpClient::new(h.addr());
-        let stats: sift_trends::api::ServiceStats =
-            raw.get_json("/stats").expect("stats json");
+        let stats: sift_trends::api::ServiceStats = raw.get_json("/stats").expect("stats json");
         assert_eq!(stats.rising_served, 1);
         h.shutdown();
     }
@@ -150,8 +155,8 @@ mod tests {
     fn malformed_body_is_bad_request() {
         let (h, _service) = spawn();
         let raw = sift_net::HttpClient::new(h.addr());
-        let mut req = sift_net::Request::post_json("/api/frame", &"not a frame request")
-            .expect("encode");
+        let mut req =
+            sift_net::Request::post_json("/api/frame", &"not a frame request").expect("encode");
         req.headers.set("content-type", "application/json");
         let resp = raw.send(&req).expect("send");
         assert_eq!(resp.status, StatusCode::BAD_REQUEST);

@@ -21,12 +21,8 @@ pub struct Prefix24(pub u32);
 impl Prefix24 {
     /// The dotted-quad network address of the block, e.g. `10.3.7.0`.
     pub fn network(self) -> [u8; 4] {
-        [
-            ((self.0 >> 16) & 0xff) as u8,
-            ((self.0 >> 8) & 0xff) as u8,
-            (self.0 & 0xff) as u8,
-            0,
-        ]
+        let [_, a, b, c] = self.0.to_be_bytes();
+        [a, b, c, 0]
     }
 }
 
@@ -68,7 +64,7 @@ impl AddressPlan {
     pub fn proportional(total_blocks: u32) -> Self {
         assert!(total_blocks <= 65_536, "exceeds 10.0.0.0/8 capacity");
         assert!(
-            total_blocks >= MIN_BLOCKS_PER_STATE * State::COUNT as u32,
+            u64::from(total_blocks) >= u64::from(MIN_BLOCKS_PER_STATE) * State::COUNT as u64,
             "too few blocks for {} regions",
             State::COUNT
         );
@@ -76,8 +72,9 @@ impl AddressPlan {
         let mut ranges = Vec::with_capacity(State::COUNT);
         let mut next = 0u32;
         for s in State::ALL {
-            let share = (u128::from(total_blocks) * u128::from(s.census_population())
-                / u128::from(total_pop)) as u32;
+            let quota = u128::from(total_blocks) * u128::from(s.census_population())
+                / u128::from(total_pop);
+            let share = u32::try_from(quota).unwrap_or(u32::MAX);
             let n = share.max(MIN_BLOCKS_PER_STATE);
             ranges.push((next, next + n));
             next += n;

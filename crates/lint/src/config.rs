@@ -1,0 +1,425 @@
+//! `Lint.toml` — per-rule severity and path policy.
+//!
+//! The linter must not depend on a TOML crate (it polices the crates that
+//! would vendor one), so this module hand-parses the small, line-oriented
+//! subset the config actually uses: `[rules.<id>]` table headers, string
+//! values, and string arrays. Anything outside that subset is a hard
+//! config error with a line number — a config typo that silently disabled
+//! a rule would be worse than a crash.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How a rule's findings count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Findings fail the run (nonzero exit).
+    Deny,
+    /// Findings print but do not fail the run.
+    Warn,
+    /// Rule disabled.
+    Allow,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            "allow" => Some(Severity::Allow),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Allow => "allow",
+        })
+    }
+}
+
+/// Per-rule configuration.
+#[derive(Clone, Debug, Default)]
+pub struct RuleConfig {
+    pub severity: Option<Severity>,
+    /// Files matching any of these globs are exempt from the rule.
+    pub allow_paths: Vec<String>,
+    /// Files matching any of these globs get the rule's strict variant
+    /// (today only `lossy-cast` has one: every numeric `as` is flagged).
+    pub strict_paths: Vec<String>,
+}
+
+/// Whole-run configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Globs selecting files to lint, relative to the workspace root.
+    pub include: Vec<String>,
+    /// Globs removed from the selection (vendored shims, build output).
+    pub exclude: Vec<String>,
+    /// Globs treated as test context for every rule that skips tests.
+    pub test_paths: Vec<String>,
+    /// Globs for binaries/tools exempt from the library-only rules.
+    pub bin_paths: Vec<String>,
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            include: vec!["src/**".into(), "crates/**".into(), "tests/**".into()],
+            exclude: vec![
+                "vendor/**".into(),
+                "target/**".into(),
+                "**/tests/fixtures/**".into(),
+            ],
+            test_paths: vec!["**/tests/**".into(), "**/benches/**".into()],
+            bin_paths: vec![
+                "**/src/bin/**".into(),
+                "**/src/main.rs".into(),
+                "examples/**".into(),
+            ],
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+/// A config-file problem, with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Config {
+    /// Parses `Lint.toml` text over the built-in defaults.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        // Key lists in the top-level table replace the defaults wholesale:
+        // merging would make it impossible to *narrow* the default globs.
+        let mut current_rule: Option<String> = None;
+
+        let mut lines = text.lines().enumerate();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx + 1;
+            let mut line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep consuming until brackets balance.
+            while line.contains('[') && line.contains('=') && bracket_depth(&line) > 0 {
+                match lines.next() {
+                    Some((_, next)) => {
+                        line.push(' ');
+                        line.push_str(strip_comment(next).trim());
+                    }
+                    None => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: "unterminated array".into(),
+                        })
+                    }
+                }
+            }
+
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let header = header.trim();
+                if let Some(rule) = header.strip_prefix("rules.") {
+                    let rule = rule.trim().trim_matches('"');
+                    cfg.rules.entry(rule.to_owned()).or_default();
+                    current_rule = Some(rule.to_owned());
+                } else {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown table [{header}] (only [rules.<id>])"),
+                    });
+                }
+                continue;
+            }
+
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let err = |message: String| ConfigError {
+                line: lineno,
+                message,
+            };
+
+            match current_rule.as_deref() {
+                None => {
+                    let list = parse_string_array(value)
+                        .ok_or_else(|| err(format!("`{key}` wants a string array")))?;
+                    match key {
+                        "include" => cfg.include = list,
+                        "exclude" => cfg.exclude = list,
+                        "test_paths" => cfg.test_paths = list,
+                        "bin_paths" => cfg.bin_paths = list,
+                        _ => return Err(err(format!("unknown top-level key `{key}`"))),
+                    }
+                }
+                Some(rule) => {
+                    let rc = cfg.rules.entry(rule.to_owned()).or_default();
+                    match key {
+                        "severity" => {
+                            let s = parse_string(value)
+                                .and_then(|s| Severity::parse(&s))
+                                .ok_or_else(|| {
+                                    err(format!(
+                                        "severity must be \"deny\"|\"warn\"|\"allow\", got {value}"
+                                    ))
+                                })?;
+                            rc.severity = Some(s);
+                        }
+                        "allow_paths" => {
+                            rc.allow_paths = parse_string_array(value)
+                                .ok_or_else(|| err("allow_paths wants a string array".into()))?;
+                        }
+                        "strict_paths" => {
+                            rc.strict_paths = parse_string_array(value)
+                                .ok_or_else(|| err("strict_paths wants a string array".into()))?;
+                        }
+                        _ => return Err(err(format!("unknown rule key `{key}`"))),
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// The configured (or default-deny) severity of a rule.
+    pub fn severity(&self, rule: &str, default: Severity) -> Severity {
+        self.rules
+            .get(rule)
+            .and_then(|r| r.severity)
+            .unwrap_or(default)
+    }
+
+    /// True when `path` is exempt from `rule` via `allow_paths`.
+    pub fn path_allowed(&self, rule: &str, path: &str) -> bool {
+        self.rules
+            .get(rule)
+            .is_some_and(|r| r.allow_paths.iter().any(|g| glob_match(g, path)))
+    }
+
+    /// True when `path` is under the rule's `strict_paths`.
+    pub fn path_strict(&self, rule: &str, path: &str) -> bool {
+        self.rules
+            .get(rule)
+            .is_some_and(|r| r.strict_paths.iter().any(|g| glob_match(g, path)))
+    }
+
+    pub fn is_test_path(&self, path: &str) -> bool {
+        self.test_paths.iter().any(|g| glob_match(g, path))
+    }
+
+    pub fn is_bin_path(&self, path: &str) -> bool {
+        self.bin_paths.iter().any(|g| glob_match(g, path))
+    }
+
+    pub fn is_included(&self, path: &str) -> bool {
+        self.include.iter().any(|g| glob_match(g, path))
+            && !self.exclude.iter().any(|g| glob_match(g, path))
+    }
+}
+
+/// Net `[`-minus-`]` count outside string literals.
+fn bracket_depth(line: &str) -> i32 {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = ch == '\\' && !prev_escape;
+    }
+    line
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    let v = v.trim();
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_owned())
+}
+
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let v = v.trim();
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+/// Glob matching over `/`-separated paths: `*` matches within a segment,
+/// `**` matches across segments, `?` one char. No character classes.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = path.chars().collect();
+    glob_at(&pat, 0, &txt, 0)
+}
+
+fn glob_at(pat: &[char], mut p: usize, txt: &[char], mut t: usize) -> bool {
+    // Iterative with one backtrack point per star tier is subtle with `**`;
+    // plain recursion is clear and the inputs are tiny.
+    while p < pat.len() {
+        match pat[p] {
+            '*' => {
+                let double = pat.get(p + 1) == Some(&'*');
+                if double {
+                    // `**` plus an optional following `/` collapses.
+                    let mut q = p + 2;
+                    if pat.get(q) == Some(&'/') {
+                        q += 1;
+                    }
+                    // Try every suffix (including crossing `/`).
+                    let mut k = t;
+                    loop {
+                        if glob_at(pat, q, txt, k) {
+                            return true;
+                        }
+                        if k >= txt.len() {
+                            return false;
+                        }
+                        k += 1;
+                    }
+                } else {
+                    let mut k = t;
+                    loop {
+                        if glob_at(pat, p + 1, txt, k) {
+                            return true;
+                        }
+                        if k >= txt.len() || txt[k] == '/' {
+                            return false;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+            '?' => {
+                if t >= txt.len() || txt[t] == '/' {
+                    return false;
+                }
+                p += 1;
+                t += 1;
+            }
+            c => {
+                if t >= txt.len() || txt[t] != c {
+                    return false;
+                }
+                p += 1;
+                t += 1;
+            }
+        }
+    }
+    t == txt.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("crates/**", "crates/net/src/server.rs"));
+        assert!(glob_match("**/tests/**", "crates/net/tests/prop.rs"));
+        assert!(!glob_match("**/tests/**", "crates/net/src/server.rs"));
+        assert!(glob_match(
+            "**/src/bin/**",
+            "crates/bench/src/bin/calibrate.rs"
+        ));
+        assert!(glob_match("src/*.rs", "src/lib.rs"));
+        assert!(!glob_match("src/*.rs", "src/http/mod.rs"));
+        assert!(glob_match(
+            "**/interest.rs",
+            "crates/trends/src/interest.rs"
+        ));
+        assert!(glob_match("vendor/**", "vendor/serde/src/lib.rs"));
+    }
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+# file selection
+include = ["src/**", "crates/**"]
+exclude = ["vendor/**"] # vendored shims
+
+[rules.no-panic]
+severity = "deny"
+allow_paths = ["crates/bench/src/bin/**"]
+
+[rules.lossy-cast]
+severity = "warn"
+strict_paths = ["crates/trends/src/interest.rs"]
+"#;
+        let cfg = Config::parse(text).expect("parse");
+        assert_eq!(cfg.include, vec!["src/**", "crates/**"]);
+        assert_eq!(cfg.severity("no-panic", Severity::Warn), Severity::Deny);
+        assert_eq!(cfg.severity("lossy-cast", Severity::Deny), Severity::Warn);
+        assert_eq!(cfg.severity("unconfigured", Severity::Deny), Severity::Deny);
+        assert!(cfg.path_allowed("no-panic", "crates/bench/src/bin/calibrate.rs"));
+        assert!(!cfg.path_allowed("no-panic", "crates/core/src/study.rs"));
+        assert!(cfg.path_strict("lossy-cast", "crates/trends/src/interest.rs"));
+    }
+
+    #[test]
+    fn multiline_arrays_parse() {
+        let text = "[rules.lossy-cast]\nstrict_paths = [\n  \"a/**\", # why a\n  \"b/**\",\n]\n";
+        let cfg = Config::parse(text).expect("parse");
+        assert_eq!(cfg.rules["lossy-cast"].strict_paths, vec!["a/**", "b/**"]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Config::parse("include = [\"a\"]\nbogus line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = Config::parse("[surprise]\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Config::parse("[rules.x]\nseverity = \"fatal\"\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn default_selection_skips_vendor_and_fixtures() {
+        let cfg = Config::default();
+        assert!(cfg.is_included("crates/net/src/server.rs"));
+        assert!(!cfg.is_included("vendor/serde/src/lib.rs"));
+        assert!(!cfg.is_included("crates/lint/tests/fixtures/no_panic.rs"));
+        assert!(cfg.is_test_path("crates/net/tests/prop.rs"));
+        assert!(cfg.is_bin_path("crates/bench/src/bin/experiments.rs"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Walks the workspace, runs every rule, applies policy and suppressions.
+
+use crate::config::{Config, Severity};
+use crate::context::FileCtx;
+use crate::rules::{registry, RawFinding, Rule, RuleKind};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A finished, policy-applied finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+/// Lints in-memory sources (used by fixture tests and by
+/// [`lint_workspace`] after reading files).
+pub fn lint_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Finding> {
+    let contexts: Vec<FileCtx> = sources
+        .iter()
+        .map(|(path, text)| FileCtx::new(path, text, cfg))
+        .collect();
+
+    let mut findings = Vec::new();
+    for rule in registry() {
+        let severity = cfg.severity(rule.id, rule.default_severity);
+        if severity == Severity::Allow {
+            continue;
+        }
+        match rule.kind {
+            RuleKind::PerFile(check) => {
+                for ctx in &contexts {
+                    if !rule_applies_to(&rule, ctx, cfg) {
+                        continue;
+                    }
+                    let mut raw = Vec::new();
+                    check(ctx, cfg, &mut raw);
+                    admit(&rule, severity, ctx, raw, &mut findings);
+                }
+            }
+            RuleKind::Workspace(check) => {
+                for (path, f) in check(&contexts, cfg) {
+                    let Some(ctx) = contexts.iter().find(|c| c.path == path) else {
+                        continue;
+                    };
+                    admit(&rule, severity, ctx, vec![f], &mut findings);
+                }
+            }
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    findings
+}
+
+fn rule_applies_to(rule: &Rule, ctx: &FileCtx, cfg: &Config) -> bool {
+    if !rule.applies_in_tests && ctx.is_test_file {
+        return false;
+    }
+    if rule.skips_bins && ctx.is_bin_file {
+        return false;
+    }
+    !cfg.path_allowed(rule.id, &ctx.path)
+}
+
+/// Applies test-context and inline-suppression filters, then records.
+fn admit(
+    rule: &Rule,
+    severity: Severity,
+    ctx: &FileCtx,
+    raw: Vec<RawFinding>,
+    out: &mut Vec<Finding>,
+) {
+    for f in raw {
+        if !rule.applies_in_tests && ctx.in_test(f.line) {
+            continue;
+        }
+        if ctx.is_suppressed(rule.id, f.line) {
+            continue;
+        }
+        out.push(Finding {
+            path: ctx.path.clone(),
+            line: f.line,
+            col: f.col,
+            rule: rule.id,
+            severity,
+            message: f.message,
+        });
+    }
+}
+
+/// Lints every `.rs` file selected by the config under `root`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, cfg, &mut files)?;
+    files.sort();
+
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let text = fs::read_to_string(root.join(&path))?;
+        sources.push((path, text));
+    }
+    Ok(lint_sources(&sources, cfg))
+}
+
+/// Directory names never descended into, regardless of config (build
+/// output and VCS internals are large and always irrelevant).
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if cfg.is_included(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+        lint_sources(&[(path.to_owned(), src.to_owned())], cfg)
+    }
+
+    #[test]
+    fn severity_allow_disables_a_rule() {
+        let mut cfg = Config::default();
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(lint_one("crates/x/src/lib.rs", src, &cfg).len(), 1);
+        cfg.rules.entry("no-panic".into()).or_default().severity = Some(Severity::Allow);
+        assert!(lint_one("crates/x/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn warn_findings_survive_with_warn_severity() {
+        let mut cfg = Config::default();
+        cfg.rules.entry("no-panic".into()).or_default().severity = Some(Severity::Warn);
+        let out = lint_one("crates/x/src/lib.rs", "fn f() { x.unwrap(); }", &cfg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn inline_suppression_silences_one_line() {
+        let src = "fn f() {\n  a.unwrap(); // sift-lint: allow(no-panic) — test harness\n  b.unwrap();\n}";
+        let out = lint_one("crates/x/src/lib.rs", src, &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn test_context_exempts_non_test_rules_only() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t(x: f64) { y.unwrap(); if x == 1.0 {} }\n}";
+        let out = lint_one("crates/x/src/lib.rs", src, &Config::default());
+        // no-panic skips tests; float-eq does not.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn findings_sorted_by_position() {
+        let src = "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); }";
+        let out = lint_one("crates/x/src/lib.rs", src, &Config::default());
+        assert_eq!(out.len(), 2);
+        assert!(out[0].line < out[1].line);
+    }
+}

@@ -1,0 +1,478 @@
+//! A small Rust lexer, exact where it matters for linting.
+//!
+//! The rules in this crate must never fire on text inside string literals,
+//! char literals, or comments — `"never unwrap() in prod"` in a doc string
+//! is not a violation. The lexer therefore recognises every Rust literal
+//! form (escaped strings, raw strings with arbitrary `#` fences, byte and
+//! C strings, char-vs-lifetime disambiguation, nested block comments) and
+//! emits a token stream with line/column positions. It does not attempt to
+//! parse: rules work on token patterns, which is all they need.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `as`, `unwrap`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (`42`, `0xff_u8`).
+    Int,
+    /// Float literal (`1.0`, `6e23`, `2f32`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation, possibly multi-char (`==`, `::`, `->`, `{`).
+    Punct,
+    /// Line comment including doc comments (`// …`, `/// …`).
+    LineComment,
+    /// Block comment including doc comments (`/* … */`), nesting handled.
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-char punctuation recognised greedily, longest first.
+const PUNCT3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const PUNCT2: &[&str] = &[
+    "==", "!=", "<=", ">=", "::", "&&", "||", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenises `src`. The lexer is total: unknown bytes become single-char
+/// punctuation rather than errors, so a half-written file still lints.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while let Some(b) = c.peek(0) {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        let tok = |kind: TokKind, c: &Cursor, start: usize| Token {
+            kind,
+            text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+            line,
+            col,
+        };
+
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+
+        // Comments.
+        if b == b'/' && c.peek(1) == Some(b'/') {
+            while let Some(n) = c.peek(0) {
+                if n == b'\n' {
+                    break;
+                }
+                c.bump();
+            }
+            out.push(tok(TokKind::LineComment, &c, start));
+            continue;
+        }
+        if b == b'/' && c.peek(1) == Some(b'*') {
+            c.bump();
+            c.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (c.peek(0), c.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        c.bump();
+                        c.bump();
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        c.bump();
+                        c.bump();
+                    }
+                    (Some(_), _) => {
+                        c.bump();
+                    }
+                    (None, _) => break, // unterminated: EOF ends the comment
+                }
+            }
+            out.push(tok(TokKind::BlockComment, &c, start));
+            continue;
+        }
+
+        // Raw / byte / C strings: r"…", r#"…"#, b"…", br#"…"#, c"…".
+        if let Some(n) = raw_or_prefixed_string(&c) {
+            for _ in 0..n {
+                c.bump();
+            }
+            out.push(tok(TokKind::Str, &c, start));
+            continue;
+        }
+
+        // Plain strings.
+        if b == b'"' {
+            c.bump();
+            lex_quoted(&mut c, b'"');
+            out.push(tok(TokKind::Str, &c, start));
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            if is_char_literal(&c) {
+                c.bump();
+                lex_quoted(&mut c, b'\'');
+                out.push(tok(TokKind::Char, &c, start));
+            } else {
+                c.bump(); // the quote
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.push(tok(TokKind::Lifetime, &c, start));
+            }
+            continue;
+        }
+
+        // Numbers (leading digit; `.5` floats don't exist in Rust).
+        if b.is_ascii_digit() {
+            let kind = lex_number(&mut c);
+            out.push(tok(kind, &c, start));
+            continue;
+        }
+
+        // Identifiers and keywords (including r#raw idents).
+        if is_ident_start(b) || (b == b'r' && c.peek(1) == Some(b'#')) {
+            if b == b'r' && c.peek(1) == Some(b'#') && c.peek(2).is_some_and(is_ident_start) {
+                c.bump();
+                c.bump();
+            }
+            while c.peek(0).is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            out.push(tok(TokKind::Ident, &c, start));
+            continue;
+        }
+
+        // Punctuation, longest match first.
+        let mut matched = false;
+        for set in [PUNCT3, PUNCT2] {
+            if let Some(p) = set.iter().find(|p| c.starts_with(p)) {
+                for _ in 0..p.len() {
+                    c.bump();
+                }
+                out.push(tok(TokKind::Punct, &c, start));
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            c.bump();
+            out.push(tok(TokKind::Punct, &c, start));
+        }
+    }
+
+    out
+}
+
+/// Length in bytes of a raw/byte/C string opener at the cursor, if one
+/// starts here: the whole literal is measured and returned.
+fn raw_or_prefixed_string(c: &Cursor) -> Option<usize> {
+    let rest = &c.src[c.pos..];
+    let mut i = 0usize;
+    // Optional b/c prefix, optional r, then # fence or quote.
+    if rest.first().copied() == Some(b'b') || rest.first().copied() == Some(b'c') {
+        i += 1;
+    }
+    let raw = rest.get(i).copied() == Some(b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while rest.get(i + hashes).copied() == Some(b'#') {
+        hashes += 1;
+    }
+    if !raw && hashes > 0 {
+        return None; // b#… is not a string
+    }
+    if rest.get(i + hashes).copied() != Some(b'"') {
+        return None;
+    }
+    if i == 0 && hashes == 0 {
+        return None; // plain `"` handled by the caller
+    }
+    if !raw && i > 0 && hashes == 0 {
+        // b"…" / c"…": escaped string with a one-byte prefix.
+        let mut j = i + 1;
+        while j < rest.len() {
+            match rest[j] {
+                b'\\' => j += 2,
+                b'"' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(rest.len());
+    }
+    // Raw string: scan for `"` followed by `hashes` hashes, no escapes.
+    let mut j = i + hashes + 1;
+    while j < rest.len() {
+        if rest[j] == b'"' {
+            let close = &rest[j + 1..];
+            if close.len() >= hashes && close[..hashes].iter().all(|&h| h == b'#') {
+                return Some(j + 1 + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(rest.len())
+}
+
+/// True when the `'` at the cursor opens a char literal rather than a
+/// lifetime: `'\…'`, `'x'`, but not `'a` (lifetime) or `'a.cmp(…)`.
+fn is_char_literal(c: &Cursor) -> bool {
+    match c.peek(1) {
+        Some(b'\\') => true,
+        Some(n) if is_ident_continue(n) => {
+            // 'a' is a char; 'a (no closing quote after the ident run) is
+            // a lifetime. Scan the ident run.
+            let mut k = 2;
+            while c.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            c.peek(k) == Some(b'\'')
+        }
+        Some(b'\'') => false, // '' is not valid; treat as punct-ish char lit
+        Some(_) => true,      // '(' etc: char literal like '('
+        None => false,
+    }
+}
+
+/// Consumes an escaped literal body up to the closing `quote`.
+fn lex_quoted(c: &mut Cursor, quote: u8) {
+    while let Some(b) = c.peek(0) {
+        if b == b'\\' {
+            c.bump();
+            c.bump();
+            continue;
+        }
+        c.bump();
+        if b == quote {
+            return;
+        }
+    }
+}
+
+/// Consumes a numeric literal, classifying int vs float.
+fn lex_number(c: &mut Cursor) -> TokKind {
+    let hex_oct_bin = c.peek(0) == Some(b'0')
+        && matches!(c.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if hex_oct_bin {
+        c.bump();
+        c.bump();
+        while c
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            c.bump();
+        }
+        return TokKind::Int;
+    }
+
+    let mut float = false;
+    while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        c.bump();
+    }
+    // A fractional part only if the dot is followed by a digit (so `1..2`
+    // and `1.max(2)` stay integers).
+    if c.peek(0) == Some(b'.') && c.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        float = true;
+        c.bump();
+        while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            c.bump();
+        }
+    } else if c.peek(0) == Some(b'.') && !c.peek(1).is_some_and(|b| is_ident_start(b) || b == b'.')
+    {
+        // Trailing-dot float: `1.` (but not `1..` or `1.abs()`).
+        float = true;
+        c.bump();
+    }
+    // Exponent.
+    if matches!(c.peek(0), Some(b'e' | b'E')) {
+        let (sign, digit) = (c.peek(1), c.peek(2));
+        let has_exp = match sign {
+            Some(b'+' | b'-') => digit.is_some_and(|b| b.is_ascii_digit()),
+            Some(b) => b.is_ascii_digit(),
+            None => false,
+        };
+        if has_exp {
+            float = true;
+            c.bump(); // e
+            if matches!(c.peek(0), Some(b'+' | b'-')) {
+                c.bump();
+            }
+            while c.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                c.bump();
+            }
+        }
+    }
+    // Suffix (u8, i64, f32, …) decides floatness for `2f64`.
+    let suffix_start = c.pos;
+    while c.peek(0).is_some_and(is_ident_continue) {
+        c.bump();
+    }
+    let suffix = &c.src[suffix_start..c.pos];
+    if suffix == b"f32" || suffix == b"f64" {
+        float = true;
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "x.unwrap() == 1.0";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r##"let s = r#"a "quoted" panic!()"#; x"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "x"]);
+    }
+
+    #[test]
+    fn byte_strings_and_c_strings() {
+        let toks = kinds(r##"b"127.0.0.1" c"null" br#"raw"# b'x'"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+        // The float-looking bytes inside b"127.0.0.1" must not leak out.
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn number_classification() {
+        assert_eq!(kinds("1.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e5")[0].0, TokKind::Float);
+        assert_eq!(kinds("2.5e-3")[0].0, TokKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokKind::Int);
+        assert_eq!(kinds("42u8")[0].0, TokKind::Int);
+        // Ranges and method calls on ints stay ints.
+        let r = kinds("1..2");
+        assert_eq!(r[0].0, TokKind::Int);
+        assert_eq!(r[1].1, "..");
+        let m = kinds("1.max(2)");
+        assert_eq!(m[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn multichar_punct_and_positions() {
+        let toks = lex("a == b\n  c != 1.5");
+        let eq = toks.iter().find(|t| t.text == "==").expect("==");
+        assert_eq!((eq.line, eq.col), (1, 3));
+        let ne = toks.iter().find(|t| t.text == "!=").expect("!=");
+        assert_eq!((ne.line, ne.col), (2, 5));
+        let f = toks.iter().find(|t| t.kind == TokKind::Float).expect("f");
+        assert_eq!(f.text, "1.5");
+    }
+
+    #[test]
+    fn line_comment_suppression_text_survives() {
+        let toks = lex("x(); // sift-lint: allow(no-panic) — justified");
+        let c = toks.iter().find(|t| t.is_comment()).expect("comment");
+        assert!(c.text.contains("allow(no-panic)"));
+    }
+}

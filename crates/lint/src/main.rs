@@ -1,0 +1,105 @@
+//! The `sift-lint` command-line gate.
+
+use sift_lint::{find_root, load_config, validate_rule_ids, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sift-lint — workspace-native static analysis for SIFT
+
+USAGE:
+    sift-lint [--json] [--root <dir>] [--config <file>]
+    sift-lint --rules-md
+
+OPTIONS:
+    --json        machine-readable output (one JSON object)
+    --root <dir>  workspace root (default: nearest ancestor with Lint.toml)
+    --config <f>  config file (default: <root>/Lint.toml)
+    --rules-md    print the generated rule-reference table and exit
+    --help        this text
+
+EXIT STATUS:
+    0  clean, or warn-level findings only
+    1  at least one deny-level finding
+    2  usage, configuration or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut config_arg: Option<PathBuf> = None;
+    let mut rules_md = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules-md" => rules_md = true,
+            "--root" => match args.next() {
+                Some(v) => root_arg = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_arg = Some(PathBuf::from(v)),
+                None => return usage_error("--config needs a value"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if rules_md {
+        print!("{}", sift_lint::rules_markdown());
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root_arg.or_else(|| find_root(&cwd)).unwrap_or(cwd);
+
+    let cfg = match config_arg {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => match sift_lint::Config::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => return config_error(&e.to_string()),
+            },
+            Err(e) => return config_error(&format!("{}: {e}", path.display())),
+        },
+        None => match load_config(&root) {
+            Ok(cfg) => cfg,
+            Err(e) => return config_error(&e.to_string()),
+        },
+    };
+    if let Err(e) = validate_rule_ids(&cfg) {
+        return config_error(&e);
+    }
+
+    let findings = match sift_lint::lint_workspace(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => return config_error(&format!("walking {}: {e}", root.display())),
+    };
+
+    if json {
+        print!("{}", sift_lint::render_json(&findings));
+    } else {
+        print!("{}", sift_lint::render_text(&findings));
+    }
+
+    if findings.iter().any(|f| f.severity == Severity::Deny) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("sift-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn config_error(msg: &str) -> ExitCode {
+    eprintln!("sift-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,167 @@
+//! `float-eq`: no exact equality on floating-point values.
+//!
+//! Two forms are caught: the operators `==` / `!=` with a float literal on
+//! either side, and `assert_eq!` / `assert_ne!` where a top-level macro
+//! argument is a bare float literal. (Comparing two float *variables* is
+//! invisible to a token-level pass; the literal forms are where this
+//! workspace's real bugs were.) The rule applies inside tests too — an
+//! exact-equality assertion on a value that went through sampling or
+//! renormalization is a latent flake.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::lexer::{TokKind, Token};
+use crate::rules::RawFinding;
+
+pub fn check(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<RawFinding>) {
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        // `x == 1.0`, `0.0 != y` — a float literal adjacent to the operator
+        // (allowing a unary minus).
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let left_float = i > 0 && code[i - 1].kind == TokKind::Float;
+            let right_float = is_float_operand(code, i + 1);
+            if left_float || right_float {
+                out.push(RawFinding::new(
+                    t.line,
+                    t.col,
+                    format!(
+                        "float literal compared with `{}`: compare with an \
+                         epsilon (`(a - b).abs() < eps`) or on integers",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        // assert_eq!(x, 1.0) — a top-level argument that is a float literal.
+        if t.kind == TokKind::Ident && (t.text == "assert_eq" || t.text == "assert_ne") {
+            let bang = code
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == "!");
+            let open = code.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Punct && matches!(n.text.as_str(), "(" | "[" | "{")
+            });
+            if bang && open && macro_has_bare_float_arg(code, i + 2) {
+                out.push(RawFinding::new(
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}!` against a float literal asserts exact float \
+                         equality: assert with an epsilon instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// True when the token at `i` (or `-` then a float) is a float literal.
+fn is_float_operand(code: &[Token], i: usize) -> bool {
+    match code.get(i) {
+        Some(t) if t.kind == TokKind::Float => true,
+        Some(t) if t.kind == TokKind::Punct && t.text == "-" => {
+            code.get(i + 1).is_some_and(|n| n.kind == TokKind::Float)
+        }
+        _ => false,
+    }
+}
+
+/// Scans a macro's delimited body starting at `open`; true when any
+/// top-level (depth-1) comma-separated argument is exactly a float literal,
+/// optionally negated.
+fn macro_has_bare_float_arg(code: &[Token], open: usize) -> bool {
+    let (open_s, close_s) = match code[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    };
+    let mut depth = 0i32;
+    let mut arg: Vec<&Token> = Vec::new();
+    let bare_float = |arg: &[&Token]| match arg {
+        [t] => t.kind == TokKind::Float,
+        [m, t] => m.kind == TokKind::Punct && m.text == "-" && t.kind == TokKind::Float,
+        _ => false,
+    };
+    for t in &code[open..] {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                s if s == open_s => {
+                    depth += 1;
+                    if depth > 1 {
+                        arg.push(t);
+                    }
+                    continue;
+                }
+                s if s == close_s => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return bare_float(&arg);
+                    }
+                    arg.push(t);
+                    continue;
+                }
+                "," if depth == 1 => {
+                    if bare_float(&arg) {
+                        return true;
+                    }
+                    arg.clear();
+                    continue;
+                }
+                // Other delimiters inside arguments still need depth
+                // tracking so commas inside them don't split.
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth >= 1 {
+            arg.push(t);
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src, &Config::default());
+        let mut out = Vec::new();
+        check(&ctx, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_operator_forms() {
+        let out = findings("fn f(x: f64) { if x == 0.0 || 1.5 != x || x == -2.0 {} }");
+        assert_eq!(out.len(), 3, "{out:?}");
+    }
+
+    #[test]
+    fn flags_bare_float_assert_args() {
+        let out = findings("fn t() { assert_eq!(m, 100.0); assert_ne!(-0.5, m); }");
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn nested_float_literals_do_not_flag_asserts() {
+        // The floats are function arguments / vec elements, not the
+        // compared values.
+        let out = findings(
+            "fn t() { assert_eq!(poisson(&mut r, 0.0), 0); \
+             assert_eq!(index_values(&[0.0, 0.5]), vec![0, 50]); }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn integer_and_ordering_comparisons_are_fine() {
+        let out = findings("fn f(x: f64, n: u64) { if n == 0 || x <= 0.0 || x >= 1.0 {} }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! `lossy-cast`: no truncating `as` casts on numeric values.
+//!
+//! A token-level linter cannot know the source type of `x as u32`, but it
+//! can know the destination. Casting *to* a type of at most 32 bits is
+//! flagged everywhere: on this workspace's 64-bit targets every wider
+//! numeric exists, so such a cast either truncates or should be written as
+//! an infallible `from`/`try_from` that says so. On `strict_paths` (the
+//! interest/index math modules named in `Lint.toml`) **every** numeric
+//! `as` cast is flagged, including `as u64`/`as f64`/`as usize` — those
+//! files hold the stitching arithmetic the paper's calibration rests on,
+//! and `f64 as u64` truncation or `u64 as f64` precision loss are exactly
+//! the silent bugs that corrupt it.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+/// Destinations flagged everywhere.
+const NARROW: &[&str] = &["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
+/// Additional destinations flagged on strict paths.
+const WIDE: &[&str] = &["u64", "i64", "u128", "i128", "usize", "isize", "f64"];
+
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<RawFinding>) {
+    let strict = cfg.path_strict("lossy-cast", &ctx.path);
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "as") {
+            continue;
+        }
+        let Some(dst) = code.get(i + 1) else { continue };
+        if dst.kind != TokKind::Ident {
+            continue;
+        }
+        let narrow = NARROW.contains(&dst.text.as_str());
+        let wide = WIDE.contains(&dst.text.as_str());
+        if narrow {
+            out.push(RawFinding::new(
+                t.line,
+                t.col,
+                format!(
+                    "`as {}` can truncate: use `{}::try_from(..)` (or `from` \
+                     where infallible) so narrowing is explicit",
+                    dst.text, dst.text
+                ),
+            ));
+        } else if strict && wide {
+            out.push(RawFinding::new(
+                t.line,
+                t.col,
+                format!(
+                    "`as {}` in interest/index math (strict path): use a \
+                     checked conversion or justify with an inline allow",
+                    dst.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str, cfg: &Config) -> Vec<RawFinding> {
+        let ctx = FileCtx::new(path, src, cfg);
+        let mut out = Vec::new();
+        check(&ctx, cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn narrow_targets_flagged_everywhere() {
+        let cfg = Config::default();
+        let out = findings(
+            "crates/x/src/lib.rs",
+            "fn f(x: u64) { let a = x as u8; let b = x as f32; let c = x as u64; }",
+            &cfg,
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn strict_paths_flag_every_numeric_cast() {
+        let mut cfg = Config::default();
+        cfg.rules
+            .entry("lossy-cast".into())
+            .or_default()
+            .strict_paths = vec!["**/interest.rs".into()];
+        let out = findings(
+            "crates/trends/src/interest.rs",
+            "fn f(x: f64) { let a = x as u64; let b = x as f64; }",
+            &cfg,
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn non_cast_as_is_ignored() {
+        let cfg = Config::default();
+        let out = findings(
+            "crates/x/src/lib.rs",
+            "use foo::bar as baz; fn f(x: &dyn Any) { let _ = x as &dyn Other; }",
+            &cfg,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,86 @@
+//! `no-panic`: no `unwrap()`, `expect()` or `panic!` in library code.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+pub fn check(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<RawFinding>) {
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // `.unwrap()` / `.expect(` — method position only, so local
+            // functions named `unwrap` (or `unwrap_or`, a distinct ident)
+            // don't fire.
+            "unwrap" | "expect" => {
+                let after_dot =
+                    i > 0 && code[i - 1].kind == TokKind::Punct && code[i - 1].text == ".";
+                let called = code
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+                if after_dot && called {
+                    out.push(RawFinding::new(
+                        t.line,
+                        t.col,
+                        format!(
+                            "`.{}()` in library code: propagate the error (`?`), \
+                             or handle it with `unwrap_or_*` / `ok_or`",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            "panic" => {
+                let is_macro = code
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "!");
+                // `core::panic::…` paths and `#[panic_handler]` are not
+                // invocations; requiring the `!` filters them out.
+                if is_macro {
+                    out.push(RawFinding::new(
+                        t.line,
+                        t.col,
+                        "`panic!` in library code: return an error value instead".to_owned(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src, &Config::default());
+        let mut out = Vec::new();
+        check(&ctx, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let out = findings("fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"no\"); }");
+        assert_eq!(out.len(), 3);
+        assert!(out[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn ignores_lookalikes() {
+        let out = findings(
+            "fn f() { x.unwrap_or(0); x.unwrap_or_else(g); u.expect_len(2); \
+             let s = \"don't panic!\"; // panic! in a comment\n }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn free_function_named_unwrap_is_fine() {
+        assert!(findings("fn f() { unwrap(); }").is_empty());
+    }
+}

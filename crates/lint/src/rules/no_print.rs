@@ -1,0 +1,59 @@
+//! `no-print`: library crates log through `sift-obs`, not stdout.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+pub fn check(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<RawFinding>) {
+    let code = &ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !PRINT_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let is_macro = code
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Punct && n.text == "!");
+        // `writeln!`/`write!` to an arbitrary sink are fine; only the
+        // stdout/stderr family is flagged.
+        if is_macro {
+            out.push(RawFinding::new(
+                t.line,
+                t.col,
+                format!(
+                    "`{}!` in a library crate: emit a structured \
+                     `sift_obs::event` (or return the text to the caller)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src, &Config::default());
+        let mut out = Vec::new();
+        check(&ctx, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_print_family() {
+        let out = findings("fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(z); }");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn writeln_and_idents_are_fine() {
+        let out = findings(
+            "fn f(w: &mut W) { writeln!(w, \"x\").ok(); let println = 3; let _ = println; }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

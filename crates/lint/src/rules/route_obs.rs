@@ -1,0 +1,155 @@
+//! `route-obs`: instrumentation completeness for HTTP routes.
+//!
+//! Collects every route registration of the workspace idiom
+//! `.route(Method::Get, "/path", …)` and every obs counter registration
+//! `counter("name", …)` from non-test code, workspace-wide. A route is
+//! considered instrumented when some counter's name mentions the route's
+//! final path segment (slugified; plain substring match, so `frame` is
+//! found in `sift_trends_frames_served_total`). Routes with no matching
+//! counter are findings at the registration site.
+//!
+//! The match is cross-crate on purpose: the trends-service counters that
+//! cover `/api/frame` live one crate away from the router that registers
+//! it.
+
+use crate::config::Config;
+use crate::context::{str_literal_content, FileCtx};
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+pub fn check(files: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
+    let mut routes: Vec<(String, String, u32, u32)> = Vec::new(); // path-lit, file, line, col
+    let mut counters: Vec<String> = Vec::new();
+
+    for ctx in files {
+        if ctx.is_test_file || ctx.is_bin_file {
+            continue;
+        }
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            // `.route(Method::<X>, "<path>"`.
+            if t.text == "route"
+                && i > 0
+                && code[i - 1].text == "."
+                && tok_is(code, i + 1, TokKind::Punct, "(")
+                && tok_is(code, i + 2, TokKind::Ident, "Method")
+                && tok_is(code, i + 3, TokKind::Punct, "::")
+                && code.get(i + 4).is_some_and(|t| t.kind == TokKind::Ident)
+                && tok_is(code, i + 5, TokKind::Punct, ",")
+                && code.get(i + 6).is_some_and(|t| t.kind == TokKind::Str)
+                && !ctx.in_test(t.line)
+            {
+                routes.push((
+                    str_literal_content(&code[i + 6].text).to_owned(),
+                    ctx.path.clone(),
+                    t.line,
+                    t.col,
+                ));
+            }
+            // `counter("name"` — covers `sift_obs::counter(…)` and the
+            // re-exported bare form.
+            if t.text == "counter"
+                && tok_is(code, i + 1, TokKind::Punct, "(")
+                && code.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+                && !ctx.in_test(t.line)
+            {
+                counters.push(str_literal_content(&code[i + 2].text).to_owned());
+            }
+        }
+    }
+
+    routes
+        .into_iter()
+        .filter(|(path, file, _, _)| {
+            !cfg.path_allowed("route-obs", file) && {
+                let seg = route_slug(path);
+                !counters.iter().any(|c| c.contains(&seg))
+            }
+        })
+        .map(|(path, file, line, col)| {
+            let seg = route_slug(&path);
+            (
+                file,
+                RawFinding::new(
+                    line,
+                    col,
+                    format!(
+                        "route `{path}` has no obs counter mentioning \
+                         `{seg}`: add a `sift_obs::counter(\"…{seg}…\")` so \
+                         the route shows up in /metrics"
+                    ),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn tok_is(code: &[crate::lexer::Token], i: usize, kind: TokKind, text: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == kind && t.text == text)
+}
+
+/// The route's final path segment, lowercased and reduced to `[a-z0-9_]`.
+fn route_slug(path: &str) -> String {
+    let seg = path.rsplit('/').find(|s| !s.is_empty()).unwrap_or("root");
+    let slug: String = seg
+        .chars()
+        .map(|c| c.to_ascii_lowercase())
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if slug.is_empty() {
+        "root".to_owned()
+    } else {
+        slug
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        FileCtx::new(path, src, &Config::default())
+    }
+
+    #[test]
+    fn uncovered_route_is_flagged_and_covered_is_not() {
+        let router = ctx(
+            "crates/a/src/serve.rs",
+            r#"fn r(b: Router) -> Router {
+                b.route(Method::Get, "/stats", |_| s())
+                 .route(Method::Post, "/api/frame", |_| f())
+            }"#,
+        );
+        let metrics = ctx(
+            "crates/b/src/service.rs",
+            r#"fn f() { sift_obs::counter("sift_trends_frames_served_total", &[]).inc(); }"#,
+        );
+        let out = check(&[router, metrics], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("/stats"));
+        assert_eq!(out[0].0, "crates/a/src/serve.rs");
+    }
+
+    #[test]
+    fn test_code_routes_and_counters_do_not_count() {
+        let f = ctx(
+            "crates/a/src/server.rs",
+            r#"#[cfg(test)]
+            mod tests {
+                fn r(b: Router) -> Router { b.route(Method::Get, "/ping", |_| p()) }
+            }"#,
+        );
+        assert!(check(&[f], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn slugs() {
+        assert_eq!(route_slug("/api/frame"), "frame");
+        assert_eq!(route_slug("/healthz"), "healthz");
+        assert_eq!(route_slug("/"), "root");
+    }
+}

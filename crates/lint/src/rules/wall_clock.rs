@@ -1,0 +1,83 @@
+//! `wall-clock`: simulation code must not read the host clock.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+pub fn check(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<RawFinding>) {
+    let code = &ctx.code;
+    let ident = |i: usize, s: &str| {
+        code.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+    };
+    let punct = |i: usize, s: &str| {
+        code.get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Instant::now / SystemTime::now — the read itself, not the type
+        // (holding a caller-supplied Instant is fine; minting one is not).
+        if (t.text == "Instant" || t.text == "SystemTime")
+            && punct(i + 1, "::")
+            && ident(i + 2, "now")
+        {
+            out.push(RawFinding::new(
+                t.line,
+                t.col,
+                format!(
+                    "`{}::now()` bypasses sift-simtime: take a simulated \
+                     clock/Hour from the caller instead",
+                    t.text
+                ),
+            ));
+        }
+        // thread::sleep — blocks on host time.
+        if t.text == "sleep" && i >= 2 && punct(i - 1, "::") && ident(i - 2, "thread") {
+            out.push(RawFinding::new(
+                code[i - 2].line,
+                code[i - 2].col,
+                "`thread::sleep` blocks on host time: simulation delays \
+                 must come from sift-simtime"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src, &Config::default());
+        let mut out = Vec::new();
+        check(&ctx, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_clock_reads_and_sleep() {
+        let out = findings(
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); \
+             std::thread::sleep(d); }",
+        );
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn holding_an_instant_is_fine() {
+        let out = findings("fn f(started: Instant) -> Duration { started.elapsed() }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unrelated_sleep_ident_is_fine() {
+        assert!(findings("fn f() { cfg.sleep = 3; sleep(); }").is_empty());
+    }
+}

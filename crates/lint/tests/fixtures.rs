@@ -1,0 +1,139 @@
+//! Fixture-driven rule tests.
+//!
+//! Each fixture under `tests/fixtures/` seeds deliberate violations on
+//! lines tagged `//~ <rule>` (or `//~strict <rule>` for findings that
+//! only appear when the file is on a `strict_paths` glob). The harness
+//! lints the fixture under a library-crate path and demands the reported
+//! `(line, rule)` set match the tags *exactly* — so positives must fire
+//! at the right line, and negatives/suppressions must stay silent.
+
+use sift_lint::{lint_sources, Config, Finding};
+
+fn expected_findings(src: &str, strict: bool) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let Some(rest) = line.split("//~").nth(1) else {
+            continue;
+        };
+        let line_no = u32::try_from(i).unwrap_or(u32::MAX) + 1;
+        if let Some(rule) = rest.strip_prefix("strict ") {
+            if strict {
+                out.push((line_no, rule.trim().to_owned()));
+            }
+        } else {
+            out.push((line_no, rest.trim().to_owned()));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn reported(findings: &[Finding], path: &str) -> Vec<(u32, String)> {
+    let mut out: Vec<(u32, String)> = findings
+        .iter()
+        .filter(|f| f.path == path)
+        .map(|f| (f.line, f.rule.to_owned()))
+        .collect();
+    out.sort();
+    out
+}
+
+fn check(name: &str, src: &str, cfg: &Config, strict: bool) {
+    let path = format!("crates/fixture/src/{name}.rs");
+    let findings = lint_sources(&[(path.clone(), src.to_owned())], cfg);
+    assert_eq!(
+        reported(&findings, &path),
+        expected_findings(src, strict),
+        "fixture {name} reported a different finding set"
+    );
+}
+
+#[test]
+fn no_panic_fixture() {
+    check(
+        "no_panic",
+        include_str!("fixtures/no_panic.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check(
+        "wall_clock",
+        include_str!("fixtures/wall_clock.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    // Default path: only narrow destinations are flagged.
+    check(
+        "lossy_cast",
+        include_str!("fixtures/lossy_cast.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn lossy_cast_strict_fixture() {
+    // Same file on a strict path: wide destinations are flagged too.
+    let mut cfg = Config::default();
+    cfg.rules
+        .entry("lossy-cast".to_owned())
+        .or_default()
+        .strict_paths = vec!["crates/fixture/src/lossy_cast.rs".to_owned()];
+    check(
+        "lossy_cast",
+        include_str!("fixtures/lossy_cast.rs"),
+        &cfg,
+        true,
+    );
+}
+
+#[test]
+fn float_eq_fixture() {
+    check(
+        "float_eq",
+        include_str!("fixtures/float_eq.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn no_print_fixture() {
+    check(
+        "no_print",
+        include_str!("fixtures/no_print.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn route_obs_fixture() {
+    check(
+        "route_obs",
+        include_str!("fixtures/route_obs.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn fixtures_are_quiet_under_test_paths() {
+    // The same violations under a `tests/` path: only rules that apply in
+    // tests may fire. `no_panic.rs` seeds none of those, so it goes quiet.
+    let src = include_str!("fixtures/no_panic.rs");
+    let path = "crates/fixture/tests/no_panic.rs".to_owned();
+    let findings = lint_sources(&[(path.clone(), src.to_owned())], &Config::default());
+    assert!(
+        reported(&findings, &path).is_empty(),
+        "test paths must exempt non-test rules"
+    );
+}

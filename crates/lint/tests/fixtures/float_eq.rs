@@ -1,0 +1,55 @@
+//! Fixture for the `float-eq` rule: exact equality against float
+//! literals, in library and test code alike.
+
+pub fn bad_eq(x: f64) -> bool {
+    x == 0.0 //~ float-eq
+}
+
+pub fn bad_ne(x: f32) -> bool {
+    x != 1.5 //~ float-eq
+}
+
+pub fn bad_literal_first(x: f64) -> bool {
+    3.25 == x //~ float-eq
+}
+
+pub fn bad_negative_literal(x: f64) -> bool {
+    x == -1.0 //~ float-eq
+}
+
+pub fn fine_threshold(x: f64) -> bool {
+    x <= 0.0
+}
+
+pub fn fine_epsilon(x: f64) -> bool {
+    (x - 1.0).abs() < 1e-9
+}
+
+pub fn fine_integer_compare(n: u32) -> bool {
+    n == 100
+}
+
+pub fn suppressed(x: f64) -> bool {
+    x == 0.0 // sift-lint: allow(float-eq) — fixture exercises suppression
+}
+
+#[cfg(test)]
+mod tests {
+    fn measure() -> f64 {
+        0.1 + 0.2
+    }
+
+    #[test]
+    fn bad_assert_in_test() {
+        assert_eq!(measure(), 0.3); //~ float-eq
+        assert_ne!(measure(), -0.5); //~ float-eq
+    }
+
+    #[test]
+    fn fine_asserts() {
+        assert!((measure() - 0.3).abs() < 1e-12);
+        // A float literal nested inside a call is an argument, not an
+        // exact float comparison.
+        assert_eq!(measure().total_cmp(&0.3), std::cmp::Ordering::Less);
+    }
+}

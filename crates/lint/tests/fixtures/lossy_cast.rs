@@ -1,0 +1,43 @@
+//! Fixture for the `lossy-cast` rule. Narrow destinations are flagged
+//! everywhere; wide destinations only on strict paths (the harness runs
+//! this file twice, once with the path configured strict).
+
+pub fn bad_narrow_u32(x: u64) -> u32 {
+    x as u32 //~ lossy-cast
+}
+
+pub fn bad_narrow_u8(x: usize) -> u8 {
+    x as u8 //~ lossy-cast
+}
+
+pub fn bad_narrow_f32(x: f64) -> f32 {
+    x as f32 //~ lossy-cast
+}
+
+pub fn wide_u64(x: u32) -> u64 {
+    x as u64 //~strict lossy-cast
+}
+
+pub fn wide_f64(x: u64) -> f64 {
+    x as f64 //~strict lossy-cast
+}
+
+pub fn fine_try_from(x: u64) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}
+
+pub fn fine_from(x: u8) -> u32 {
+    u32::from(x)
+}
+
+pub fn fine_as_pattern(x: Option<u32>) {
+    // `as` in a use declaration or pattern context has no numeric type
+    // after it, so it never matches.
+    if let Some(y) = x {
+        let _ = y;
+    }
+}
+
+pub fn suppressed(x: u64) -> u32 {
+    x as u32 // sift-lint: allow(lossy-cast) — fixture exercises suppression
+}

@@ -1,0 +1,43 @@
+//! Fixture for the `no-panic` rule. Lines carrying a tilde marker must
+//! be reported at exactly that line; untagged lines must stay silent.
+
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() //~ no-panic
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("boom") //~ no-panic
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("unreachable by design") //~ no-panic
+    }
+}
+
+pub fn fine_unwrap_or(x: Option<u32>) -> u32 {
+    x.unwrap_or(7)
+}
+
+pub fn fine_unwrap_or_else(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 7)
+}
+
+pub fn fine_in_string() -> &'static str {
+    "call .unwrap() and panic!(now)"
+}
+
+// A comment mentioning x.unwrap() and panic!() never fires.
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    x.unwrap() // sift-lint: allow(no-panic) — fixture exercises suppression
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

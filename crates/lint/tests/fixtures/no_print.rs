@@ -1,0 +1,31 @@
+//! Fixture for the `no-print` rule: stdout/stderr writes in library
+//! crates must go through `sift-obs` events instead.
+
+pub fn bad_println(x: u32) {
+    println!("value: {x}") //~ no-print
+}
+
+pub fn bad_eprintln(x: u32) {
+    eprintln!("error: {x}") //~ no-print
+}
+
+pub fn bad_print() {
+    print!("partial") //~ no-print
+}
+
+pub fn bad_dbg(x: u32) -> u32 {
+    dbg!(x) //~ no-print
+}
+
+pub fn fine_writeln(out: &mut String, x: u32) -> std::fmt::Result {
+    use std::fmt::Write;
+    writeln!(out, "value: {x}")
+}
+
+pub fn fine_in_string() -> &'static str {
+    "println!(not code)"
+}
+
+pub fn suppressed() {
+    println!("banner") // sift-lint: allow(no-print) — fixture exercises suppression
+}

@@ -1,0 +1,15 @@
+//! Fixture for the `route-obs` rule: every registered route needs an obs
+//! counter mentioning its final path segment. `/covered` is satisfied by
+//! the counter below; `/orphan` has none.
+
+use crate::{Method, Router};
+
+pub fn build(router: Router) -> Router {
+    router
+        .route(Method::Get, "/api/covered", |_| ok())
+        .route(Method::Get, "/orphan", |_| ok()) //~ route-obs
+}
+
+pub fn serve_covered() {
+    sift_obs::counter("fixture_covered_requests_total", &[]).inc();
+}

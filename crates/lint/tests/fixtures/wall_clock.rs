@@ -1,0 +1,33 @@
+//! Fixture for the `wall-clock` rule: reading real time or sleeping in
+//! simulation code.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() //~ wall-clock
+}
+
+pub fn bad_qualified() -> std::time::Instant {
+    std::time::Instant::now() //~ wall-clock
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now() //~ wall-clock
+}
+
+pub fn bad_sleep() {
+    std::thread::sleep(Duration::from_millis(5)) //~ wall-clock
+}
+
+pub fn fine_holding_an_instant(at: Instant) -> Duration {
+    at.elapsed()
+}
+
+pub fn fine_duration_math() -> Duration {
+    Duration::from_secs(1) * 3
+}
+
+pub fn suppressed() -> Instant {
+    // sift-lint: allow(wall-clock) — fixture exercises suppression
+    Instant::now()
+}

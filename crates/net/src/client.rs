@@ -1,8 +1,6 @@
 //! Pooling, retrying HTTP client.
 
-use crate::http::{
-    parse_response, serialize_request, ParseError, Request, Response, StatusCode,
-};
+use crate::http::{parse_response, serialize_request, ParseError, Request, Response, StatusCode};
 use crate::FETCHER_IDENTITY_HEADER;
 use bytes::BytesMut;
 use parking_lot::Mutex;
@@ -149,8 +147,12 @@ impl HttpClient {
         sift_obs::counter("sift_client_pool_total", &[("outcome", "miss")]).inc();
 
         let mut stream = TcpStream::connect(self.addr).map_err(ClientError::Io)?;
-        stream.set_read_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
-        stream.set_write_timeout(Some(self.timeout)).map_err(ClientError::Io)?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(ClientError::Io)?;
         stream.set_nodelay(true).map_err(ClientError::Io)?;
         match round_trip(&mut stream, &wire) {
             Ok(resp) => {
@@ -171,8 +173,8 @@ impl HttpClient {
             if resp.status.is_success() {
                 return Ok(resp);
             }
-            let retryable = resp.status == StatusCode::TOO_MANY_REQUESTS
-                || (500..600).contains(&resp.status.0);
+            let retryable =
+                resp.status == StatusCode::TOO_MANY_REQUESTS || (500..600).contains(&resp.status.0);
             if !retryable {
                 return Err(ClientError::Status {
                     status: resp.status,
@@ -194,8 +196,7 @@ impl HttpClient {
                 &[("status", &resp.status.0.to_string())],
             )
             .inc();
-            sift_obs::histogram("sift_client_backoff_seconds", &[])
-                .observe_duration(wait);
+            sift_obs::histogram("sift_client_backoff_seconds", &[]).observe_duration(wait);
             sift_obs::event(
                 sift_obs::Level::Warn,
                 "net.client",
@@ -203,10 +204,7 @@ impl HttpClient {
                 &[
                     ("status", serde_json::Value::UInt(u64::from(resp.status.0))),
                     ("attempt", serde_json::Value::UInt(u64::from(attempt))),
-                    (
-                        "wait_ms",
-                        serde_json::Value::UInt(wait.as_millis() as u64),
-                    ),
+                    ("wait_ms", serde_json::Value::UInt(wait.as_millis() as u64)),
                 ],
             );
             std::thread::sleep(wait);
@@ -324,7 +322,11 @@ mod tests {
             assert_eq!(resp.status, StatusCode::OK);
             assert_eq!(&resp.body[..], b"pong");
         }
-        assert_eq!(c.pooled_connections(), 1, "connection reused, not re-opened");
+        assert_eq!(
+            c.pooled_connections(),
+            1,
+            "connection reused, not re-opened"
+        );
         h.shutdown();
     }
 

@@ -153,7 +153,8 @@ impl Headers {
 
     /// Parsed `Content-Length`, if present and valid.
     pub fn content_length(&self) -> Option<usize> {
-        self.get("content-length").and_then(|v| v.trim().parse().ok())
+        self.get("content-length")
+            .and_then(|v| v.trim().parse().ok())
     }
 
     /// True if the message asks for the connection to be closed.
@@ -323,7 +324,10 @@ mod tests {
     #[test]
     fn status_display_and_success() {
         assert_eq!(StatusCode::OK.to_string(), "200 OK");
-        assert_eq!(StatusCode::TOO_MANY_REQUESTS.to_string(), "429 Too Many Requests");
+        assert_eq!(
+            StatusCode::TOO_MANY_REQUESTS.to_string(),
+            "429 Too Many Requests"
+        );
         assert!(StatusCode::OK.is_success());
         assert!(!StatusCode::NOT_FOUND.is_success());
         assert_eq!(StatusCode(418).reason(), "Unknown");

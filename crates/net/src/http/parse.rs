@@ -54,8 +54,8 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 
 /// Splits a head into its start line and header lines.
 fn split_head(head: &[u8]) -> Result<(String, Headers), ParseError> {
-    let text = std::str::from_utf8(head)
-        .map_err(|_| ParseError::BadHeader("non-utf8 head".into()))?;
+    let text =
+        std::str::from_utf8(head).map_err(|_| ParseError::BadHeader("non-utf8 head".into()))?;
     let mut lines = text.split("\r\n");
     let start = lines
         .next()
@@ -255,7 +255,8 @@ mod tests {
 
     #[test]
     fn parses_response() {
-        let mut b = buf("HTTP/1.1 429 Too Many Requests\r\nretry-after: 3\r\ncontent-length: 0\r\n\r\n");
+        let mut b =
+            buf("HTTP/1.1 429 Too Many Requests\r\nretry-after: 3\r\ncontent-length: 0\r\n\r\n");
         let resp = parse_response(&mut b).expect("ok").expect("complete");
         assert_eq!(resp.status, StatusCode::TOO_MANY_REQUESTS);
         assert_eq!(resp.headers.get("retry-after"), Some("3"));

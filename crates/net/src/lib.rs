@@ -35,8 +35,8 @@ pub mod router;
 pub mod server;
 
 pub use client::{ClientError, HttpClient, RetryPolicy};
-pub use obs::{mount_observability, METRICS_CONTENT_TYPE};
 pub use http::{Headers, Method, ParseError, Request, Response, StatusCode};
+pub use obs::{mount_observability, METRICS_CONTENT_TYPE};
 pub use ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
 pub use router::Router;
 pub use server::{Server, ServerHandle};

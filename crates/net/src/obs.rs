@@ -19,6 +19,7 @@ pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8
 pub fn mount_observability(router: Router) -> Router {
     router
         .route(Method::Get, "/metrics", |_| {
+            sift_obs::counter("sift_net_metrics_scrapes_total", &[]).inc();
             let text = sift_obs::global().render_prometheus();
             let mut resp = Response {
                 status: StatusCode::OK,
@@ -29,6 +30,7 @@ pub fn mount_observability(router: Router) -> Router {
             resp
         })
         .route(Method::Get, "/healthz", |_| {
+            sift_obs::counter("sift_net_healthz_total", &[]).inc();
             Response::text(StatusCode::OK, "ok")
         })
 }
@@ -52,10 +54,7 @@ mod tests {
         let r = mount_observability(Router::new());
         let resp = r.dispatch(&Request::get("/metrics"));
         assert_eq!(resp.status, StatusCode::OK);
-        assert_eq!(
-            resp.headers.get("content-type"),
-            Some(METRICS_CONTENT_TYPE)
-        );
+        assert_eq!(resp.headers.get("content-type"), Some(METRICS_CONTENT_TYPE));
         let text = String::from_utf8_lossy(&resp.body);
         assert!(
             text.contains("net_obs_test_total{case=\"mount\"} 1"),

@@ -77,8 +77,7 @@ impl RateLimiter {
         // Refill for elapsed time. A clock that goes backwards (shouldn't
         // happen with a monotonic source) simply refills nothing.
         let elapsed_ms = now_ms.saturating_sub(bucket.last_ms);
-        bucket.tokens = (bucket.tokens
-            + elapsed_ms as f64 / 1000.0 * self.config.refill_per_sec)
+        bucket.tokens = (bucket.tokens + elapsed_ms as f64 / 1000.0 * self.config.refill_per_sec)
             .min(self.config.capacity);
         bucket.last_ms = now_ms.max(bucket.last_ms);
 
@@ -143,14 +142,20 @@ mod tests {
         assert!(matches!(l.check("a", 0), RateLimitDecision::Limited { .. }));
         // After 500ms one token has refilled.
         assert_eq!(l.check("a", 500), RateLimitDecision::Allowed);
-        assert!(matches!(l.check("a", 500), RateLimitDecision::Limited { .. }));
+        assert!(matches!(
+            l.check("a", 500),
+            RateLimitDecision::Limited { .. }
+        ));
     }
 
     #[test]
     fn keys_are_independent() {
         let l = limiter(1.0, 0.1);
         assert_eq!(l.check("unit-1", 0), RateLimitDecision::Allowed);
-        assert!(matches!(l.check("unit-1", 0), RateLimitDecision::Limited { .. }));
+        assert!(matches!(
+            l.check("unit-1", 0),
+            RateLimitDecision::Limited { .. }
+        ));
         // A different fetcher unit has its own bucket — this is exactly
         // why the collection module spreads load across units.
         assert_eq!(l.check("unit-2", 0), RateLimitDecision::Allowed);
@@ -201,6 +206,9 @@ mod tests {
         assert_eq!(l.check("a", 1000), RateLimitDecision::Allowed);
         // Clock jumps backwards: no refill, but no panic or inflation.
         assert_eq!(l.check("a", 500), RateLimitDecision::Allowed);
-        assert!(matches!(l.check("a", 500), RateLimitDecision::Limited { .. }));
+        assert!(matches!(
+            l.check("a", 500),
+            RateLimitDecision::Limited { .. }
+        ));
     }
 }

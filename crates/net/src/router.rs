@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn unknown_path_404s() {
         let r = router();
-        assert_eq!(r.dispatch(&Request::get("/nope")).status, StatusCode::NOT_FOUND);
+        assert_eq!(
+            r.dispatch(&Request::get("/nope")).status,
+            StatusCode::NOT_FOUND
+        );
     }
 
     #[test]

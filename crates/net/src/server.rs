@@ -6,9 +6,7 @@
 //! `Retry-After` before the request ever reaches a handler, mirroring how
 //! the real aggregation service throttles crawlers.
 
-use crate::http::{
-    parse_request, serialize_response, Request, Response, StatusCode,
-};
+use crate::http::{parse_request, serialize_response, Request, Response, StatusCode};
 use crate::ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
 use crate::router::Router;
 use crate::FETCHER_IDENTITY_HEADER;
@@ -92,8 +90,7 @@ impl Server {
                                 &shutdown,
                             );
                         }
-                    })
-                    .expect("spawn worker thread"),
+                    })?,
             );
         }
 
@@ -101,9 +98,7 @@ impl Server {
             // Nonblocking accept with a short poll interval: shutdown only
             // has to set the flag, with no self-connect handshake that
             // could fail under load and leave the acceptor blocked.
-            listener
-                .set_nonblocking(true)
-                .expect("nonblocking listener");
+            listener.set_nonblocking(true)?;
             let shutdown = Arc::clone(&shutdown);
             threads.push(
                 std::thread::Builder::new()
@@ -132,8 +127,7 @@ impl Server {
                         }
                         // Dropping `tx` closes the channel; workers drain
                         // and exit.
-                    })
-                    .expect("spawn acceptor thread"),
+                    })?,
             );
         }
 
@@ -264,11 +258,8 @@ fn serve_connection(
                 RateLimitDecision::Limited { retry_after_secs } => {
                     // The rejection path is already the slow path; a metric
                     // update and an event here cost nothing that matters.
-                    sift_obs::counter(
-                        "sift_ratelimit_rejected_total",
-                        &[("identity", &identity)],
-                    )
-                    .inc();
+                    sift_obs::counter("sift_ratelimit_rejected_total", &[("identity", &identity)])
+                        .inc();
                     sift_obs::event(
                         sift_obs::Level::Warn,
                         "net.server",
@@ -282,9 +273,9 @@ fn serve_connection(
                             ),
                         ],
                     );
-                    let mut resp =
-                        Response::text(StatusCode::TOO_MANY_REQUESTS, "rate limited");
-                    resp.headers.set("retry-after", retry_after_secs.to_string());
+                    let mut resp = Response::text(StatusCode::TOO_MANY_REQUESTS, "rate limited");
+                    resp.headers
+                        .set("retry-after", retry_after_secs.to_string());
                     resp
                 }
             }
@@ -310,9 +301,8 @@ fn serve_connection(
 /// Dispatches through the router, converting handler panics into 500s so
 /// one bad request cannot take a worker thread down.
 fn dispatch_protected(router: &Router, req: &Request) -> Response {
-    catch_unwind(AssertUnwindSafe(|| router.dispatch(req))).unwrap_or_else(|_| {
-        Response::text(StatusCode::INTERNAL_SERVER_ERROR, "handler panicked")
-    })
+    catch_unwind(AssertUnwindSafe(|| router.dispatch(req)))
+        .unwrap_or_else(|_| Response::text(StatusCode::INTERNAL_SERVER_ERROR, "handler panicked"))
 }
 
 #[cfg(test)]
@@ -322,7 +312,9 @@ mod tests {
 
     fn test_router() -> Router {
         Router::new()
-            .route(Method::Get, "/ping", |_| Response::text(StatusCode::OK, "pong"))
+            .route(Method::Get, "/ping", |_| {
+                Response::text(StatusCode::OK, "pong")
+            })
             .route(Method::Post, "/echo", |req| Response {
                 status: StatusCode::OK,
                 headers: crate::http::Headers::new(),
@@ -334,7 +326,8 @@ mod tests {
     fn raw_roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
         let mut s = TcpStream::connect(addr).expect("connect");
         s.write_all(raw).expect("write");
-        s.shutdown(std::net::Shutdown::Write).expect("shutdown write");
+        s.shutdown(std::net::Shutdown::Write)
+            .expect("shutdown write");
         let mut out = Vec::new();
         s.read_to_end(&mut out).expect("read");
         String::from_utf8_lossy(&out).into_owned()
@@ -342,7 +335,9 @@ mod tests {
 
     #[test]
     fn serves_and_shuts_down() {
-        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let h = Server::new(test_router())
+            .bind("127.0.0.1:0")
+            .expect("bind");
         let text = raw_roundtrip(h.addr(), b"GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
         assert!(text.ends_with("pong"), "{text}");
@@ -351,7 +346,9 @@ mod tests {
 
     #[test]
     fn keep_alive_serves_multiple_requests() {
-        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let h = Server::new(test_router())
+            .bind("127.0.0.1:0")
+            .expect("bind");
         let mut s = TcpStream::connect(h.addr()).expect("connect");
         for _ in 0..3 {
             s.write_all(b"GET /ping HTTP/1.1\r\n\r\n").expect("write");
@@ -365,7 +362,9 @@ mod tests {
 
     #[test]
     fn echo_posts_body() {
-        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let h = Server::new(test_router())
+            .bind("127.0.0.1:0")
+            .expect("bind");
         let text = raw_roundtrip(
             h.addr(),
             b"POST /echo HTTP/1.1\r\ncontent-length: 5\r\nconnection: close\r\n\r\nhello",
@@ -376,7 +375,9 @@ mod tests {
 
     #[test]
     fn malformed_request_gets_400() {
-        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let h = Server::new(test_router())
+            .bind("127.0.0.1:0")
+            .expect("bind");
         let text = raw_roundtrip(h.addr(), b"NONSENSE\r\n\r\n");
         assert!(text.starts_with("HTTP/1.1 400"), "{text}");
         h.shutdown();
@@ -384,7 +385,9 @@ mod tests {
 
     #[test]
     fn handler_panic_becomes_500_and_server_survives() {
-        let h = Server::new(test_router()).bind("127.0.0.1:0").expect("bind");
+        let h = Server::new(test_router())
+            .bind("127.0.0.1:0")
+            .expect("bind");
         let text = raw_roundtrip(h.addr(), b"GET /boom HTTP/1.1\r\nconnection: close\r\n\r\n");
         assert!(text.starts_with("HTTP/1.1 500"), "{text}");
         // Server still answers afterwards.

@@ -3,10 +3,11 @@
 
 use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
-use sift_net::http::{
-    parse_request, parse_response, serialize_request, serialize_response,
+use sift_net::http::{parse_request, parse_response, serialize_request, serialize_response};
+use sift_net::{
+    Headers, Method, RateLimitDecision, RateLimiter, RateLimiterConfig, Request, Response,
+    StatusCode,
 };
-use sift_net::{Headers, Method, RateLimitDecision, RateLimiter, RateLimiterConfig, Request, Response, StatusCode};
 
 fn token() -> impl Strategy<Value = String> {
     "[a-zA-Z][a-zA-Z0-9-]{0,15}".prop_map(|s| s)

@@ -95,6 +95,7 @@ pub fn cluster_phrases(phrases: &[(String, f64)], threshold: f32) -> Vec<Cluster
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(b.cmp(&a))
                 })
+                // sift-lint: allow(no-panic) — union-find groups always hold at least one member
                 .expect("clusters are never empty");
             c.members.sort_unstable();
             Cluster {
@@ -157,10 +158,7 @@ mod tests {
 
     #[test]
     fn clusters_ordered_by_total_weight() {
-        let input = phrases(&[
-            ("xfinity outage", 10.0),
-            ("att outage", 500.0),
-        ]);
+        let input = phrases(&[("xfinity outage", 10.0), ("att outage", 500.0)]);
         let clusters = cluster_phrases(&input, DEFAULT_SIMILARITY_THRESHOLD);
         assert_eq!(clusters[0].members, vec![1]);
         assert_eq!(clusters[1].members, vec![0]);

@@ -19,15 +19,50 @@ pub const ENTITY_WEIGHT: f32 = 1.0;
 
 /// Synonyms of "outage" in user search phrasing.
 const OUTAGE_SYNONYMS: &[&str] = &[
-    "down", "offline", "broken", "out", "issues", "issue", "problems", "problem", "error",
-    "errors", "slow", "working", "outages", "outage", "disruption", "interruption",
+    "down",
+    "offline",
+    "broken",
+    "out",
+    "issues",
+    "issue",
+    "problems",
+    "problem",
+    "error",
+    "errors",
+    "slow",
+    "working",
+    "outages",
+    "outage",
+    "disruption",
+    "interruption",
 ];
 
 /// Generic domain words that should not dominate similarity.
 const GENERIC_WORDS: &[&str] = &[
-    "internet", "service", "network", "wifi", "phone", "cell", "cellular", "connection", "web",
-    "app", "website", "site", "today", "now", "near", "me", "not", "no", "cant", "connect",
-    "report", "map", "status", "check",
+    "internet",
+    "service",
+    "network",
+    "wifi",
+    "phone",
+    "cell",
+    "cellular",
+    "connection",
+    "web",
+    "app",
+    "website",
+    "site",
+    "today",
+    "now",
+    "near",
+    "me",
+    "not",
+    "no",
+    "cant",
+    "connect",
+    "report",
+    "map",
+    "status",
+    "check",
 ];
 
 /// Canonical form of a normalized token: outage synonyms collapse to

@@ -10,7 +10,7 @@
 use parking_lot::Mutex;
 use serde_json::Value;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::Instant;
 
 /// Event severity.
@@ -27,6 +27,11 @@ pub enum Level {
 }
 
 impl Level {
+    fn as_u8(self) -> u8 {
+        // sift-lint: allow(lossy-cast) — discriminants are 0..=3 by definition
+        self as u8
+    }
+
     fn as_str(self) -> &'static str {
         match self {
             Level::Debug => "debug",
@@ -64,7 +69,7 @@ pub struct EventLog {
 impl Default for EventLog {
     fn default() -> EventLog {
         EventLog {
-            min_level: AtomicU8::new(Level::Info as u8),
+            min_level: AtomicU8::new(Level::Info.as_u8()),
             seq: AtomicU64::new(0),
             started: Instant::now(),
             sink: Mutex::new(Sink::Buffer {
@@ -83,7 +88,7 @@ impl EventLog {
 
     /// Drops events below `level`.
     pub fn set_min_level(&self, level: Level) {
-        self.min_level.store(level as u8, Ordering::Relaxed);
+        self.min_level.store(level.as_u8(), Ordering::Relaxed);
     }
 
     /// The current minimum level.
@@ -118,6 +123,7 @@ impl EventLog {
             members.push(((*k).to_owned(), v.clone()));
         }
         let line = serde_json::to_string(&Value::Object(members))
+            // sift-lint: allow(no-panic) — serializing a serde_json::Value tree is infallible
             .expect("a Value tree always serializes");
         match &mut *self.sink.lock() {
             Sink::Buffer { lines, cap } => {

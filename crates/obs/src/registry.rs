@@ -81,7 +81,7 @@ impl Registry {
         if let Some(i) = self.series.read().get(&key) {
             return match i {
                 Instrument::Counter(c) => c.clone(),
-                other => panic!("{name} already registered as a {}", other.kind()),
+                other => panic!("{name} already registered as a {}", other.kind()), // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug
             };
         }
         let mut series = self.series.write();
@@ -90,7 +90,7 @@ impl Registry {
             .or_insert_with(|| Instrument::Counter(Counter::new()))
         {
             Instrument::Counter(c) => c.clone(),
-            other => panic!("{name} already registered as a {}", other.kind()),
+            other => panic!("{name} already registered as a {}", other.kind()), // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug
         }
     }
 
@@ -100,7 +100,7 @@ impl Registry {
         if let Some(i) = self.series.read().get(&key) {
             return match i {
                 Instrument::Gauge(g) => g.clone(),
-                other => panic!("{name} already registered as a {}", other.kind()),
+                other => panic!("{name} already registered as a {}", other.kind()), // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug
             };
         }
         let mut series = self.series.write();
@@ -109,18 +109,23 @@ impl Registry {
             .or_insert_with(|| Instrument::Gauge(Gauge::new()))
         {
             Instrument::Gauge(g) => g.clone(),
-            other => panic!("{name} already registered as a {}", other.kind()),
+            other => panic!("{name} already registered as a {}", other.kind()), // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug
         }
     }
 
     /// The histogram for `name` + `labels`, registering it with `spec` on
     /// first use (later calls keep the original layout).
-    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], spec: &HistogramSpec) -> Histogram {
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        spec: &HistogramSpec,
+    ) -> Histogram {
         let key = MetricKey::new(name, labels);
         if let Some(i) = self.series.read().get(&key) {
             return match i {
                 Instrument::Histogram(h) => h.clone(),
-                other => panic!("{name} already registered as a {}", other.kind()),
+                other => panic!("{name} already registered as a {}", other.kind()), // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug
             };
         }
         let mut series = self.series.write();
@@ -129,7 +134,7 @@ impl Registry {
             .or_insert_with(|| Instrument::Histogram(Histogram::with_spec(spec)))
         {
             Instrument::Histogram(h) => h.clone(),
-            other => panic!("{name} already registered as a {}", other.kind()),
+            other => panic!("{name} already registered as a {}", other.kind()), // sift-lint: allow(no-panic) — documented: kind mismatch is a caller bug
         }
     }
 
@@ -254,7 +259,9 @@ fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
 }
 
 fn escape_label(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn format_bound(b: f64) -> String {
@@ -289,7 +296,8 @@ mod tests {
     #[test]
     fn renders_counters_gauges_histograms() {
         let r = Registry::new();
-        r.counter("a_total", &[("route", "/f"), ("status", "200")]).add(3);
+        r.counter("a_total", &[("route", "/f"), ("status", "200")])
+            .add(3);
         r.gauge("b_active", &[]).set(-2);
         let h = r.histogram("c_seconds", &[], &HistogramSpec::explicit(vec![0.5, 1.0]));
         h.observe(0.25);

@@ -90,11 +90,8 @@ pub fn probe_sees(dataset: &ProbeDataset, event: &OutageEvent, per_state_rate: &
             .iter()
             .filter(|r| r.located_state == state && widened.contains(r.start_hour()))
             .count() as f64;
-        let expected = per_state_rate
-            .get(state.index())
-            .copied()
-            .unwrap_or(0.0)
-            * widened.len() as f64;
+        let expected =
+            per_state_rate.get(state.index()).copied().unwrap_or(0.0) * widened.len() as f64;
         observed >= 3.0_f64.max(3.0 * expected)
     })
 }

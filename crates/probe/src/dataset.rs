@@ -75,9 +75,9 @@ impl ProbeDataset {
     ) -> impl Iterator<Item = &OutageRecord> + '_ {
         let window = *window;
         let states = states.to_vec();
-        self.records.iter().filter(move |r| {
-            states.contains(&r.located_state) && r.hour_window().overlaps(&window)
-        })
+        self.records
+            .iter()
+            .filter(move |r| states.contains(&r.located_state) && r.hour_window().overlaps(&window))
     }
 
     /// Count of records overlapping `window` in `states`.

@@ -57,8 +57,7 @@ impl BlockInference {
             self.responsive_streak = 0;
             if self.silent_streak == self.params.down_rounds && self.down_since_round.is_none() {
                 // Date the outage to the first silent round.
-                self.down_since_round =
-                    Some(self.round + 1 - u64::from(self.params.down_rounds));
+                self.down_since_round = Some(self.round + 1 - u64::from(self.params.down_rounds));
             }
         } else {
             self.responsive_streak += 1;

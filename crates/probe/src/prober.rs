@@ -59,7 +59,12 @@ impl<'a> Prober<'a> {
 
     /// Deterministically decides whether a block participates in an
     /// event: a fraction `intensity` of the state's blocks goes down.
-    fn block_affected(seed: u64, block: &BlockProfile, event: &OutageEvent, intensity: f64) -> bool {
+    fn block_affected(
+        seed: u64,
+        block: &BlockProfile,
+        event: &OutageEvent,
+        intensity: f64,
+    ) -> bool {
         let h = mix(seed ^ u64::from(block.prefix.0) ^ (u64::from(event.id) << 32));
         (h >> 11) as f64 / (1u64 << 53) as f64 <= intensity
     }
@@ -73,8 +78,7 @@ impl<'a> Prober<'a> {
                 continue;
             }
             for (i, (s, intensity)) in e.states.iter().enumerate() {
-                if *s == block.state
-                    && Self::block_affected(self.config.seed, block, e, *intensity)
+                if *s == block.state && Self::block_affected(self.config.seed, block, e, *intensity)
                 {
                     out.push(e.window_in(i));
                 }
@@ -100,7 +104,8 @@ impl<'a> Prober<'a> {
             let mut inference = BlockInference::new(self.config.infer);
 
             for round in 0..rounds {
-                let minute = window.start.0 * 60 + round as i64 * i64::from(self.config.round_minutes);
+                let minute =
+                    window.start.0 * 60 + round as i64 * i64::from(self.config.round_minutes);
                 let hour = sift_simtime::Hour(minute.div_euclid(60));
                 let down = down_windows.iter().any(|w| w.contains(hour));
                 let vp: &VantagePoint = &vps[(round as usize) % vps.len()];
@@ -124,11 +129,13 @@ impl<'a> Prober<'a> {
             let located = self
                 .geodb
                 .locate(block.prefix)
+                // sift-lint: allow(no-panic) — the geo db is built from the same plan as the population
                 .expect("population prefixes are in the plan");
             for (start_round, end_round) in &inference.outages {
                 let start_minute = window.start.0 * 60
                     + *start_round as i64 * i64::from(self.config.round_minutes);
-                let duration = (end_round - start_round) as u32 * self.config.round_minutes;
+                let duration = u32::try_from(end_round - start_round).unwrap_or(u32::MAX)
+                    * self.config.round_minutes;
                 records.push(OutageRecord {
                     prefix: block.prefix,
                     located_state: located,
@@ -175,6 +182,7 @@ impl<'a> Prober<'a> {
                     let located = self
                         .geodb
                         .locate(block.prefix)
+                        // sift-lint: allow(no-panic) — the geo db is built from the same plan as the population
                         .expect("population prefixes are in the plan");
                     let mut rng = ChaCha8Rng::seed_from_u64(
                         self.config.seed
@@ -191,8 +199,8 @@ impl<'a> Prober<'a> {
                     // Phase of the first probing round inside the outage.
                     let phase = rng.gen_range(0..round_m);
                     let start_minute = overlap.start.0 * 60 + phase + detect_delay_m - round_m;
-                    let duration =
-                        (outage_minutes - phase - detect_delay_m + round_m).max(round_m) as u32;
+                    let clamped = (outage_minutes - phase - detect_delay_m + round_m).max(round_m);
+                    let duration = u32::try_from(clamped).unwrap_or(u32::MAX);
                     records.push(OutageRecord {
                         prefix: block.prefix,
                         located_state: located,

@@ -98,9 +98,13 @@ pub(crate) fn civil_from_days(z: i64) -> (i32, u8, u8) {
     let y = yoe + era * 400;
     let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
     let mp = (5 * doy + 2) / 153; // [0, 11]
-    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
-    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12]
-    ((y + i64::from(m <= 2)) as i32, m, d)
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31] — sift-lint: allow(lossy-cast)
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12] — sift-lint: allow(lossy-cast)
+    (
+        i32::try_from(y + i64::from(m <= 2)).unwrap_or(i32::MAX),
+        m,
+        d,
+    )
 }
 
 /// Day of the week, as used by the daily-distribution analysis (Fig. 4).
@@ -224,7 +228,7 @@ impl Month {
 
     /// Calendar month number, `1..=12`.
     pub fn number(self) -> u8 {
-        self as u8 + 1
+        self as u8 + 1 // sift-lint: allow(lossy-cast) — discriminants are 0..=11
     }
 
     /// Zero-based index, `0..=11`.

@@ -34,9 +34,7 @@ const EPOCH_OFFSET_DAYS: i64 = 18262;
 /// assert_eq!(h.weekday(), Weekday::Mon);
 /// assert_eq!((h + 24).civil().day, 16);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Hour(pub i64);
 
@@ -55,7 +53,7 @@ impl Hour {
     /// Converts back to a broken-down civil date/time (UTC).
     pub fn civil(self) -> Civil {
         let days = self.0.div_euclid(HOURS_PER_DAY);
-        let hour = self.0.rem_euclid(HOURS_PER_DAY) as u8;
+        let hour = self.0.rem_euclid(HOURS_PER_DAY) as u8; // [0, 23] — sift-lint: allow(lossy-cast)
         Civil::from_days(days + EPOCH_OFFSET_DAYS, hour)
     }
 
@@ -63,7 +61,7 @@ impl Hour {
     pub fn weekday(self) -> Weekday {
         let days = self.0.div_euclid(HOURS_PER_DAY) + EPOCH_OFFSET_DAYS;
         // 1970-01-01 was a Thursday (ISO index 3 with Monday = 0).
-        Weekday::from_index(((days + 3).rem_euclid(7)) as u8)
+        Weekday::from_index(((days + 3).rem_euclid(7)) as u8) // [0, 6] — sift-lint: allow(lossy-cast)
     }
 
     /// Calendar month of this hour (UTC).
@@ -78,7 +76,7 @@ impl Hour {
 
     /// Hour of day, `0..=23` (UTC).
     pub fn hour_of_day(self) -> u8 {
-        self.0.rem_euclid(HOURS_PER_DAY) as u8
+        self.0.rem_euclid(HOURS_PER_DAY) as u8 // [0, 23] — sift-lint: allow(lossy-cast)
     }
 
     /// The first hour (00:00) of the UTC day containing `self`.

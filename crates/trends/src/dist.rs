@@ -37,7 +37,7 @@ pub fn lognormal_clamped<R: Rng + ?Sized>(
 /// purposes and O(1).
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     debug_assert!(lambda >= 0.0);
-    if lambda == 0.0 {
+    if lambda <= 0.0 {
         return 0;
     }
     if lambda < 30.0 {
@@ -58,7 +58,7 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
         if x < 0.0 {
             0
         } else {
-            x as u64
+            x as u64 // sift-lint: allow(lossy-cast) — float→int `as` saturates; truncating is the draw
         }
     }
 }
@@ -71,7 +71,7 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
 /// on.
 pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     debug_assert!((0.0..=1.0).contains(&p));
-    if p == 0.0 || n == 0 {
+    if p <= 0.0 || n == 0 {
         return 0;
     }
     if p >= 1.0 {
@@ -86,7 +86,7 @@ pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
         }
         k
     } else {
-        poisson(rng, n as f64 * p).min(n)
+        poisson(rng, n as f64 * p).min(n) // sift-lint: allow(lossy-cast) — n ≪ 2⁵³, so f64 holds it exactly
     }
 }
 

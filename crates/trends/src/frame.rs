@@ -38,6 +38,7 @@ pub fn build_frame(
             if sampled == 0 {
                 0.0
             } else {
+                // sift-lint: allow(lossy-cast) — hit counts are ≪ 2⁵³, so f64 holds them exactly
                 anon as f64 / sampled as f64
             }
         })
@@ -59,7 +60,7 @@ pub fn index_values(values: &[f64]) -> Vec<u8> {
     }
     values
         .iter()
-        .map(|&v| (v * 100.0 / max).round() as u8)
+        .map(|&v| (v * 100.0 / max).round() as u8) // sift-lint: allow(lossy-cast) — [0, 100] after scaling; `as` saturates
         .collect()
 }
 
@@ -128,10 +129,7 @@ mod tests {
             .expect("non-empty");
         assert_eq!(*peak, 100);
         // Peak falls within the event window (hours 100..108 of the frame).
-        assert!(
-            (100..108).contains(&peak_idx),
-            "peak at offset {peak_idx}"
-        );
+        assert!((100..108).contains(&peak_idx), "peak at offset {peak_idx}");
     }
 
     #[test]

@@ -53,8 +53,8 @@ impl Default for ModelParams {
 /// Hourly multipliers on search volume by local hour of day (mean ≈ 1):
 /// the usual deep night trough and evening peak.
 const SEARCH_DIURNAL: [f64; 24] = [
-    0.55, 0.4, 0.3, 0.25, 0.25, 0.35, 0.55, 0.8, 1.0, 1.15, 1.2, 1.25, 1.25, 1.25, 1.25, 1.25,
-    1.3, 1.35, 1.4, 1.45, 1.4, 1.3, 1.05, 0.8,
+    0.55, 0.4, 0.3, 0.25, 0.25, 0.35, 0.55, 0.8, 1.0, 1.15, 1.2, 1.25, 1.25, 1.25, 1.25, 1.25, 1.3,
+    1.35, 1.4, 1.45, 1.4, 1.3, 1.05, 0.8,
 ];
 
 /// Ground-truth search behaviour for one scenario.
@@ -81,7 +81,7 @@ impl InterestModel {
 
     /// Builds the model with explicit parameters.
     pub fn with_params(scenario: &Scenario, params: ModelParams) -> Self {
-        let len = STUDY_RANGE.len() as usize;
+        let len = usize::try_from(STUDY_RANGE.len()).unwrap_or(0);
         let mut lift = vec![vec![0.0f32; len]; State::COUNT];
         let mut power_lift = vec![vec![0.0f32; len]; State::COUNT];
         for e in &scenario.events {
@@ -93,7 +93,9 @@ impl InterestModel {
                     if !STUDY_RANGE.contains(h) {
                         continue;
                     }
-                    let idx = (h - STUDY_RANGE.start) as usize;
+                    // Nonnegative: `contains` was checked just above.
+                    let idx = usize::try_from(h - STUDY_RANGE.start).unwrap_or(0);
+                    // sift-lint: allow(lossy-cast) — f32 storage halves the table; lift precision is modeling noise
                     let l = e.lift_at(i, h) as f32;
                     lift[state.index()][idx] += l;
                     if is_power {
@@ -121,6 +123,7 @@ impl InterestModel {
     pub fn search_volume(&self, state: State, at: Hour) -> f64 {
         let local = at.to_local(utc_offset(state, at));
         let diurnal = SEARCH_DIURNAL[usize::from(local.hour_of_day())];
+        // sift-lint: allow(lossy-cast) — populations ≪ 2⁵³, exact in f64
         population(state) as f64 * self.params.per_capita_hourly_searches * diurnal
     }
 
@@ -130,7 +133,8 @@ impl InterestModel {
         if !STUDY_RANGE.contains(at) {
             return 0.0;
         }
-        f64::from(self.lift[state.index()][(at - STUDY_RANGE.start) as usize])
+        let idx = usize::try_from(at - STUDY_RANGE.start).unwrap_or(0);
+        f64::from(self.lift[state.index()][idx])
     }
 
     /// The true proportion of searches matching `term` in `state` at `at`.
@@ -147,9 +151,8 @@ impl InterestModel {
             SearchTerm::Topic(Topic::PowerOutage) => {
                 let noise = self.baseline_noise(state, at, 1);
                 let lift = if STUDY_RANGE.contains(at) {
-                    f64::from(
-                        self.power_lift[state.index()][(at - STUDY_RANGE.start) as usize],
-                    )
+                    let idx = usize::try_from(at - STUDY_RANGE.start).unwrap_or(0);
+                    f64::from(self.power_lift[state.index()][idx])
                 } else {
                     0.0
                 };
@@ -172,13 +175,16 @@ impl InterestModel {
     fn baseline_noise(&self, state: State, at: Hour, stream: u64) -> f64 {
         let h = mix64(
             self.noise_seed
+                // sift-lint: allow(lossy-cast) — hash mixing; two's-complement wrap is the point
                 ^ (state.index() as u64).wrapping_mul(0x100_0000_01b3)
+                // sift-lint: allow(lossy-cast) — hash mixing; two's-complement wrap is the point
                 ^ (at.0 as u64).wrapping_mul(0x9e37_79b9)
                 ^ stream.wrapping_mul(0xdead_beef_cafe),
         );
         // Two 32-bit halves → Box–Muller.
-        let u1 = ((h >> 32) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
-        let u2 = ((h & 0xffff_ffff) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        let half = |x: u64| f64::from(u32::try_from(x & 0xffff_ffff).unwrap_or(u32::MAX));
+        let u1 = (half(h >> 32) + 1.0) / (f64::from(u32::MAX) + 2.0);
+        let u2 = (half(h) + 1.0) / (f64::from(u32::MAX) + 2.0);
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         (self.params.baseline_noise_sigma * z).exp()
     }
@@ -188,7 +194,7 @@ impl InterestModel {
 /// phrase carries, in `[0.04, 0.30]`.
 pub(crate) fn query_share(q: &str) -> f64 {
     let h = mix64(fnv(q.to_ascii_lowercase().as_bytes()));
-    0.04 + 0.26 * (h >> 11) as f64 / (1u64 << 53) as f64
+    0.04 + 0.26 * (h >> 11) as f64 / (1u64 << 53) as f64 // sift-lint: allow(lossy-cast) — 53-bit values, exact in f64
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -234,10 +240,10 @@ mod tests {
     fn lift_matches_events() {
         let s = Scenario::single_region(State::TX, vec![event(State::TX, 100, 10, 20.0, false)]);
         let m = InterestModel::new(&s);
-        assert_eq!(m.outage_lift(State::TX, Hour(99)), 0.0);
+        assert!(m.outage_lift(State::TX, Hour(99)).abs() < 1e-12);
         assert!(m.outage_lift(State::TX, Hour(104)) > 10.0);
-        assert_eq!(m.outage_lift(State::CA, Hour(104)), 0.0);
-        assert_eq!(m.outage_lift(State::TX, Hour(200)), 0.0);
+        assert!(m.outage_lift(State::CA, Hour(104)).abs() < 1e-12);
+        assert!(m.outage_lift(State::TX, Hour(200)).abs() < 1e-12);
     }
 
     #[test]
@@ -274,7 +280,11 @@ mod tests {
     fn query_is_share_of_topic() {
         let s = Scenario::single_region(State::TX, vec![event(State::TX, 100, 10, 20.0, false)]);
         let m = InterestModel::new(&s);
-        let topic = m.proportion(&SearchTerm::Topic(Topic::InternetOutage), State::TX, Hour(104));
+        let topic = m.proportion(
+            &SearchTerm::Topic(Topic::InternetOutage),
+            State::TX,
+            Hour(104),
+        );
         let q = m.proportion(
             &SearchTerm::Query("comcast outage".into()),
             State::TX,
@@ -300,8 +310,10 @@ mod tests {
         let a = m.baseline_noise(State::TX, Hour(77), 0);
         let b = m.baseline_noise(State::TX, Hour(77), 0);
         assert_eq!(a, b);
-        let mean: f64 =
-            (0..2000).map(|i| m.baseline_noise(State::TX, Hour(i), 0)).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000)
+            .map(|i| m.baseline_noise(State::TX, Hour(i), 0))
+            .sum::<f64>()
+            / 2000.0;
         assert!((mean - 1.0).abs() < 0.06, "noise mean {mean}");
     }
 

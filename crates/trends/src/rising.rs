@@ -34,7 +34,11 @@ pub fn rising_terms(
 ) -> Vec<RisingTerm> {
     let mut weights: HashMap<String, f64> = HashMap::new();
 
-    for e in index.candidates(range).iter().map(|i| &scenario.events[*i as usize]) {
+    for e in index
+        .candidates(range)
+        .iter()
+        .map(|i| &scenario.events[*i as usize])
+    {
         for (i, (s, _)) in e.states.iter().enumerate() {
             if *s != state {
                 continue;
@@ -82,7 +86,7 @@ pub fn rising_terms(
         .into_iter()
         .map(|(term, w)| RisingTerm {
             term,
-            weight: w.round().max(1.0) as u32,
+            weight: w.round().max(1.0) as u32, // sift-lint: allow(lossy-cast) — float→int `as` saturates; weights are small
         })
         .collect();
     out.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.term.cmp(&b.term)));

@@ -131,7 +131,9 @@ mod tests {
         let volume = 200_000.0;
         let p = 2.0e-4;
         let n = 3000;
-        let total: u64 = (0..n).map(|_| sample_count(&mut rng, &cfg, volume, p)).sum();
+        let total: u64 = (0..n)
+            .map(|_| sample_count(&mut rng, &cfg, volume, p))
+            .sum();
         let mean = total as f64 / n as f64;
         let expected = volume * cfg.sample_rate * p; // 4.0
         assert!(
@@ -151,8 +153,7 @@ mod tests {
                 .map(|_| sample_count(&mut rng, &cfg, volume, p) as f64)
                 .collect();
             let mean = samples.iter().sum::<f64>() / n as f64;
-            let var =
-                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
             var.sqrt() / mean
         };
         let small = rel_sd(50_000.0);

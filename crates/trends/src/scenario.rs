@@ -99,8 +99,9 @@ impl EventIndex {
                         buckets.resize(b + 1, Vec::new());
                     }
                     let bucket = &mut buckets[b];
-                    if bucket.last() != Some(&(idx as u32)) {
-                        bucket.push(idx as u32);
+                    let idx32 = u32::try_from(idx).unwrap_or(u32::MAX);
+                    if bucket.last() != Some(&idx32) {
+                        bucket.push(idx32);
                     }
                 }
             }
@@ -212,9 +213,9 @@ impl Scenario {
     /// Events whose (possibly lagged) interest window in some region
     /// intersects `window`.
     pub fn events_in(&self, window: HourRange) -> impl Iterator<Item = &OutageEvent> {
-        self.events.iter().filter(move |e| {
-            (0..e.states.len()).any(|i| e.window_in(i).overlaps(&window))
-        })
+        self.events
+            .iter()
+            .filter(move |e| (0..e.states.len()).any(|i| e.window_in(i).overlaps(&window)))
     }
 
     /// Builds a time index over the events for repeated window queries
@@ -388,7 +389,7 @@ fn named_events(rng: &mut ChaCha8Rng) -> Vec<OutageEvent> {
             } else {
                 // Lag grows westward: one hour per timezone west of
                 // Eastern, at least one hour.
-                let westness = (-5 - s.division_offset_proxy()).max(1) as u32;
+                let westness = u32::try_from((-5 - s.division_offset_proxy()).max(1)).unwrap_or(1);
                 lags.push(westness);
             }
         }
@@ -618,14 +619,14 @@ fn climate_clusters(rng: &mut ChaCha8Rng, scale: f64) -> Vec<OutageEvent> {
         let n = (c.count * scale).round() as usize;
         for _ in 0..n {
             let state = pick_weighted(rng, c.states);
-            let trigger = *c.triggers.choose(rng).expect("non-empty triggers");
-            // Winter storm Uri concentrated in a single week; wildfire
-            // outages spread over their month.
+            let trigger = *c.triggers.choose(rng).expect("non-empty triggers"); // sift-lint: allow(no-panic) — const cluster tables are non-empty
+                                                                                // Winter storm Uri concentrated in a single week; wildfire
+                                                                                // outages spread over their month.
             let day_range = if c.month == 2 { 18..27 } else { 1..28 };
             let day = rng.gen_range(day_range);
             let hour = rng.gen_range(6..23);
-            let duration = dist::lognormal_clamped(rng, 7.0, 0.55, 3.0, 22.0) as u32;
-            // Climate-cluster outages hit harder than background ones.
+            let duration = dist::lognormal_clamped(rng, 7.0, 0.55, 3.0, 22.0) as u32; // sift-lint: allow(lossy-cast) — clamped to [3, 22]; `as` saturates
+                                                                                      // Climate-cluster outages hit harder than background ones.
             let reach = dist::lognormal_clamped(rng, 650_000.0, 0.9, 80_000.0, 5_000_000.0);
             let (severity, intensity) = reach_to_lift(rng, reach, state);
             out.push(OutageEvent {
@@ -668,7 +669,7 @@ fn pick_weighted(rng: &mut ChaCha8Rng, weights: &[(State, f64)]) -> State {
             return *s;
         }
     }
-    weights.last().expect("non-empty weights").0
+    weights.last().expect("non-empty weights").0 // sift-lint: allow(no-panic) — callers pass const weight tables
 }
 
 /// Hour-of-day weighting of outage *onsets* (local time): failures are
@@ -714,8 +715,9 @@ fn background_events(rng: &mut ChaCha8Rng, scale: f64) -> Vec<OutageEvent> {
         .map(|s| (*s, (population(*s) as f64).powf(1.1)))
         .collect();
 
-    for (year_idx, (year, base_count)) in
-        [(2020, BACKGROUND_2020), (2021, BACKGROUND_2021)].iter().enumerate()
+    for (year_idx, (year, base_count)) in [(2020, BACKGROUND_2020), (2021, BACKGROUND_2021)]
+        .iter()
+        .enumerate()
     {
         let n = (base_count * scale).round() as usize;
         let power_frac = POWER_FRAC[year_idx];
@@ -746,7 +748,7 @@ fn background_events(rng: &mut ChaCha8Rng, scale: f64) -> Vec<OutageEvent> {
                 _ => dist::lognormal_clamped(rng, 0.9, 0.45, 1.0, 12.0),
             }
             .round()
-            .max(1.0) as u32;
+            .max(1.0) as u32; // sift-lint: allow(lossy-cast) — clamped small positive; `as` saturates
 
             // Reach: how many users the outage affects. Interest lift
             // follows from reach as a fraction of the state's population,
@@ -803,16 +805,16 @@ fn sample_cause(rng: &mut ChaCha8Rng, power_frac: f64) -> Cause {
             PowerTrigger::WinterStorm,
         ]
         .choose(rng)
-        .expect("non-empty");
+        .expect("non-empty"); // sift-lint: allow(no-panic) — const provider tables are non-empty
         Cause::Power(trigger)
     } else if x < power_frac + MOBILE_FRAC {
-        Cause::MobileCarrier(*Provider::MOBILE.choose(rng).expect("non-empty"))
+        Cause::MobileCarrier(*Provider::MOBILE.choose(rng).expect("non-empty")) // sift-lint: allow(no-panic) — const provider tables are non-empty
     } else if x < power_frac + MOBILE_FRAC + APP_FRAC {
-        Cause::Application(*Provider::APPS.choose(rng).expect("non-empty"))
+        Cause::Application(*Provider::APPS.choose(rng).expect("non-empty")) // sift-lint: allow(no-panic) — const provider tables are non-empty
     } else if x < power_frac + MOBILE_FRAC + APP_FRAC + CDN_FRAC {
-        Cause::CdnOrCloud(*Provider::CDN_CLOUD.choose(rng).expect("non-empty"))
+        Cause::CdnOrCloud(*Provider::CDN_CLOUD.choose(rng).expect("non-empty")) // sift-lint: allow(no-panic) — const provider tables are non-empty
     } else {
-        Cause::IspNetwork(*Provider::ISPS.choose(rng).expect("non-empty"))
+        Cause::IspNetwork(*Provider::ISPS.choose(rng).expect("non-empty")) // sift-lint: allow(no-panic) — const provider tables are non-empty
     }
 }
 
@@ -838,8 +840,8 @@ impl DivisionOffsetProxy for State {
 
 #[cfg(test)]
 mod tests {
-    use sift_simtime::STUDY_RANGE;
     use super::*;
+    use sift_simtime::STUDY_RANGE;
 
     fn full() -> Scenario {
         Scenario::generate(ScenarioParams {
@@ -973,7 +975,9 @@ mod tests {
     fn event_index_handles_empty_and_out_of_range() {
         let empty = Scenario::single_region(State::CA, vec![]);
         let idx = empty.build_index();
-        assert!(idx.candidates(HourRange::new(Hour(0), Hour(100))).is_empty());
+        assert!(idx
+            .candidates(HourRange::new(Hour(0), Hour(100)))
+            .is_empty());
 
         let one = Scenario::single_region(
             State::CA,
@@ -989,7 +993,10 @@ mod tests {
             }],
         );
         let idx = one.build_index();
-        assert_eq!(idx.candidates(HourRange::new(Hour(480), Hour(520))), vec![0]);
+        assert_eq!(
+            idx.candidates(HourRange::new(Hour(480), Hour(520))),
+            vec![0]
+        );
         // Windows far outside the indexed span clamp safely (no panic).
         let _ = idx.candidates(HourRange::new(Hour(-10_000), Hour(-9_000)));
         let far = idx.candidates(HourRange::new(Hour(1_000_000), Hour(1_000_100)));
@@ -1011,10 +1018,7 @@ mod tests {
         };
         let s = Scenario::single_region(State::CA, vec![e]);
         assert_eq!(s.events.len(), 1);
-        assert_eq!(
-            s.events_in(HourRange::new(Hour(52), Hour(53))).count(),
-            1
-        );
+        assert_eq!(s.events_in(HourRange::new(Hour(52), Hour(53))).count(), 1);
         assert_eq!(s.events_in(HourRange::new(Hour(60), Hour(61))).count(), 0);
     }
 }

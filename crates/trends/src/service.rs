@@ -232,7 +232,10 @@ mod tests {
                 max: 168
             })
         );
-        assert_eq!(s.fetch_frame(&frame_req(0, 0, 0)), Err(ServiceError::EmptyFrame));
+        assert_eq!(
+            s.fetch_frame(&frame_req(0, 0, 0)),
+            Err(ServiceError::EmptyFrame)
+        );
         assert!(s.fetch_frame(&frame_req(0, 168, 0)).is_ok());
         assert!(s.fetch_frame(&frame_req(0, 24, 0)).is_ok());
     }

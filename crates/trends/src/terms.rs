@@ -319,7 +319,10 @@ mod tests {
 
     #[test]
     fn topic_lookup_case_insensitive() {
-        assert_eq!(Topic::from_name("internet OUTAGE"), Some(Topic::InternetOutage));
+        assert_eq!(
+            Topic::from_name("internet OUTAGE"),
+            Some(Topic::InternetOutage)
+        );
         assert_eq!(Topic::from_name("Power outage"), Some(Topic::PowerOutage));
         assert_eq!(Topic::from_name("weather"), None);
     }

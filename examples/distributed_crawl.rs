@@ -56,13 +56,16 @@ fn main() {
                     term: SearchTerm::parse("topic:Internet outage"),
                     state: *state,
                     start: f.start,
-                    len: f.len() as u32,
+                    len: u32::try_from(f.len()).unwrap_or(u32::MAX),
                     tag: 0,
                 })
             })
         })
         .collect();
-    println!("\nqueueing {} frame requests across 4 units ...", workload.len());
+    println!(
+        "\nqueueing {} frame requests across 4 units ...",
+        workload.len()
+    );
     let run = CollectionRun::new(units.clone());
     let mut store = ResponseStore::new();
     let report = run.execute(workload, &mut store);

@@ -70,7 +70,10 @@ fn main() {
         .send(&Request::get("/metrics"))
         .expect("scrape /metrics");
     let text = String::from_utf8_lossy(&resp.body);
-    println!("scraped /metrics: {} series lines; a sample:", text.lines().count());
+    println!(
+        "scraped /metrics: {} series lines; a sample:",
+        text.lines().count()
+    );
     for line in text.lines().filter(|l| {
         l.starts_with("sift_http_request_seconds_count")
             || l.starts_with("sift_trends_frames_served_total")
@@ -85,7 +88,10 @@ fn main() {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(0);
     if hold > 0 {
-        println!("\nholding the server for {hold}s — scrape http://{}/metrics", server.addr());
+        println!(
+            "\nholding the server for {hold}s — scrape http://{}/metrics",
+            server.addr()
+        );
         std::thread::sleep(std::time::Duration::from_secs(hold));
     }
     server.shutdown();

@@ -9,12 +9,10 @@
 
 use sift::core::{run_study, StudyParams};
 use sift::geo::{AddressPlan, GeoDb, State};
-use sift::probe::{
-    address::PopulationMix, cross_validate, AddressPopulation, ProbeConfig, Prober,
-};
+use sift::probe::{address::PopulationMix, cross_validate, AddressPopulation, ProbeConfig, Prober};
 use sift::simtime::{Hour, HourRange};
-use sift::trends::{Cause, OutageEvent, PowerTrigger, Scenario, TrendsService};
 use sift::trends::terms::Provider;
+use sift::trends::{Cause, OutageEvent, PowerTrigger, Scenario, TrendsService};
 
 fn main() {
     // A compact world with one event of each visibility class, plus
@@ -30,17 +28,52 @@ fn main() {
         lags_h: vec![0],
     };
     let mut events = vec![
-        mk(0, "power outage (storm)", Cause::Power(PowerTrigger::Storm), 3, 8, 0.3),
-        mk(1, "ISP outage", Cause::IspNetwork(Provider::Comcast), 8, 6, 0.25),
-        mk(2, "mobile carrier outage", Cause::MobileCarrier(Provider::TMobile), 13, 7, 0.3),
-        mk(3, "CDN/DNS outage", Cause::CdnOrCloud(Provider::Akamai), 18, 5, 0.35),
-        mk(4, "application outage", Cause::Application(Provider::Youtube), 23, 5, 0.3),
+        mk(
+            0,
+            "power outage (storm)",
+            Cause::Power(PowerTrigger::Storm),
+            3,
+            8,
+            0.3,
+        ),
+        mk(
+            1,
+            "ISP outage",
+            Cause::IspNetwork(Provider::Comcast),
+            8,
+            6,
+            0.25,
+        ),
+        mk(
+            2,
+            "mobile carrier outage",
+            Cause::MobileCarrier(Provider::TMobile),
+            13,
+            7,
+            0.3,
+        ),
+        mk(
+            3,
+            "CDN/DNS outage",
+            Cause::CdnOrCloud(Provider::Akamai),
+            18,
+            5,
+            0.35,
+        ),
+        mk(
+            4,
+            "application outage",
+            Cause::Application(Provider::Youtube),
+            23,
+            5,
+            0.3,
+        ),
     ];
     for (i, day) in (1..28).step_by(2).enumerate() {
         // Tiny reach: enough to anchor the trends frames, too small to
         // register as a probe-level surge near the headline events.
         events.push(mk(
-            100 + i as u32,
+            100 + u32::try_from(i).unwrap_or(u32::MAX),
             "anchor",
             Cause::IspNetwork(Provider::Frontier),
             day,
@@ -53,7 +86,10 @@ fn main() {
     // --- SIFT's view.
     let service = TrendsService::with_defaults(scenario.clone());
     let params = StudyParams {
-        range: HourRange::new(Hour::from_ymdh(2020, 2, 24, 0), Hour::from_ymdh(2020, 4, 6, 0)),
+        range: HourRange::new(
+            Hour::from_ymdh(2020, 2, 24, 0),
+            Hour::from_ymdh(2020, 4, 6, 0),
+        ),
         regions: vec![State::TX],
         daily_rising: false,
         threads: 1,
@@ -73,7 +109,10 @@ fn main() {
 
     // --- Cross-validate ground truth against both.
     let report = cross_validate(&scenario, &study.bare_spikes(), &dataset, 5);
-    println!("\n{:<28} {:<14} {:>6} {:>7}", "event", "cause", "SIFT", "probes");
+    println!(
+        "\n{:<28} {:<14} {:>6} {:>7}",
+        "event", "cause", "SIFT", "probes"
+    );
     for e in &report.events {
         println!(
             "{:<28} {:<14} {:>6} {:>7}{}",

@@ -41,7 +41,11 @@ fn main() {
     let result = run_study(&service, &params).expect("study runs");
 
     // 8 — Output: the report.
-    println!("SIFT study: {area} ({} – {})", format_day(range.start), format_day(range.end));
+    println!(
+        "SIFT study: {area} ({} – {})",
+        format_day(range.start),
+        format_day(range.end)
+    );
     println!("  {}", sift_summary(&result));
     let timeline = result.timeline(area).expect("timeline exists");
     let compact = report::downsample_max(&timeline.values, 78);

@@ -46,12 +46,13 @@ fn main() {
     let mut week_start = cut.start;
     while week_start < cut.end {
         let week = HourRange::new(week_start, (week_start + 168).min(cut.end));
-        let values: Vec<f64> = week
-            .iter()
-            .filter_map(|h| timeline.value_at(h))
-            .collect();
+        let values: Vec<f64> = week.iter().filter_map(|h| timeline.value_at(h)).collect();
         let compact = report::downsample_max(&values, 56);
-        println!("  {}  {}", format_day(week.start), report::sparkline(&compact));
+        println!(
+            "  {}  {}",
+            format_day(week.start),
+            report::sparkline(&compact)
+        );
         week_start = week.end;
     }
 

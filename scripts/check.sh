@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Full local gate: release build, every test in the workspace, and a
-# warning-free clippy pass. The build environment has no crates.io access
+# Full local gate: release build, every test in the workspace, the
+# sift-lint static-analysis pass, a warning-free clippy pass over all
+# targets, and rustfmt. The build environment has no crates.io access
 # (external deps resolve to the vendored shims), hence --offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline --workspace
-cargo clippy --workspace --offline -- -D warnings
+cargo run -p sift-lint --release --offline -- --json
+cargo clippy --workspace --all-targets --offline -- -D warnings
+cargo fmt --check
 echo "all checks passed"

@@ -6,8 +6,10 @@ use sift::fetcher::queue::WorkItem;
 use sift::fetcher::{CollectionRun, InProcessClient, ResponseStore, TrendsClient};
 use sift::geo::State;
 use sift::simtime::{Hour, HourRange};
-use sift::trends::{Cause, FrameRequest, OutageEvent, RisingRequest, Scenario, SearchTerm, TrendsService};
 use sift::trends::terms::Provider;
+use sift::trends::{
+    Cause, FrameRequest, OutageEvent, RisingRequest, Scenario, SearchTerm, TrendsService,
+};
 use std::sync::Arc;
 
 fn service() -> Arc<TrendsService> {

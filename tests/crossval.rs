@@ -82,7 +82,10 @@ fn visibility_contrast_matches_the_paper() {
     assert!(verdict("isp").probe_detected);
     assert!(!verdict("mobile").probe_detected, "mobile escapes probing");
     assert!(!verdict("cdn").probe_detected, "CDN/DNS escapes probing");
-    assert!(!verdict("app").probe_detected, "applications escape probing");
+    assert!(
+        !verdict("app").probe_detected,
+        "applications escape probing"
+    );
 }
 
 #[test]

@@ -94,12 +94,12 @@ fn metrics_endpoint_agrees_with_study_stats() {
     )
     .expect("+Inf bucket present");
     assert_eq!(inf_bucket, frames);
-    let latency_sum = sample_value(
-        &text,
-        "sift_http_request_seconds_sum{route=\"/api/frame\"}",
-    )
-    .expect("latency sum present");
-    assert!(latency_sum > 0.0, "latencies must accumulate: {latency_sum}");
+    let latency_sum = sample_value(&text, "sift_http_request_seconds_sum{route=\"/api/frame\"}")
+        .expect("latency sum present");
+    assert!(
+        latency_sum > 0.0,
+        "latencies must accumulate: {latency_sum}"
+    );
 
     // Request totals cover the frame posts (status 200) as well.
     let ok_frames = sample_value(

@@ -8,8 +8,8 @@ use sift::fetcher::{trends_router, HttpTrendsClient, RoundRobin, TrendsClient};
 use sift::geo::State;
 use sift::net::{RateLimiterConfig, RetryPolicy, Server};
 use sift::simtime::{Hour, HourRange};
-use sift::trends::{Cause, OutageEvent, PowerTrigger, Scenario, TrendsService};
 use sift::trends::terms::Provider;
+use sift::trends::{Cause, OutageEvent, PowerTrigger, Scenario, TrendsService};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -40,7 +40,6 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
-
 }
 
 impl Deref for Bytes {
@@ -102,7 +101,11 @@ impl FromIterator<u8> for Bytes {
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "b\"{}\"", String::from_utf8_lossy(&self.data).escape_debug())
+        write!(
+            f,
+            "b\"{}\"",
+            String::from_utf8_lossy(&self.data).escape_debug()
+        )
     }
 }
 

@@ -87,10 +87,7 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (
-            Sender { chan: chan.clone() },
-            Receiver { chan },
-        )
+        (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
     impl<T> Sender<T> {
@@ -138,11 +135,7 @@ pub mod channel {
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .chan
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|p| p.into_inner());
+                q = self.chan.ready.wait(q).unwrap_or_else(|p| p.into_inner());
             }
         }
 

@@ -387,12 +387,12 @@ pub mod string {
         /// a representative spread rather than the full unicode table.
         fn not_control() -> CharSet {
             CharSet::from_ranges(vec![
-                (0x20, 0x7E),     // ASCII printable
-                (0xA1, 0xFF),     // Latin-1 supplement (printables)
-                (0x100, 0x17F),   // Latin extended-A
-                (0x391, 0x3C9),   // Greek
-                (0x410, 0x44F),   // Cyrillic
-                (0x4E00, 0x4EFF), // CJK (slice)
+                (0x20, 0x7E),       // ASCII printable
+                (0xA1, 0xFF),       // Latin-1 supplement (printables)
+                (0x100, 0x17F),     // Latin extended-A
+                (0x391, 0x3C9),     // Greek
+                (0x410, 0x44F),     // Cyrillic
+                (0x4E00, 0x4EFF),   // CJK (slice)
                 (0x1F600, 0x1F64F), // emoticons
             ])
         }
@@ -569,9 +569,7 @@ pub mod string {
         panic!("unterminated character class in regex strategy");
     }
 
-    fn parse_quantifier(
-        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    ) -> (usize, usize) {
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
         if chars.peek() != Some(&'{') {
             return (1, 1);
         }
@@ -605,9 +603,9 @@ pub mod string {
                 '[' => parse_class(&mut chars),
                 '\\' => parse_escape(&mut chars),
                 '.' => CharSet::not_control(),
-                '(' | ')' | '|' | '*' | '+' | '?' => panic!(
-                    "regex strategy shim does not support `{c}` (pattern `{pattern}`)"
-                ),
+                '(' | ')' | '|' | '*' | '+' | '?' => {
+                    panic!("regex strategy shim does not support `{c}` (pattern `{pattern}`)")
+                }
                 lit => CharSet::from_ranges(vec![(lit as u32, lit as u32)]),
             };
             let (min, max) = parse_quantifier(&mut chars);
@@ -768,9 +766,7 @@ mod tests {
             let s = "[a-zA-Z][a-zA-Z0-9-]{0,15}".generate(&mut rng);
             assert!(!s.is_empty() && s.len() <= 16);
             assert!(s.chars().next().unwrap().is_ascii_alphabetic());
-            assert!(s
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-'));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
 
             let h = "[ -~&&[^\r\n]]{0,30}".generate(&mut rng);
             assert!(h.len() <= 30);

@@ -147,8 +147,8 @@ pub mod ser {
 
 pub mod de {
     //! Deserialization-side helpers, used by derive-generated code.
-    pub use crate::{Deserialize, Error};
     use crate::Value;
+    pub use crate::{Deserialize, Error};
 
     /// `Deserialize` for types without borrowed data. In this shim every
     /// `Deserialize` qualifies, as in `serde::de::DeserializeOwned` for
@@ -194,8 +194,7 @@ pub mod de {
     /// [`Deserialize::from_missing`] (so `Option` becomes `None`).
     pub fn field<T: Deserialize>(fields: &[(String, Value)], name: &str) -> Result<T, Error> {
         match get(fields, name) {
-            Some(v) => T::from_value(v)
-                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
             None => T::from_missing().ok_or_else(|| Error::missing_field(name)),
         }
     }
@@ -207,8 +206,7 @@ pub mod de {
         name: &str,
     ) -> Result<T, Error> {
         match get(fields, name) {
-            Some(v) => T::from_value(v)
-                .map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
             None => Ok(T::default()),
         }
     }

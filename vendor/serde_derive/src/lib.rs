@@ -275,8 +275,8 @@ fn parse_item(input: TokenStream) -> Item {
     let kw = ident_of(&tokens[i])
         .unwrap_or_else(|| panic!("serde_derive shim: expected `struct` or `enum`"));
     i += 1;
-    let name = ident_of(&tokens[i])
-        .unwrap_or_else(|| panic!("serde_derive shim: expected type name"));
+    let name =
+        ident_of(&tokens[i]).unwrap_or_else(|| panic!("serde_derive shim: expected type name"));
     i += 1;
     let generics = parse_generics(&tokens, &mut i);
     // Anything between generics and the body (a where clause) is skipped.
@@ -389,8 +389,7 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         Shape::Tuple(n) => {
-                            let binds: Vec<String> =
-                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                             let items: Vec<String> = (0..*n)
                                 .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
                                 .collect();
@@ -457,9 +456,9 @@ fn gen_deserialize(item: &Item) -> String {
                 named_ctor(name, fields, "__fields")
             )
         }
-        Kind::Struct(Shape::Tuple(1)) => format!(
-            "::std::result::Result::Ok({name}(::serde::de::from_value(__v)?))"
-        ),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::de::from_value(__v)?))")
+        }
         Kind::Struct(Shape::Tuple(n)) => {
             let inits: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::de::from_value(&__items[{i}])?"))
@@ -481,21 +480,16 @@ fn gen_deserialize(item: &Item) -> String {
             let unit_arms: Vec<String> = variants
                 .iter()
                 .filter(|v| matches!(v.shape, Shape::Unit))
-                .map(|v| {
-                    format!(
-                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
-                        v.name
-                    )
-                })
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
                 .collect();
             let tagged_arms: Vec<String> = variants
                 .iter()
                 .map(|v| {
                     let vname = &v.name;
                     match &v.shape {
-                        Shape::Unit => format!(
-                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
-                        ),
+                        Shape::Unit => {
+                            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                        }
                         Shape::Tuple(1) => format!(
                             "\"{vname}\" => ::std::result::Result::Ok(\
                              {name}::{vname}(::serde::de::from_value(__inner)?)),"

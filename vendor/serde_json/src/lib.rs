@@ -303,8 +303,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| Error::custom("invalid \\u escape"))?;
-        let code =
-            u16::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        let code = u16::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
         self.pos = end;
         Ok(code)
     }
@@ -356,9 +355,7 @@ impl<'a> Parser<'a> {
                             } else {
                                 char::from_u32(hi as u32)
                             };
-                            out.push(
-                                c.ok_or_else(|| Error::custom("invalid \\u escape"))?,
-                            );
+                            out.push(c.ok_or_else(|| Error::custom("invalid \\u escape"))?);
                         }
                         other => {
                             return Err(Error::custom(format!(
@@ -369,9 +366,7 @@ impl<'a> Parser<'a> {
                     }
                     return self.string_tail(out);
                 }
-                Some(b) if b < 0x20 => {
-                    return Err(Error::custom("control character in string"))
-                }
+                Some(b) if b < 0x20 => return Err(Error::custom("control character in string")),
                 Some(_) => self.pos += 1,
             }
         }
@@ -423,9 +418,7 @@ impl<'a> Parser<'a> {
                             } else {
                                 char::from_u32(hi as u32)
                             };
-                            out.push(
-                                c.ok_or_else(|| Error::custom("invalid \\u escape"))?,
-                            );
+                            out.push(c.ok_or_else(|| Error::custom("invalid \\u escape"))?);
                         }
                         other => {
                             return Err(Error::custom(format!(
@@ -437,9 +430,7 @@ impl<'a> Parser<'a> {
                     start = self.pos;
                     continue;
                 }
-                Some(b) if b < 0x20 => {
-                    return Err(Error::custom("control character in string"))
-                }
+                Some(b) if b < 0x20 => return Err(Error::custom("control character in string")),
                 Some(_) => {
                     self.pos += 1;
                     continue;
