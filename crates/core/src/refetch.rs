@@ -61,8 +61,16 @@ pub struct RefetchOutcome {
     pub converged: bool,
     /// Spike-set similarity after each round (starting with round 2).
     pub similarity_trace: Vec<f64>,
-    /// Frames fetched in total.
+    /// Frames actually fetched (degraded slots are not counted).
     pub frames_fetched: u64,
+    /// Frame slots filled from the previous round's response because the
+    /// fresh fetch failed (graceful degradation; only possible after
+    /// round 1).
+    pub frames_degraded: u64,
+    /// Fresh-fetch share of all frame slots filled:
+    /// `frames_fetched / (frames_fetched + frames_degraded)`. 1.0 means
+    /// every frame of every round came from a live fetch.
+    pub coverage: f64,
 }
 
 /// Errors of the averaging loop.
@@ -124,6 +132,15 @@ pub fn spike_set_similarity(a: &[Spike], b: &[Spike], tolerance_h: i64) -> f64 {
 /// Each round fetches every frame with a fresh sample tag, stitches a
 /// timeline, folds it into the running mean, re-detects spikes and
 /// compares the spike set with the previous round's.
+///
+/// Degradation contract: a frame fetch that still fails after the
+/// client's own retries aborts the loop only in round 1 (there is nothing
+/// to fall back to). From round 2 on, the slot is filled with the
+/// previous round's response for the same frame — the running mean keeps
+/// its shape, the round merely adds no fresh sample there — and the loss
+/// is surfaced in [`RefetchOutcome::frames_degraded`] /
+/// [`RefetchOutcome::coverage`] and the
+/// `sift_refetch_frames_degraded_total` counter.
 pub fn averaged_timeline(
     client: &dyn TrendsClient,
     term: &SearchTerm,
@@ -133,10 +150,13 @@ pub fn averaged_timeline(
     detect: &DetectParams,
 ) -> Result<RefetchOutcome, RefetchError> {
     assert!(params.max_rounds >= 1);
+    let state_label = state.to_string();
     let mut mean: Option<Timeline> = None;
     let mut prev_spikes: Option<Vec<Spike>> = None;
+    let mut prev_responses: Option<Vec<FrameResponse>> = None;
     let mut similarity_trace = Vec::new();
     let mut frames_fetched = 0u64;
+    let mut frames_degraded = 0u64;
     let mut rounds = 0u32;
     let mut converged = false;
     let mut final_spikes = Vec::new();
@@ -145,28 +165,57 @@ pub fn averaged_timeline(
         rounds = round + 1;
         let responses: Vec<FrameResponse> = {
             let _span = sift_obs::span("fetch");
-            frames
-                .iter()
-                .map(|r| {
-                    client
-                        .fetch_frame(&FrameRequest {
-                            term: term.clone(),
-                            state,
-                            start: r.start,
-                            len: u32::try_from(r.len()).unwrap_or(u32::MAX),
-                            tag: u64::from(round),
-                        })
-                        .map_err(RefetchError::Fetch)
-                })
-                .collect::<Result<_, _>>()?
+            let mut responses = Vec::with_capacity(frames.len());
+            for (i, r) in frames.iter().enumerate() {
+                let fetched = client.fetch_frame(&FrameRequest {
+                    term: term.clone(),
+                    state,
+                    start: r.start,
+                    len: u32::try_from(r.len()).unwrap_or(u32::MAX),
+                    tag: u64::from(round),
+                });
+                match fetched {
+                    Ok(resp) => {
+                        frames_fetched += 1;
+                        responses.push(resp);
+                    }
+                    Err(e) => {
+                        // Round 1 has no previous sample to degrade to;
+                        // later rounds reuse the same frame slot from the
+                        // round before and carry on.
+                        let Some(prev) = &prev_responses else {
+                            return Err(RefetchError::Fetch(e));
+                        };
+                        frames_degraded += 1;
+                        sift_obs::counter(
+                            "sift_refetch_frames_degraded_total",
+                            &[("state", &state_label)],
+                        )
+                        .inc();
+                        sift_obs::event(
+                            sift_obs::Level::Warn,
+                            "core.refetch",
+                            "frame fetch failed; reusing previous round's sample",
+                            &[
+                                ("state", serde_json::Value::Str(state_label.clone())),
+                                ("frame_start", serde_json::Value::Int(r.start.0)),
+                                ("round", serde_json::Value::UInt(u64::from(rounds))),
+                                ("error", serde_json::Value::Str(e.to_string())),
+                            ],
+                        );
+                        responses.push(prev[i].clone());
+                    }
+                }
+            }
+            responses
         };
-        frames_fetched += u64::try_from(responses.len()).unwrap_or(u64::MAX);
 
         let round_timeline = {
             let _span = sift_obs::span("stitch");
             let refs: Vec<&FrameResponse> = responses.iter().collect();
             stitch(&refs).map_err(RefetchError::Stitch)?
         };
+        prev_responses = Some(responses);
 
         let current = match &mut mean {
             slot @ None => slot.insert(round_timeline),
@@ -202,7 +251,6 @@ pub fn averaged_timeline(
         final_spikes = spikes;
     }
 
-    let state_label = state.to_string();
     sift_obs::counter("sift_refetch_rounds_total", &[("state", &state_label)])
         .add(u64::from(rounds));
     if converged {
@@ -214,6 +262,13 @@ pub fn averaged_timeline(
     // sift-lint: allow(no-panic) — the loop runs at least once (max_rounds >= 1 asserted above)
     let mut timeline = mean.expect("at least one round ran");
     timeline.renormalize();
+    let slots = frames_fetched + frames_degraded;
+    let coverage = if slots == 0 {
+        1.0
+    } else {
+        // sift-lint: allow(lossy-cast) — slot counts are far below 2^52; the ratio is diagnostic
+        frames_fetched as f64 / slots as f64
+    };
     Ok(RefetchOutcome {
         timeline,
         spikes: final_spikes,
@@ -221,6 +276,8 @@ pub fn averaged_timeline(
         converged,
         similarity_trace,
         frames_fetched,
+        frames_degraded,
+        coverage,
     })
 }
 
@@ -356,6 +413,95 @@ mod tests {
         assert!(has_peak_near(603), "spikes: {:?}", outcome.spikes);
         assert_eq!(outcome.timeline.range().len(), 900);
         assert!(outcome.frames_fetched > 0);
+        assert_eq!(outcome.frames_degraded, 0);
+        assert!((outcome.coverage - 1.0).abs() < 1e-12);
+    }
+
+    /// A client that fails every `period`-th frame fetch (transport-style)
+    /// once the first round has completed cleanly.
+    struct FlakyAfterFirstRound {
+        inner: TrendsService,
+        round_len: usize,
+        period: usize,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl sift_trends::client::TrendsClient for FlakyAfterFirstRound {
+        fn fetch_frame(
+            &self,
+            req: &sift_trends::FrameRequest,
+        ) -> Result<sift_trends::FrameResponse, sift_trends::client::FetchError> {
+            let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if call >= self.round_len && call % self.period == 0 {
+                return Err(sift_trends::client::FetchError::Transport(
+                    "injected reset".into(),
+                ));
+            }
+            self.inner
+                .fetch_frame(req)
+                .map_err(sift_trends::client::FetchError::Service)
+        }
+
+        fn fetch_rising(
+            &self,
+            req: &sift_trends::RisingRequest,
+        ) -> Result<sift_trends::RisingResponse, sift_trends::client::FetchError> {
+            self.inner
+                .fetch_rising(req)
+                .map_err(sift_trends::client::FetchError::Service)
+        }
+    }
+
+    #[test]
+    fn fetch_failures_after_round_one_degrade_instead_of_aborting() {
+        let frames = weekly_frames(900);
+        let client = FlakyAfterFirstRound {
+            inner: service_with_events(),
+            round_len: frames.len(),
+            period: 5,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let outcome = averaged_timeline(
+            &client,
+            &SearchTerm::parse("topic:Internet outage"),
+            State::TX,
+            &frames,
+            &RefetchParams::default(),
+            &DetectParams::default(),
+        )
+        .expect("degraded averaging still succeeds");
+        assert!(outcome.frames_degraded > 0, "{outcome:?}");
+        assert!(
+            outcome.coverage < 1.0 && outcome.coverage > 0.5,
+            "{outcome:?}"
+        );
+        // The injected events survive the degradation.
+        let has_peak_near = |h: i64| outcome.spikes.iter().any(|s| (s.peak - Hour(h)).abs() <= 6);
+        assert!(has_peak_near(205), "spikes: {:?}", outcome.spikes);
+        assert_eq!(outcome.timeline.range().len(), 900);
+    }
+
+    #[test]
+    fn round_one_failures_still_propagate() {
+        // Fails from the very first call: there is no previous round to
+        // degrade to, so the loop must surface the error.
+        let frames = weekly_frames(900);
+        let client = FlakyAfterFirstRound {
+            inner: service_with_events(),
+            round_len: 0,
+            period: 1,
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let err = averaged_timeline(
+            &client,
+            &SearchTerm::parse("topic:Internet outage"),
+            State::TX,
+            &frames,
+            &RefetchParams::default(),
+            &DetectParams::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RefetchError::Fetch(_)), "{err}");
     }
 
     #[test]

@@ -83,6 +83,14 @@ pub struct StudyStats {
     pub rounds_by_state: Vec<(State, u32)>,
     /// Regions whose spike set converged before the round cap.
     pub converged_regions: usize,
+    /// Fresh-fetch share of frame slots per region (1.0 = no frame was
+    /// degraded to a previous round's sample).
+    #[serde(default)]
+    pub coverage_by_state: Vec<(State, f64)>,
+    /// Frame slots filled from a previous round after a fetch failure,
+    /// across all regions.
+    #[serde(default)]
+    pub frames_degraded: u64,
     /// Per-stage span timings recorded while this study ran.
     pub telemetry: sift_obs::TelemetrySnapshot,
 }
@@ -160,6 +168,8 @@ struct RegionOutcome {
     rounds: u32,
     converged: bool,
     frames_requested: u64,
+    frames_degraded: u64,
+    coverage: f64,
     rising_requested: u64,
     /// `(spike, its gathered suggestions)`.
     spikes: Vec<(crate::detect::Spike, Vec<RisingTerm>)>,
@@ -237,8 +247,10 @@ pub fn run_study(
     let mut timelines = Vec::with_capacity(regions.len());
     for r in &regions {
         stats.frames_requested += r.frames_requested;
+        stats.frames_degraded += r.frames_degraded;
         stats.rising_requested += r.rising_requested;
         stats.rounds_by_state.push((r.state, r.rounds));
+        stats.coverage_by_state.push((r.state, r.coverage));
         if r.converged {
             stats.converged_regions += 1;
         }
@@ -277,6 +289,10 @@ pub fn run_study(
             (
                 "converged_regions",
                 serde_json::Value::UInt(stats.converged_regions as u64),
+            ),
+            (
+                "frames_degraded",
+                serde_json::Value::UInt(stats.frames_degraded),
             ),
             ("spikes", serde_json::Value::UInt(spikes.len() as u64)),
         ],
@@ -375,6 +391,8 @@ fn region_study(
         rounds: outcome.rounds,
         converged: outcome.converged,
         frames_requested: outcome.frames_fetched,
+        frames_degraded: outcome.frames_degraded,
+        coverage: outcome.coverage,
         rising_requested,
         spikes,
     })
@@ -503,6 +521,14 @@ mod tests {
         assert!(result.stats.frames_requested > 0);
         assert!(result.stats.rising_requested > 0);
         assert_eq!(result.stats.rounds_by_state.len(), 2);
+        // The in-process client never fails, so coverage is full.
+        assert_eq!(result.stats.frames_degraded, 0);
+        assert_eq!(result.stats.coverage_by_state.len(), 2);
+        assert!(result
+            .stats
+            .coverage_by_state
+            .iter()
+            .all(|(_, c)| (c - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -5,15 +5,25 @@
 //! under its own identity, the service's per-IP rate limiting throttles
 //! units independently and the crawl parallelises — exactly the design the
 //! paper describes.
+//!
+//! Failure handling: a transport-level failure (the unit's own retries
+//! exhausted) re-queues the item under a bounded per-item attempt budget,
+//! preferring a *different* unit on the next try; a service-level
+//! rejection (bad request) is permanent immediately. Items that exhaust
+//! the budget are reported in [`RunReport::failed_items`] — with their
+//! frame tags and coordinates — so callers can re-plan instead of
+//! silently losing frames.
 
 use crate::store::ResponseStore;
-use crate::unit::TrendsClient;
+use crate::unit::{FetchError, TrendsClient};
 use crossbeam::channel;
+use sift_geo::State;
+use sift_simtime::Hour;
 use sift_trends::{FrameRequest, RisingRequest};
 use std::sync::Arc;
 
 /// One queued request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WorkItem {
     /// Fetch an indexed frame.
     Frame(FrameRequest),
@@ -21,46 +31,127 @@ pub enum WorkItem {
     Rising(RisingRequest),
 }
 
+impl WorkItem {
+    /// The region the item targets.
+    pub fn state(&self) -> State {
+        match self {
+            WorkItem::Frame(r) => r.state,
+            WorkItem::Rising(r) => r.state,
+        }
+    }
+
+    /// The first hour of the requested frame.
+    pub fn start(&self) -> Hour {
+        match self {
+            WorkItem::Frame(r) => r.start,
+            WorkItem::Rising(r) => r.start,
+        }
+    }
+}
+
+/// An item that exhausted its attempt budget (or was rejected by the
+/// service), reported so the caller can re-plan the missing work.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailedWork {
+    /// The failed request, exactly as queued.
+    pub item: WorkItem,
+    /// Fetch attempts made across units.
+    pub attempts: u32,
+    /// The final error, stringified.
+    pub error: String,
+}
+
 /// Outcome counters of one collection run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// Requests answered successfully.
     pub completed: usize,
-    /// Requests that failed after the unit's retry budget.
+    /// Requests that failed permanently (budget exhausted or rejected by
+    /// the service).
     pub failed: usize,
+    /// Re-queues performed after transient failures.
+    pub requeued: usize,
     /// `(unit identity, requests completed)` per unit.
     pub per_unit: Vec<(String, usize)>,
+    /// Every permanently-failed item, with its coordinates and tag.
+    pub failed_items: Vec<FailedWork>,
 }
 
 /// A crawl executor over a set of fetcher units.
 pub struct CollectionRun {
     units: Vec<Arc<dyn TrendsClient>>,
+    attempt_budget: u32,
+}
+
+/// What one worker hands back to the collector.
+enum Outcome {
+    Frame(u64, sift_trends::FrameResponse),
+    Rising(u32, sift_trends::RisingResponse),
+    /// Item whose last failure was on this worker's unit: the collector
+    /// re-queues it so a different unit (usually) picks it up.
+    Bounce(Queued),
+    Failed {
+        item: WorkItem,
+        attempts: u32,
+        error: String,
+        permanent: bool,
+    },
+}
+
+/// A work item plus its retry bookkeeping.
+#[derive(Debug)]
+struct Queued {
+    item: WorkItem,
+    /// Fetch attempts already made.
+    attempts: u32,
+    /// The unit index of the last failed attempt, if any.
+    last_unit: Option<usize>,
+    /// Whether the item has already been bounced once since the last
+    /// failure (guards against ping-pong when only one unit is draining).
+    bounced: bool,
 }
 
 impl CollectionRun {
-    /// Builds a run over the given units (at least one).
+    /// Builds a run over the given units (at least one), with a default
+    /// per-item budget of 3 attempts.
     pub fn new(units: Vec<Arc<dyn TrendsClient>>) -> Self {
         assert!(!units.is_empty(), "at least one fetcher unit required");
-        CollectionRun { units }
+        CollectionRun {
+            units,
+            attempt_budget: 3,
+        }
+    }
+
+    /// Sets the per-item attempt budget (≥ 1). Each attempt already
+    /// includes the unit's own transport-level retries.
+    pub fn with_attempt_budget(mut self, budget: u32) -> Self {
+        assert!(budget >= 1, "at least one attempt required");
+        self.attempt_budget = budget;
+        self
     }
 
     /// Executes the workload, merging every response into `store`.
     /// Returns the run report.
     pub fn execute(&self, items: Vec<WorkItem>, store: &mut ResponseStore) -> RunReport {
-        let (work_tx, work_rx) = channel::unbounded::<WorkItem>();
+        let (work_tx, work_rx) = channel::unbounded::<Queued>();
+        let mut outstanding = 0usize;
         for item in items {
+            let queued = Queued {
+                item,
+                attempts: 0,
+                last_unit: None,
+                bounced: false,
+            };
             // sift-lint: allow(no-panic) — send to an unbounded channel with a live receiver cannot fail
-            work_tx.send(item).expect("unbounded channel accepts");
+            work_tx.send(queued).expect("unbounded channel accepts");
+            outstanding += 1;
         }
-        drop(work_tx); // workers drain until empty
+        // The gauge has a single owner — the collector below — so its
+        // readings cannot race across workers, and it is zeroed when the
+        // run drains.
         let depth = sift_obs::gauge("sift_fetcher_queue_depth", &[]);
         depth.set(work_rx.len() as i64);
 
-        enum Outcome {
-            Frame(u64, sift_trends::FrameResponse),
-            Rising(u32, sift_trends::RisingResponse),
-            Failed,
-        }
         let (out_tx, out_rx) = channel::unbounded::<(usize, Outcome)>();
 
         std::thread::scope(|scope| {
@@ -68,19 +159,31 @@ impl CollectionRun {
                 let work_rx = work_rx.clone();
                 let out_tx = out_tx.clone();
                 let unit = Arc::clone(unit);
+                let unit_count = self.units.len();
                 scope.spawn(move || {
-                    while let Ok(item) = work_rx.recv() {
-                        // Last set wins across workers; the gauge tracks the
-                        // approximate backlog, which is all it needs to.
-                        sift_obs::gauge("sift_fetcher_queue_depth", &[]).set(work_rx.len() as i64);
-                        let outcome = match &item {
+                    while let Ok(q) = work_rx.recv() {
+                        // A retry should land on a different unit than the
+                        // one that just failed it, when another exists.
+                        // One bounce per failure: if the same worker picks
+                        // it up again (the others are busy or gone), it
+                        // just runs it.
+                        if q.last_unit == Some(unit_idx) && !q.bounced && unit_count > 1 {
+                            let mut q = q;
+                            q.bounced = true;
+                            if out_tx.send((unit_idx, Outcome::Bounce(q))).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        let attempts = q.attempts + 1;
+                        let outcome = match &q.item {
                             WorkItem::Frame(req) => match unit.fetch_frame(req) {
                                 Ok(resp) => Outcome::Frame(req.tag, resp),
-                                Err(_) => Outcome::Failed,
+                                Err(e) => failed(q, attempts, &e),
                             },
                             WorkItem::Rising(req) => match unit.fetch_rising(req) {
                                 Ok(resp) => Outcome::Rising(req.len, resp),
-                                Err(_) => Outcome::Failed,
+                                Err(e) => failed(q, attempts, &e),
                             },
                         };
                         if out_tx.send((unit_idx, outcome)).is_err() {
@@ -99,15 +202,23 @@ impl CollectionRun {
                     .collect(),
                 ..RunReport::default()
             };
-            while let Ok((unit_idx, outcome)) = out_rx.recv() {
-                let unit_identity = &report.per_unit[unit_idx].0;
+            // The collector holds the only `work_tx`, so it alone decides
+            // when the run is over: once every item completed or failed
+            // permanently, dropping the sender lets the workers drain out.
+            let mut work_tx = Some(work_tx);
+            while outstanding > 0 {
+                let Ok((unit_idx, outcome)) = out_rx.recv() else {
+                    break; // all workers gone; nothing more can arrive
+                };
+                let unit_identity = report.per_unit[unit_idx].0.clone();
                 match outcome {
                     Outcome::Frame(tag, resp) => {
                         store.insert_frame(tag, resp);
                         report.completed += 1;
+                        outstanding -= 1;
                         sift_obs::counter(
                             "sift_fetcher_completed_total",
-                            &[("unit", unit_identity)],
+                            &[("unit", &unit_identity)],
                         )
                         .inc();
                         report.per_unit[unit_idx].1 += 1;
@@ -115,28 +226,90 @@ impl CollectionRun {
                     Outcome::Rising(len, resp) => {
                         store.insert_rising(len, resp);
                         report.completed += 1;
+                        outstanding -= 1;
                         sift_obs::counter(
                             "sift_fetcher_completed_total",
-                            &[("unit", unit_identity)],
+                            &[("unit", &unit_identity)],
                         )
                         .inc();
                         report.per_unit[unit_idx].1 += 1;
                     }
-                    Outcome::Failed => {
-                        report.failed += 1;
-                        sift_obs::counter("sift_fetcher_failed_total", &[("unit", unit_identity)])
+                    Outcome::Bounce(q) => {
+                        if let Some(tx) = &work_tx {
+                            if tx.send(q).is_err() {
+                                outstanding -= 1; // unreachable in practice
+                            }
+                        }
+                    }
+                    Outcome::Failed {
+                        item,
+                        attempts,
+                        error,
+                        permanent,
+                    } => {
+                        if !permanent && attempts < self.attempt_budget {
+                            report.requeued += 1;
+                            sift_obs::counter(
+                                "sift_fetcher_requeued_total",
+                                &[("unit", &unit_identity)],
+                            )
                             .inc();
-                        sift_obs::event(
-                            sift_obs::Level::Warn,
-                            "fetcher.queue",
-                            "request failed past retry budget",
-                            &[("unit", serde_json::Value::Str(unit_identity.clone()))],
-                        );
+                            let q = Queued {
+                                item,
+                                attempts,
+                                last_unit: Some(unit_idx),
+                                bounced: false,
+                            };
+                            let requeued = work_tx.as_ref().is_some_and(|tx| tx.send(q).is_ok());
+                            if !requeued {
+                                outstanding -= 1; // unreachable in practice
+                            }
+                        } else {
+                            report.failed += 1;
+                            outstanding -= 1;
+                            sift_obs::counter(
+                                "sift_fetcher_failed_total",
+                                &[("unit", &unit_identity)],
+                            )
+                            .inc();
+                            sift_obs::event(
+                                sift_obs::Level::Warn,
+                                "fetcher.queue",
+                                "item failed permanently",
+                                &[
+                                    ("unit", serde_json::Value::Str(unit_identity.clone())),
+                                    ("attempts", serde_json::Value::UInt(u64::from(attempts))),
+                                    ("error", serde_json::Value::Str(error.clone())),
+                                ],
+                            );
+                            report.failed_items.push(FailedWork {
+                                item,
+                                attempts,
+                                error,
+                            });
+                        }
                     }
                 }
+                depth.set(work_rx.len() as i64);
+                if outstanding == 0 {
+                    work_tx = None; // close the channel; workers exit
+                }
             }
+            drop(work_tx);
+            depth.set(0);
             report
         })
+    }
+}
+
+/// Classifies one fetch failure: service rejections are permanent (the
+/// request itself is bad), transport failures are worth another unit.
+fn failed(q: Queued, attempts: u32, e: &FetchError) -> Outcome {
+    Outcome::Failed {
+        item: q.item,
+        attempts,
+        error: e.to_string(),
+        permanent: matches!(e, FetchError::Service(_)),
     }
 }
 
@@ -147,7 +320,13 @@ mod tests {
     use crate::unit::InProcessClient;
     use sift_geo::State;
     use sift_simtime::{Hour, HourRange};
-    use sift_trends::{Scenario, SearchTerm, TrendsService};
+    use sift_trends::{FrameResponse, RisingResponse, Scenario, SearchTerm, TrendsService};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Tests that execute runs serialise on this lock: the queue-depth
+    /// gauge is global and single-owner per run, so concurrent test runs
+    /// would race its readings.
+    static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn units(n: usize) -> (Vec<Arc<dyn TrendsClient>>, Arc<TrendsService>) {
         let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
@@ -178,6 +357,7 @@ mod tests {
 
     #[test]
     fn workload_is_fully_collected() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let (units, service) = units(3);
         let run = CollectionRun::new(units);
         let items = frame_workload(0);
@@ -186,6 +366,7 @@ mod tests {
         let report = run.execute(items, &mut store);
         assert_eq!(report.completed, n);
         assert_eq!(report.failed, 0);
+        assert!(report.failed_items.is_empty());
         assert_eq!(store.frame_count(), n);
         assert_eq!(service.stats().frames_served, n as u64);
         // Frames come back sorted and contiguous for the pipeline.
@@ -226,6 +407,7 @@ mod tests {
 
     #[test]
     fn work_is_spread_across_units() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
             State::CA,
             vec![],
@@ -244,7 +426,8 @@ mod tests {
     }
 
     #[test]
-    fn bad_requests_count_as_failures() {
+    fn bad_requests_fail_permanently_without_requeue() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let (units, _service) = units(1);
         let run = CollectionRun::new(units);
         let mut store = ResponseStore::new();
@@ -255,10 +438,111 @@ mod tests {
             len: 9999, // over the service limit
             tag: 0,
         })];
-        let report = run.execute(items, &mut store);
+        let report = run.execute(items.clone(), &mut store);
         assert_eq!(report.failed, 1);
         assert_eq!(report.completed, 0);
+        // Service rejections are permanent: no retry budget is wasted.
+        assert_eq!(report.requeued, 0);
+        assert_eq!(report.failed_items.len(), 1);
+        assert_eq!(report.failed_items[0].item, items[0]);
+        assert_eq!(report.failed_items[0].attempts, 1);
         assert_eq!(store.frame_count(), 0);
+    }
+
+    /// A unit that fails (transport-style) the first `fail_first` times a
+    /// frame is requested from it, then succeeds.
+    struct FlakyClient {
+        inner: InProcessClient,
+        fail_first: usize,
+        calls: AtomicUsize,
+        identity: String,
+    }
+
+    impl FlakyClient {
+        fn new(service: Arc<TrendsService>, fail_first: usize, identity: &str) -> Self {
+            FlakyClient {
+                inner: InProcessClient::with_identity(Arc::clone(&service), identity),
+                fail_first,
+                calls: AtomicUsize::new(0),
+                identity: identity.to_owned(),
+            }
+        }
+    }
+
+    impl TrendsClient for FlakyClient {
+        fn fetch_frame(&self, req: &FrameRequest) -> Result<FrameResponse, FetchError> {
+            if self.calls.fetch_add(1, Ordering::SeqCst) < self.fail_first {
+                return Err(FetchError::Transport("injected reset".into()));
+            }
+            self.inner.fetch_frame(req)
+        }
+
+        fn fetch_rising(&self, req: &RisingRequest) -> Result<RisingResponse, FetchError> {
+            self.inner.fetch_rising(req)
+        }
+
+        fn identity(&self) -> &str {
+            &self.identity
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_requeued_and_recovered() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
+            State::CA,
+            vec![],
+        )));
+        // One unit fails its first 4 frame fetches; the healthy unit (or a
+        // later attempt) picks the items back up. Budget 6 > 4 + 1 so even
+        // if a single unlucky item absorbs every injected failure it still
+        // has headroom to succeed.
+        let units: Vec<Arc<dyn TrendsClient>> = vec![
+            Arc::new(FlakyClient::new(Arc::clone(&service), 4, "flaky")),
+            Arc::new(SlowClient(InProcessClient::with_identity(
+                Arc::clone(&service),
+                "steady",
+            ))),
+        ];
+        let run = CollectionRun::new(units).with_attempt_budget(6);
+        let items = frame_workload(0);
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let report = run.execute(items, &mut store);
+        assert_eq!(report.completed, n, "{report:?}");
+        assert_eq!(report.failed, 0, "{report:?}");
+        assert_eq!(store.frame_count(), n);
+        assert!(report.requeued >= 1, "{report:?}");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_failed_tags() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
+            State::CA,
+            vec![],
+        )));
+        // Every fetch fails: the whole workload must surface in
+        // `failed_items` with its tags, not vanish.
+        let units: Vec<Arc<dyn TrendsClient>> =
+            vec![Arc::new(FlakyClient::new(service, usize::MAX, "dead"))];
+        let run = CollectionRun::new(units).with_attempt_budget(3);
+        let items = frame_workload(7);
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let report = run.execute(items, &mut store);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, n);
+        assert_eq!(report.failed_items.len(), n);
+        assert_eq!(store.frame_count(), 0);
+        for f in &report.failed_items {
+            assert_eq!(f.attempts, 3);
+            assert!(matches!(&f.item, WorkItem::Frame(r) if r.tag == 7));
+            assert!(f.error.contains("injected reset"), "{}", f.error);
+        }
+        // The gauge is zeroed once the run drains, not left at a stale
+        // worker-set value.
+        assert_eq!(sift_obs::gauge("sift_fetcher_queue_depth", &[]).get(), 0);
     }
 
     #[test]

@@ -101,6 +101,16 @@ impl ResponseStore {
         out
     }
 
+    /// Of `planned` frame starts for one region and tag, the ones the
+    /// store does *not* hold — the re-plan input after a lossy run.
+    pub fn missing_frames(&self, state: State, tag: u64, planned: &[Hour]) -> Vec<Hour> {
+        planned
+            .iter()
+            .copied()
+            .filter(|&start| !self.frames.contains_key(&FrameKey { state, start, tag }))
+            .collect()
+    }
+
     /// Number of stored frames.
     pub fn frame_count(&self) -> usize {
         self.frames.len()
@@ -197,6 +207,20 @@ mod tests {
         assert_eq!(back.rising_count(), 1);
         assert_eq!(back.frames_for(State::TX, 0)[0].values, vec![0, 50, 100]);
         assert_eq!(back.rising_for(State::TX)[0].1.rising[0].weight, 242);
+    }
+
+    #[test]
+    fn missing_frames_lists_only_absent_starts() {
+        let mut s = ResponseStore::new();
+        s.insert_frame(0, frame(State::TX, 100));
+        s.insert_frame(1, frame(State::TX, 200));
+        let planned = [Hour(100), Hour(200), Hour(300)];
+        // Tag 0 holds only start 100; tag 1's entry does not count.
+        assert_eq!(
+            s.missing_frames(State::TX, 0, &planned),
+            vec![Hour(200), Hour(300)]
+        );
+        assert_eq!(s.missing_frames(State::CA, 0, &planned), planned.to_vec());
     }
 
     #[test]

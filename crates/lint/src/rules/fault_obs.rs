@@ -1,0 +1,237 @@
+//! `fault-obs`: observability completeness for injected faults.
+//!
+//! Finds every `enum FaultKind` definition in non-test workspace code and
+//! checks that each variant's snake_case label (`RateStorm` →
+//! `"rate_storm"`) appears as a string literal somewhere in non-test
+//! code, and that the `sift_net_faults_injected_total` counter itself is
+//! registered. A fault kind whose label string is missing would be
+//! injected but invisible in `/metrics` — chaos runs could not be
+//! compared against the exposition. Findings anchor at the enum
+//! definition site.
+//!
+//! Like `route-obs`, the match is workspace-wide on purpose: the counter
+//! registration (server dispatch) lives away from the enum and its
+//! `label()` mapping.
+
+use crate::config::Config;
+use crate::context::{str_literal_content, FileCtx};
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+const COUNTER: &str = "sift_net_faults_injected_total";
+
+pub fn check(files: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
+    // (variant, enum file, enum line, enum col)
+    let mut variants: Vec<(String, String, u32, u32)> = Vec::new();
+    let mut enum_sites: Vec<(String, u32, u32)> = Vec::new();
+    let mut literals: Vec<String> = Vec::new();
+
+    for ctx in files {
+        if ctx.is_test_file || ctx.is_bin_file {
+            continue;
+        }
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.kind == TokKind::Str && !ctx.in_test(t.line) {
+                literals.push(str_literal_content(&t.text).to_owned());
+            }
+            // `enum FaultKind { Variant, … }`
+            if t.kind == TokKind::Ident
+                && t.text == "enum"
+                && code
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && n.text == "FaultKind")
+                && !ctx.in_test(t.line)
+            {
+                enum_sites.push((ctx.path.clone(), t.line, t.col));
+                for v in enum_variants(code, i + 2) {
+                    variants.push((v, ctx.path.clone(), t.line, t.col));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let counter_registered = literals.iter().any(|l| l == COUNTER);
+    for (file, line, col) in &enum_sites {
+        if cfg.path_allowed("fault-obs", file) {
+            continue;
+        }
+        if !counter_registered {
+            out.push((
+                file.clone(),
+                RawFinding::new(
+                    *line,
+                    *col,
+                    format!(
+                        "`FaultKind` exists but no `{COUNTER}` counter is \
+                         registered anywhere: injected faults would be \
+                         invisible in /metrics"
+                    ),
+                ),
+            ));
+        }
+    }
+    for (variant, file, line, col) in variants {
+        if cfg.path_allowed("fault-obs", &file) {
+            continue;
+        }
+        let label = snake_case(&variant);
+        if !literals.iter().any(|l| l == &label) {
+            out.push((
+                file,
+                RawFinding::new(
+                    line,
+                    col,
+                    format!(
+                        "`FaultKind::{variant}` has no `\"{label}\"` label \
+                         string in non-test code: its injections would miss \
+                         the `{COUNTER}` exposition"
+                    ),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Collects the unit-variant identifiers of the brace block starting at
+/// or after token `from` (the token after the enum's name).
+fn enum_variants(code: &[crate::lexer::Token], from: usize) -> Vec<String> {
+    let mut i = from;
+    // Skip to the opening brace (past generics, which FaultKind lacks).
+    while i < code.len() && !(code[i].kind == TokKind::Punct && code[i].text == "{") {
+        i += 1;
+    }
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    while i < code.len() {
+        let t = &code[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // A variant: an uppercase-initial ident at body depth whose next
+        // token closes or separates it (unit variants only — FaultKind's
+        // shape; payload variants would still match on the `(`).
+        if depth == 1
+            && t.kind == TokKind::Ident
+            && t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            && code.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Punct && matches!(n.text.as_str(), "," | "}" | "(" | "=")
+            })
+        {
+            out.push(t.text.clone());
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `RateStorm` → `rate_storm`.
+fn snake_case(variant: &str) -> String {
+    let mut out = String::with_capacity(variant.len() + 4);
+    for (i, c) in variant.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        FileCtx::new(path, src, &Config::default())
+    }
+
+    const ENUM_SRC: &str = r#"
+        pub enum FaultKind {
+            InternalError,
+            RateStorm,
+        }
+        impl FaultKind {
+            pub fn label(self) -> &'static str {
+                match self {
+                    FaultKind::InternalError => "internal_error",
+                    FaultKind::RateStorm => "rate_storm",
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn fully_labelled_enum_with_counter_passes() {
+        let fault = ctx("crates/a/src/fault.rs", ENUM_SRC);
+        let server = ctx(
+            "crates/a/src/server.rs",
+            r#"fn f(k: FaultKind) {
+                sift_obs::counter("sift_net_faults_injected_total", &[("kind", k.label())]).inc();
+            }"#,
+        );
+        assert!(check(&[fault, server], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_label_string_is_flagged() {
+        let fault = ctx(
+            "crates/a/src/fault.rs",
+            r#"pub enum FaultKind { InternalError, Stall }
+               fn label() -> &'static str { "internal_error" }
+               fn c() { counter("sift_net_faults_injected_total", &[]); }"#,
+        );
+        let out = check(&[fault], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("Stall"));
+        assert!(out[0].1.message.contains("\"stall\""));
+    }
+
+    #[test]
+    fn unregistered_counter_is_flagged_at_enum_site() {
+        let fault = ctx(
+            "crates/a/src/fault.rs",
+            r#"pub enum FaultKind { Reset }
+               fn label() -> &'static str { "reset" }"#,
+        );
+        let out = check(&[fault], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("sift_net_faults_injected_total"));
+    }
+
+    #[test]
+    fn test_code_enums_do_not_count() {
+        let f = ctx(
+            "crates/a/src/x.rs",
+            r#"#[cfg(test)]
+            mod tests {
+                enum FaultKind { Oops }
+            }"#,
+        );
+        assert!(check(&[f], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn snake_casing() {
+        assert_eq!(snake_case("InternalError"), "internal_error");
+        assert_eq!(snake_case("RateStorm"), "rate_storm");
+        assert_eq!(snake_case("Reset"), "reset");
+    }
+}

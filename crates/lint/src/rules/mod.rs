@@ -7,6 +7,7 @@
 use crate::config::{Config, Severity};
 use crate::context::FileCtx;
 
+pub mod fault_obs;
 pub mod float_eq;
 pub mod lossy_cast;
 pub mod no_panic;
@@ -125,6 +126,19 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: true,
             kind: RuleKind::Workspace(route_obs::check),
+        },
+        Rule {
+            id: "fault-obs",
+            summary: "every `FaultKind` variant needs a matching \
+                      `sift_net_faults_injected_total` label string",
+            rationale: "Chaos runs are judged against /metrics: a fault kind \
+                        whose snake_case label never appears in code is \
+                        injected but invisible, so fault coverage is checked \
+                        at lint time, not discovered mid-incident.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::Workspace(fault_obs::check),
         },
     ]
 }

@@ -163,13 +163,41 @@ impl HttpClient {
         }
     }
 
-    /// Sends a request, retrying 429 (honouring `Retry-After`) and 5xx
-    /// with exponential backoff per the client's [`RetryPolicy`].
+    /// Sends a request, retrying 429 (honouring `Retry-After`), 5xx and
+    /// transport-level I/O failures (connection refused, reset
+    /// mid-exchange, truncated response) with exponential backoff per the
+    /// client's [`RetryPolicy`].
     pub fn send_with_retry(&self, req: &Request) -> Result<Response, ClientError> {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let resp = self.send(req)?;
+            let resp = match self.send(req) {
+                Ok(resp) => resp,
+                // A transport failure consumed no retry budget before this
+                // fix: a single reset aborted the whole exchange even with
+                // attempts left. Retry it like a 5xx, minus `Retry-After`.
+                Err(ClientError::Io(e)) => {
+                    if attempt >= self.retry.max_attempts {
+                        return Err(ClientError::Io(e));
+                    }
+                    let wait = backoff_wait(&self.retry, attempt);
+                    sift_obs::counter("sift_client_retries_total", &[("status", "io")]).inc();
+                    sift_obs::histogram("sift_client_backoff_seconds", &[]).observe_duration(wait);
+                    sift_obs::event(
+                        sift_obs::Level::Warn,
+                        "net.client",
+                        "transport error, backing off",
+                        &[
+                            ("error", serde_json::Value::Str(e.to_string())),
+                            ("attempt", serde_json::Value::UInt(u64::from(attempt))),
+                            ("wait_ms", serde_json::Value::UInt(wait.as_millis() as u64)),
+                        ],
+                    );
+                    std::thread::sleep(wait);
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
             if resp.status.is_success() {
                 return Ok(resp);
             }
@@ -252,6 +280,12 @@ fn retry_wait(policy: &RetryPolicy, attempt: u32, resp: &Response) -> Duration {
     {
         return Duration::from_secs(ra).min(policy.max_backoff);
     }
+    backoff_wait(policy, attempt)
+}
+
+/// Pure exponential backoff (no server hint available — transport errors
+/// and `Retry-After`-less 429 storms).
+fn backoff_wait(policy: &RetryPolicy, attempt: u32) -> Duration {
     let exp = policy
         .base_backoff
         .saturating_mul(1u32 << (attempt - 1).min(16));
@@ -406,6 +440,81 @@ mod tests {
         let resp = c.send(&Request::get("/ping")).expect("recovered send");
         assert_eq!(&resp.body[..], b"pong2");
         h2.shutdown();
+    }
+
+    #[test]
+    fn transport_errors_consume_retry_budget_then_surface() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let router = Router::new().route(Method::Get, "/ping", |_| {
+            Response::text(StatusCode::OK, "pong")
+        });
+        let h = Server::new(router)
+            .with_fault_plan(FaultPlan::new(3).everywhere(&[(FaultKind::Reset, 1.0)]))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let c = HttpClient::new(h.addr()).with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+        });
+        let before = sift_obs::counter("sift_client_retries_total", &[("status", "io")]).get();
+        let err = c.send_with_retry(&Request::get("/ping")).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "{err}");
+        // Other tests share the global registry, so only a lower bound is
+        // safe: attempts 1 and 2 retried, the 3rd surfaced.
+        let after = sift_obs::counter("sift_client_retries_total", &[("status", "io")]).get();
+        assert!(
+            after - before >= 2,
+            "io retries counted: {before} -> {after}"
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn mixed_transport_and_status_faults_are_absorbed() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let router = Router::new().route(Method::Get, "/ping", |_| {
+            Response::text(StatusCode::OK, "pong")
+        });
+        let h = Server::new(router)
+            .with_fault_plan(FaultPlan::new(11).everywhere(&[
+                (FaultKind::Reset, 0.25),
+                (FaultKind::Truncate, 0.15),
+                (FaultKind::InternalError, 0.15),
+                (FaultKind::RateStorm, 0.15),
+            ]))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let c = HttpClient::new(h.addr()).with_retry(RetryPolicy {
+            max_attempts: 25,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+        });
+        for _ in 0..10 {
+            let resp = c.send_with_retry(&Request::get("/ping")).expect("absorbed");
+            assert_eq!(&resp.body[..], b"pong");
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn stalls_are_latency_not_errors() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let router = Router::new().route(Method::Get, "/ping", |_| {
+            Response::text(StatusCode::OK, "pong")
+        });
+        let h = Server::new(router)
+            .with_fault_plan(
+                FaultPlan::new(5)
+                    .everywhere(&[(FaultKind::Stall, 1.0)])
+                    .with_stall(Duration::from_millis(5)),
+            )
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let c = HttpClient::new(h.addr());
+        let resp = c.send(&Request::get("/ping")).expect("stalled but served");
+        assert_eq!(&resp.body[..], b"pong");
+        h.shutdown();
     }
 
     #[test]

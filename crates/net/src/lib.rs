@@ -18,6 +18,9 @@
 //! * [`ratelimit`] — the per-client token-bucket limiter the service runs,
 //!   which is exactly why the paper's fetcher spreads load across units
 //!   "hosted behind separate IP addresses".
+//! * [`fault`] — deterministic, seedable fault injection (error bursts,
+//!   `Retry-After`-less 429 storms, connection resets, truncated bodies,
+//!   read stalls) so the whole pipeline can be chaos-tested reproducibly.
 //!
 //! Threads rather than an async runtime: the workload is a few dozen
 //! long-lived connections moving small JSON bodies, squarely in the regime
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod obs;
 pub mod ratelimit;
@@ -35,6 +39,7 @@ pub mod router;
 pub mod server;
 
 pub use client::{ClientError, HttpClient, RetryPolicy};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, RouteFaults};
 pub use http::{Headers, Method, ParseError, Request, Response, StatusCode};
 pub use obs::{mount_observability, METRICS_CONTENT_TYPE};
 pub use ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};

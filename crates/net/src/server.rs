@@ -6,6 +6,7 @@
 //! `Retry-After` before the request ever reaches a handler, mirroring how
 //! the real aggregation service throttles crawlers.
 
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::http::{parse_request, serialize_response, Request, Response, StatusCode};
 use crate::ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
 use crate::router::Router;
@@ -24,6 +25,7 @@ use std::time::{Duration, Instant};
 pub struct Server {
     router: Arc<Router>,
     limiter: Option<Arc<RateLimiter>>,
+    faults: Option<Arc<FaultInjector>>,
     workers: usize,
     read_timeout: Duration,
 }
@@ -34,6 +36,7 @@ impl Server {
         Server {
             router: Arc::new(router),
             limiter: None,
+            faults: None,
             workers: 4,
             read_timeout: Duration::from_secs(30),
         }
@@ -42,6 +45,12 @@ impl Server {
     /// Enables per-client rate limiting.
     pub fn with_rate_limiter(mut self, config: RateLimiterConfig) -> Self {
         self.limiter = Some(Arc::new(RateLimiter::new(config)));
+        self
+    }
+
+    /// Enables deterministic fault injection (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(FaultInjector::new(plan)));
         self
     }
 
@@ -74,6 +83,7 @@ impl Server {
             let rx = rx.clone();
             let router = Arc::clone(&self.router);
             let limiter = self.limiter.clone();
+            let faults = self.faults.clone();
             let read_timeout = self.read_timeout;
             let shutdown = Arc::clone(&shutdown);
             threads.push(
@@ -85,6 +95,7 @@ impl Server {
                                 stream,
                                 &router,
                                 limiter.as_deref(),
+                                faults.as_deref(),
                                 read_timeout,
                                 started,
                                 &shutdown,
@@ -189,6 +200,7 @@ fn serve_connection(
     mut stream: TcpStream,
     router: &Router,
     limiter: Option<&RateLimiter>,
+    faults: Option<&FaultInjector>,
     read_timeout: Duration,
     epoch: Instant,
     shutdown: &AtomicBool,
@@ -250,37 +262,68 @@ fn serve_connection(
         let route = req.path.split('?').next().unwrap_or("").to_owned();
         let started_at = Instant::now();
 
-        let resp = if let Some(limiter) = limiter {
-            let identity = client_identity(&req, &peer);
-            let now_ms = epoch.elapsed().as_millis() as u64;
-            match limiter.check(&identity, now_ms) {
-                RateLimitDecision::Allowed => dispatch_protected(router, &req),
-                RateLimitDecision::Limited { retry_after_secs } => {
-                    // The rejection path is already the slow path; a metric
-                    // update and an event here cost nothing that matters.
-                    sift_obs::counter("sift_ratelimit_rejected_total", &[("identity", &identity)])
-                        .inc();
-                    sift_obs::event(
-                        sift_obs::Level::Warn,
-                        "net.server",
-                        "rate limited",
-                        &[
-                            ("identity", serde_json::Value::Str(identity.clone())),
-                            ("route", serde_json::Value::Str(route.clone())),
-                            (
-                                "retry_after_secs",
-                                serde_json::Value::UInt(retry_after_secs),
-                            ),
-                        ],
-                    );
-                    let mut resp = Response::text(StatusCode::TOO_MANY_REQUESTS, "rate limited");
-                    resp.headers
-                        .set("retry-after", retry_after_secs.to_string());
-                    resp
+        // Fault injection decides before the limiter runs, so a plan's
+        // fault sequence depends only on the request traffic (replayable),
+        // never on limiter timing.
+        let injected = faults.and_then(|f| f.decide(&route, &req.body));
+        if let Some(kind) = injected {
+            sift_obs::counter("sift_net_faults_injected_total", &[("kind", kind.label())]).inc();
+            sift_obs::event(
+                sift_obs::Level::Warn,
+                "net.fault",
+                "injecting fault",
+                &[
+                    ("kind", serde_json::Value::Str(kind.label().to_owned())),
+                    ("route", serde_json::Value::Str(route.clone())),
+                ],
+            );
+        }
+        match injected {
+            // Close without writing a byte: the client sees the connection
+            // reset mid-exchange.
+            Some(FaultKind::Reset) => return Ok(()),
+            // Serve the real response, but only a prefix of it: the head's
+            // `Content-Length` promises bytes that never arrive.
+            Some(FaultKind::Truncate) => {
+                let resp = dispatch_protected(router, &req);
+                let wire = serialize_response(&resp);
+                let keep = if resp.body.is_empty() {
+                    wire.len() / 2
+                } else {
+                    // Head plus half the body: the parser reads a complete
+                    // head, then starves waiting for the rest.
+                    wire.len() - resp.body.len() + resp.body.len() / 2
+                };
+                stream.write_all(&wire[..keep])?;
+                return Ok(());
+            }
+            // Hold the response back, then serve normally.
+            Some(FaultKind::Stall) => {
+                std::thread::sleep(faults.map(FaultInjector::stall).unwrap_or_default());
+            }
+            _ => {}
+        }
+
+        let resp = if let Some(kind) = injected {
+            match kind {
+                FaultKind::InternalError => {
+                    Response::text(StatusCode::INTERNAL_SERVER_ERROR, "injected fault")
+                }
+                FaultKind::Unavailable => {
+                    Response::text(StatusCode::SERVICE_UNAVAILABLE, "injected fault")
+                }
+                // A 429 storm deliberately omits `Retry-After`: the client
+                // must fall back to its own exponential backoff.
+                FaultKind::RateStorm => {
+                    Response::text(StatusCode::TOO_MANY_REQUESTS, "injected fault")
+                }
+                // Reset/Truncate returned above; Stall serves normally.
+                FaultKind::Reset | FaultKind::Truncate | FaultKind::Stall => {
+                    dispatch_with_limiter(router, limiter, &req, &route, &peer, epoch)
                 }
             }
         } else {
-            dispatch_protected(router, &req)
+            dispatch_with_limiter(router, limiter, &req, &route, &peer, epoch)
         };
 
         sift_obs::counter(
@@ -294,6 +337,47 @@ fn serve_connection(
         stream.write_all(&serialize_response(&resp))?;
         if close_after {
             return Ok(());
+        }
+    }
+}
+
+/// Runs the request through the rate limiter (if any) and the router.
+fn dispatch_with_limiter(
+    router: &Router,
+    limiter: Option<&RateLimiter>,
+    req: &Request,
+    route: &str,
+    peer: &SocketAddr,
+    epoch: Instant,
+) -> Response {
+    let Some(limiter) = limiter else {
+        return dispatch_protected(router, req);
+    };
+    let identity = client_identity(req, peer);
+    let now_ms = epoch.elapsed().as_millis() as u64;
+    match limiter.check(&identity, now_ms) {
+        RateLimitDecision::Allowed => dispatch_protected(router, req),
+        RateLimitDecision::Limited { retry_after_secs } => {
+            // The rejection path is already the slow path; a metric
+            // update and an event here cost nothing that matters.
+            sift_obs::counter("sift_ratelimit_rejected_total", &[("identity", &identity)]).inc();
+            sift_obs::event(
+                sift_obs::Level::Warn,
+                "net.server",
+                "rate limited",
+                &[
+                    ("identity", serde_json::Value::Str(identity.clone())),
+                    ("route", serde_json::Value::Str(route.to_owned())),
+                    (
+                        "retry_after_secs",
+                        serde_json::Value::UInt(retry_after_secs),
+                    ),
+                ],
+            );
+            let mut resp = Response::text(StatusCode::TOO_MANY_REQUESTS, "rate limited");
+            resp.headers
+                .set("retry-after", retry_after_secs.to_string());
+            resp
         }
     }
 }

@@ -1,13 +1,15 @@
-//! Property tests: HTTP wire-format round trips and rate-limiter
+//! Property tests: HTTP wire-format round trips, truncation torture,
+//! retry-loop termination under total fault rates, and rate-limiter
 //! conservation.
 
 use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 use sift_net::http::{parse_request, parse_response, serialize_request, serialize_response};
 use sift_net::{
-    Headers, Method, RateLimitDecision, RateLimiter, RateLimiterConfig, Request, Response,
-    StatusCode,
+    FaultKind, FaultPlan, Headers, HttpClient, Method, RateLimitDecision, RateLimiter,
+    RateLimiterConfig, Request, Response, RetryPolicy, Router, Server, StatusCode,
 };
+use std::time::Duration;
 
 fn token() -> impl Strategy<Value = String> {
     "[a-zA-Z][a-zA-Z0-9-]{0,15}".prop_map(|s| s)
@@ -103,6 +105,53 @@ proptest! {
         let _ = parse_response(&mut buf);
     }
 
+    /// Truncation torture: every byte-truncated prefix of a valid
+    /// serialized response is incomplete input — the parser waits for
+    /// more bytes (`Ok(None)`), never completes early, errors or panics.
+    /// This is exactly the wire a `Truncate` fault injection produces.
+    #[test]
+    fn truncated_response_prefixes_parse_cleanly(
+        code in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let resp = Response {
+            status: StatusCode(code),
+            headers: Headers::new(),
+            body: Bytes::from(body),
+        };
+        let wire = serialize_response(&resp);
+        for cut in 0..wire.len() {
+            let mut buf = BytesMut::from(&wire[..cut]);
+            let parsed = parse_response(&mut buf);
+            prop_assert!(
+                matches!(parsed, Ok(None)),
+                "prefix {}/{} must be incomplete, got {:?}",
+                cut,
+                wire.len(),
+                parsed.map(|r| r.map(|m| m.status))
+            );
+        }
+        let mut buf = BytesMut::from(&wire[..]);
+        prop_assert!(parse_response(&mut buf).expect("full wire parses").is_some());
+    }
+
+    /// The same torture for requests (a client cut off mid-write).
+    #[test]
+    fn truncated_request_prefixes_parse_cleanly(req in request_strategy()) {
+        let wire = serialize_request(&req);
+        for cut in 0..wire.len() {
+            let mut buf = BytesMut::from(&wire[..cut]);
+            let parsed = parse_request(&mut buf);
+            prop_assert!(
+                matches!(parsed, Ok(None)),
+                "prefix {}/{} must be incomplete, got {:?}",
+                cut,
+                wire.len(),
+                parsed.map(|r| r.map(|m| m.path))
+            );
+        }
+    }
+
     /// Token-bucket conservation: over any request pattern, the number of
     /// allowed requests never exceeds capacity + refill * elapsed.
     #[test]
@@ -130,5 +179,44 @@ proptest! {
             allowed,
             budget
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// At a 100% connection-reset rate, `send_with_retry` terminates:
+    /// it makes exactly `max_attempts` tries (each retry counted under
+    /// `status="io"`) and then surfaces the I/O error — no infinite loop,
+    /// no hang, whatever the fault seed.
+    #[test]
+    fn retry_loop_terminates_under_total_faults(
+        max_attempts in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let router = Router::new().route(Method::Get, "/ping", |_| {
+            Response::text(StatusCode(200), "pong")
+        });
+        let server = Server::new(router)
+            .with_fault_plan(FaultPlan::new(seed).everywhere(&[(FaultKind::Reset, 1.0)]))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let client = HttpClient::new(server.addr()).with_retry(RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        });
+        let io_retries = sift_obs::counter("sift_client_retries_total", &[("status", "io")]);
+        let before = io_retries.get();
+        let req = Request {
+            method: Method::Get,
+            path: "/ping".into(),
+            headers: Headers::new(),
+            body: Bytes::new(),
+        };
+        let result = client.send_with_retry(&req);
+        prop_assert!(result.is_err(), "100% resets cannot produce a response");
+        prop_assert_eq!(io_retries.get() - before, u64::from(max_attempts - 1));
+        server.shutdown();
     }
 }

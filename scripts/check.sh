@@ -11,4 +11,14 @@ cargo test -q --offline --workspace
 cargo run -p sift-lint --release --offline -- --json
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --check
+
+# Chaos determinism gate: two runs of the seeded fault-injection example
+# must produce byte-identical reports (fault decisions are a pure
+# function of seed + request + arrival, never of timing).
+cargo build --release --offline --example chaos_crawl
+./target/release/examples/chaos_crawl --seed 7 > target/chaos-a.txt
+./target/release/examples/chaos_crawl --seed 7 > target/chaos-b.txt
+diff target/chaos-a.txt target/chaos-b.txt \
+  || { echo "chaos replay diverged between same-seed runs" >&2; exit 1; }
+
 echo "all checks passed"
