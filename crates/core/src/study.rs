@@ -91,6 +91,10 @@ pub struct StudyStats {
     /// across all regions.
     #[serde(default)]
     pub frames_degraded: u64,
+    /// Regions whose re-fetch loop halted early because the client's
+    /// circuit breaker opened (see `RefetchOutcome::halted`).
+    #[serde(default)]
+    pub halted_regions: usize,
     /// Per-stage span timings recorded while this study ran.
     pub telemetry: sift_obs::TelemetrySnapshot,
 }
@@ -170,6 +174,7 @@ struct RegionOutcome {
     frames_requested: u64,
     frames_degraded: u64,
     coverage: f64,
+    halted: bool,
     rising_requested: u64,
     /// `(spike, its gathered suggestions)`.
     spikes: Vec<(crate::detect::Spike, Vec<RisingTerm>)>,
@@ -253,6 +258,9 @@ pub fn run_study(
         stats.coverage_by_state.push((r.state, r.coverage));
         if r.converged {
             stats.converged_regions += 1;
+        }
+        if r.halted {
+            stats.halted_regions += 1;
         }
         for (spike, suggestions) in &r.spikes {
             spikes.push(annotate(*spike, suggestions, &heavy, &params.context));
@@ -393,6 +401,7 @@ fn region_study(
         frames_requested: outcome.frames_fetched,
         frames_degraded: outcome.frames_degraded,
         coverage: outcome.coverage,
+        halted: outcome.halted,
         rising_requested,
         spikes,
     })

@@ -28,7 +28,7 @@ pub mod serve;
 pub mod store;
 pub mod unit;
 
-pub use queue::{CollectionRun, FailedWork, RunReport, WorkItem};
+pub use queue::{CollectionRun, FailedWork, RunReport, ShedCause, ShedWork, WorkItem};
 pub use serve::trends_router;
 pub use sift_core::plan::{plan_frames, FramePlan, PlanParams};
 pub use store::ResponseStore;

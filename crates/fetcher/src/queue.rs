@@ -13,14 +13,26 @@
 //! the budget are reported in [`RunReport::failed_items`] — with their
 //! frame tags and coordinates — so callers can re-plan instead of
 //! silently losing frames.
+//!
+//! Overload handling: a run may carry a shared [`CircuitBreaker`] (the
+//! same one the units' HTTP clients record outcomes into) and a per-run
+//! deadline. When the breaker is open, or the deadline has passed, queued
+//! work is *shed* rather than fetched or re-queued — reported separately
+//! in [`RunReport::shed_items`] so callers can tell "the service was
+//! down / we ran out of time" apart from "this request kept failing".
+//! Because items are drained in descending priority order, the work still
+//! in the queue when the breaker opens is the lowest-priority tail: the
+//! queue sheds least-important frames first.
 
 use crate::store::ResponseStore;
 use crate::unit::{FetchError, TrendsClient};
 use crossbeam::channel;
 use sift_geo::State;
+use sift_net::CircuitBreaker;
 use sift_simtime::Hour;
 use sift_trends::{FrameRequest, RisingRequest};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One queued request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,6 +73,45 @@ pub struct FailedWork {
     pub error: String,
 }
 
+/// Why a queued item was shed instead of fetched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The shared circuit breaker was open: the service is refusing work
+    /// and attempting the fetch would only feed the failure streak.
+    BreakerOpen,
+    /// The run's deadline passed before the item was picked up.
+    Deadline,
+}
+
+impl ShedCause {
+    /// Stable snake_case label, used as the `reason` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedCause::BreakerOpen => "breaker_open",
+            ShedCause::Deadline => "deadline",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An item shed by overload control (open breaker or spent deadline) —
+/// never attempted in its final state, distinct from a [`FailedWork`]
+/// whose fetches were tried and failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShedWork {
+    /// The shed request, exactly as queued.
+    pub item: WorkItem,
+    /// The priority it was queued with (higher drains first).
+    pub priority: i32,
+    /// Why it was shed.
+    pub reason: ShedCause,
+}
+
 /// Outcome counters of one collection run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunReport {
@@ -71,16 +122,22 @@ pub struct RunReport {
     pub failed: usize,
     /// Re-queues performed after transient failures.
     pub requeued: usize,
+    /// Items shed by overload control (never counted in `failed`).
+    pub shed: usize,
     /// `(unit identity, requests completed)` per unit.
     pub per_unit: Vec<(String, usize)>,
     /// Every permanently-failed item, with its coordinates and tag.
     pub failed_items: Vec<FailedWork>,
+    /// Every shed item, lowest priority first.
+    pub shed_items: Vec<ShedWork>,
 }
 
 /// A crawl executor over a set of fetcher units.
 pub struct CollectionRun {
     units: Vec<Arc<dyn TrendsClient>>,
     attempt_budget: u32,
+    breaker: Option<Arc<CircuitBreaker>>,
+    deadline: Option<Duration>,
 }
 
 /// What one worker hands back to the collector.
@@ -92,9 +149,16 @@ enum Outcome {
     Bounce(Queued),
     Failed {
         item: WorkItem,
+        priority: i32,
         attempts: u32,
         error: String,
         permanent: bool,
+    },
+    /// Item dropped by overload control before (re)fetching.
+    Shed {
+        item: WorkItem,
+        priority: i32,
+        cause: ShedCause,
     },
 }
 
@@ -102,6 +166,8 @@ enum Outcome {
 #[derive(Debug)]
 struct Queued {
     item: WorkItem,
+    /// Drain priority (higher first); carried into shed reports.
+    priority: i32,
     /// Fetch attempts already made.
     attempts: u32,
     /// The unit index of the last failed attempt, if any.
@@ -119,6 +185,8 @@ impl CollectionRun {
         CollectionRun {
             units,
             attempt_budget: 3,
+            breaker: None,
+            deadline: None,
         }
     }
 
@@ -130,14 +198,47 @@ impl CollectionRun {
         self
     }
 
-    /// Executes the workload, merging every response into `store`.
-    /// Returns the run report.
+    /// Consults `breaker` before every fetch and re-queue: while it is
+    /// open, queued work is shed instead of attempted. Share the same
+    /// breaker with the units' HTTP clients so their fetch outcomes drive
+    /// its state; the queue itself only peeks (`would_allow`), leaving
+    /// half-open probe admission to the client that actually sends.
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Bounds the whole run: items still queued when the deadline passes
+    /// are shed, not fetched.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Executes the workload at uniform priority, merging every response
+    /// into `store`. Returns the run report.
     pub fn execute(&self, items: Vec<WorkItem>, store: &mut ResponseStore) -> RunReport {
+        self.execute_prioritized(items.into_iter().map(|i| (i, 0)).collect(), store)
+    }
+
+    /// Executes a prioritized workload: higher-priority items are queued
+    /// (and therefore drained) first, so overload sheds the low-priority
+    /// tail. Returns the run report.
+    pub fn execute_prioritized(
+        &self,
+        mut items: Vec<(WorkItem, i32)>,
+        store: &mut ResponseStore,
+    ) -> RunReport {
+        // Stable sort: equal priorities keep their submission order.
+        items.sort_by_key(|(_, priority)| std::cmp::Reverse(*priority));
+        // sift-lint: allow(wall-clock) — the run deadline bounds the host crawl, not simulated time
+        let deadline_at = self.deadline.map(|d| std::time::Instant::now() + d);
         let (work_tx, work_rx) = channel::unbounded::<Queued>();
         let mut outstanding = 0usize;
-        for item in items {
+        for (item, priority) in items {
             let queued = Queued {
                 item,
+                priority,
                 attempts: 0,
                 last_unit: None,
                 bounced: false,
@@ -160,8 +261,33 @@ impl CollectionRun {
                 let out_tx = out_tx.clone();
                 let unit = Arc::clone(unit);
                 let unit_count = self.units.len();
+                let breaker = self.breaker.clone();
                 scope.spawn(move || {
                     while let Ok(q) = work_rx.recv() {
+                        // Overload control runs before any fetch: work
+                        // whose deadline has passed, or that would hit an
+                        // open breaker, is shed — the item is reported,
+                        // not silently dropped and not retried.
+                        // sift-lint: allow(wall-clock) — comparing against the run deadline
+                        let spent = deadline_at.is_some_and(|at| std::time::Instant::now() >= at);
+                        let shed_cause = if spent {
+                            Some(ShedCause::Deadline)
+                        } else if breaker.as_ref().is_some_and(|b| !b.would_allow()) {
+                            Some(ShedCause::BreakerOpen)
+                        } else {
+                            None
+                        };
+                        if let Some(cause) = shed_cause {
+                            let outcome = Outcome::Shed {
+                                item: q.item,
+                                priority: q.priority,
+                                cause,
+                            };
+                            if out_tx.send((unit_idx, outcome)).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         // A retry should land on a different unit than the
                         // one that just failed it, when another exists.
                         // One bounce per failure: if the same worker picks
@@ -241,13 +367,56 @@ impl CollectionRun {
                             }
                         }
                     }
+                    Outcome::Shed {
+                        item,
+                        priority,
+                        cause,
+                    } => {
+                        report.shed += 1;
+                        outstanding -= 1;
+                        sift_obs::counter("sift_fetcher_shed_total", &[("reason", cause.label())])
+                            .inc();
+                        sift_obs::event(
+                            sift_obs::Level::Warn,
+                            "fetcher.queue",
+                            "item shed by overload control",
+                            &[
+                                ("reason", serde_json::Value::Str(cause.label().to_owned())),
+                                ("priority", serde_json::Value::Int(i64::from(priority))),
+                            ],
+                        );
+                        report.shed_items.push(ShedWork {
+                            item,
+                            priority,
+                            reason: cause,
+                        });
+                    }
                     Outcome::Failed {
                         item,
+                        priority,
                         attempts,
                         error,
                         permanent,
                     } => {
-                        if !permanent && attempts < self.attempt_budget {
+                        // A transient failure is only worth re-queueing
+                        // while the breaker says the service is taking
+                        // requests; once it opens, the item is shed with
+                        // the rest of the queue instead of churning.
+                        let breaker_open = self.breaker.as_ref().is_some_and(|b| !b.would_allow());
+                        if !permanent && attempts < self.attempt_budget && breaker_open {
+                            report.shed += 1;
+                            outstanding -= 1;
+                            sift_obs::counter(
+                                "sift_fetcher_shed_total",
+                                &[("reason", ShedCause::BreakerOpen.label())],
+                            )
+                            .inc();
+                            report.shed_items.push(ShedWork {
+                                item,
+                                priority,
+                                reason: ShedCause::BreakerOpen,
+                            });
+                        } else if !permanent && attempts < self.attempt_budget {
                             report.requeued += 1;
                             sift_obs::counter(
                                 "sift_fetcher_requeued_total",
@@ -256,6 +425,7 @@ impl CollectionRun {
                             .inc();
                             let q = Queued {
                                 item,
+                                priority,
                                 attempts,
                                 last_unit: Some(unit_idx),
                                 bounced: false,
@@ -297,6 +467,9 @@ impl CollectionRun {
             }
             drop(work_tx);
             depth.set(0);
+            // Lowest priority first: the tail the run chose to sacrifice,
+            // in the order a re-plan would reconsider it.
+            report.shed_items.sort_by_key(|s| s.priority);
             report
         })
     }
@@ -307,6 +480,7 @@ impl CollectionRun {
 fn failed(q: Queued, attempts: u32, e: &FetchError) -> Outcome {
     Outcome::Failed {
         item: q.item,
+        priority: q.priority,
         attempts,
         error: e.to_string(),
         permanent: matches!(e, FetchError::Service(_)),
@@ -549,5 +723,91 @@ mod tests {
     #[should_panic(expected = "at least one fetcher unit")]
     fn zero_units_rejected() {
         let _ = CollectionRun::new(vec![]);
+    }
+
+    fn open_breaker() -> Arc<CircuitBreaker> {
+        let breaker = Arc::new(CircuitBreaker::new(
+            "queue-test",
+            sift_net::BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(3600),
+                success_threshold: 1,
+            },
+        ));
+        breaker.record_failure();
+        assert_eq!(breaker.state(), sift_net::BreakerState::Open);
+        breaker
+    }
+
+    fn prioritized_workload() -> Vec<(WorkItem, i32)> {
+        frame_workload(0)
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| (w, i as i32))
+            .collect()
+    }
+
+    #[test]
+    fn open_breaker_sheds_instead_of_fetching() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (units, service) = units(2);
+        let run = CollectionRun::new(units).with_breaker(open_breaker());
+        let items = prioritized_workload();
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let report = run.execute_prioritized(items, &mut store);
+        assert_eq!(report.shed, n, "{report:?}");
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.requeued, 0);
+        assert_eq!(store.frame_count(), 0);
+        assert_eq!(
+            service.stats().frames_served,
+            0,
+            "no fetch may reach the service"
+        );
+        // Shed items are reported lowest priority first, with the cause.
+        assert_eq!(report.shed_items.len(), n);
+        for (i, s) in report.shed_items.iter().enumerate() {
+            assert_eq!(s.priority, i as i32);
+            assert_eq!(s.reason, ShedCause::BreakerOpen);
+        }
+    }
+
+    #[test]
+    fn spent_deadline_sheds_the_queue() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (units, _service) = units(1);
+        let run = CollectionRun::new(units).with_deadline(Duration::ZERO);
+        let items = frame_workload(0);
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let report = run.execute(items, &mut store);
+        assert_eq!(report.shed, n, "{report:?}");
+        assert_eq!(report.completed, 0);
+        assert!(report
+            .shed_items
+            .iter()
+            .all(|s| s.reason == ShedCause::Deadline));
+    }
+
+    #[test]
+    fn closed_breaker_does_not_disturb_collection() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (units, _service) = units(2);
+        let breaker = Arc::new(CircuitBreaker::new(
+            "queue-test-closed",
+            sift_net::BreakerConfig::default(),
+        ));
+        let run = CollectionRun::new(units)
+            .with_breaker(breaker)
+            .with_deadline(Duration::from_secs(600));
+        let items = prioritized_workload();
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let report = run.execute_prioritized(items, &mut store);
+        assert_eq!(report.completed, n, "{report:?}");
+        assert_eq!(report.shed, 0);
+        assert_eq!(store.frame_count(), n);
     }
 }

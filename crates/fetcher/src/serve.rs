@@ -18,7 +18,9 @@ use std::sync::Arc;
 ///
 /// Attach a rate limiter via
 /// [`sift_net::Server::with_rate_limiter`] to reproduce the
-/// crawl bottleneck.
+/// crawl bottleneck, and admission control via
+/// [`sift_net::Server::with_admission`] to bound in-flight work and shed
+/// overload with `503 + Retry-After` (see `sift_net::admission`).
 pub fn trends_router(service: Arc<TrendsService>) -> Router {
     let frame_service = Arc::clone(&service);
     let rising_service = Arc::clone(&service);

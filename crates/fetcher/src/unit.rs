@@ -4,7 +4,7 @@
 //! in `sift-trends`; this module provides the two deployable unit kinds —
 //! in-process (labelled) and HTTP.
 
-use sift_net::HttpClient;
+use sift_net::{CircuitBreaker, HttpClient, RetryBudget};
 use sift_trends::{
     FrameRequest, FrameResponse, RisingRequest, RisingResponse, ServiceError, TrendsService,
 };
@@ -61,11 +61,12 @@ pub(crate) enum ApiResult<T> {
 }
 
 /// Access to the service over HTTP, crawling under a declared fetcher
-/// identity. Retries and `Retry-After` handling come from the underlying
-/// [`HttpClient`] policy.
+/// identity. Retries, `Retry-After` handling, circuit breaking and
+/// deadline propagation come from the underlying [`HttpClient`] policy.
 pub struct HttpTrendsClient {
     client: HttpClient,
     identity: String,
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl HttpTrendsClient {
@@ -75,12 +76,36 @@ impl HttpTrendsClient {
         HttpTrendsClient {
             client: HttpClient::new(addr).with_identity(identity.clone()),
             identity,
+            breaker: None,
         }
     }
 
     /// Replaces the underlying client's retry policy.
     pub fn with_retry(mut self, retry: sift_net::RetryPolicy) -> Self {
         self.client = self.client.with_retry(retry);
+        self
+    }
+
+    /// Routes every request through `breaker` and reflects its state in
+    /// [`TrendsClient::healthy`]. Share one breaker across a unit fleet
+    /// (and the collection queue) so an outage observed by any unit
+    /// pauses them all.
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.client = self.client.with_breaker(Arc::clone(&breaker));
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Draws retries from a shared [`RetryBudget`] token bucket.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.client = self.client.with_retry_budget(budget);
+        self
+    }
+
+    /// Attaches a per-request deadline, propagated to the service as
+    /// `X-Sift-Deadline-Ms` and enforced across retries.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.client = self.client.with_deadline(deadline);
         self
     }
 }
@@ -110,6 +135,12 @@ impl TrendsClient for HttpTrendsClient {
 
     fn identity(&self) -> &str {
         &self.identity
+    }
+
+    fn healthy(&self) -> bool {
+        // A peek, not an admission: half-open probe slots stay available
+        // for the request that actually goes out.
+        self.breaker.as_ref().map_or(true, |b| b.would_allow())
     }
 }
 
@@ -155,6 +186,11 @@ impl TrendsClient for RoundRobin {
 
     fn identity(&self) -> &str {
         &self.identity
+    }
+
+    fn healthy(&self) -> bool {
+        // The fleet is healthy while any unit would still attempt work.
+        self.units.iter().any(|u| u.healthy())
     }
 }
 

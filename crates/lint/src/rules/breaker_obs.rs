@@ -1,0 +1,174 @@
+//! `breaker-obs`: observability completeness for circuit-breaker states.
+//!
+//! Finds every `enum BreakerState` definition in non-test workspace code
+//! and checks that each variant's snake_case label (`HalfOpen` →
+//! `"half_open"`) appears as a string literal somewhere in non-test code,
+//! and that the `sift_client_breaker_state` gauge itself is registered. A
+//! breaker state whose label string is missing could be entered but never
+//! distinguished in `/metrics` or the transition log — an overload
+//! incident could not be reconstructed from the exposition. Findings
+//! anchor at the enum definition site.
+//!
+//! Like `fault-obs`, the match is workspace-wide on purpose: the gauge
+//! registration and the `label()` mapping live in the breaker module, but
+//! nothing forces them to.
+
+use crate::config::Config;
+use crate::context::{str_literal_content, FileCtx};
+use crate::lexer::TokKind;
+use crate::rules::fault_obs::{enum_variants, snake_case};
+use crate::rules::RawFinding;
+
+const GAUGE: &str = "sift_client_breaker_state";
+
+pub fn check(files: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
+    // (variant, enum file, enum line, enum col)
+    let mut variants: Vec<(String, String, u32, u32)> = Vec::new();
+    let mut enum_sites: Vec<(String, u32, u32)> = Vec::new();
+    let mut literals: Vec<String> = Vec::new();
+
+    for ctx in files {
+        if ctx.is_test_file || ctx.is_bin_file {
+            continue;
+        }
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.kind == TokKind::Str && !ctx.in_test(t.line) {
+                literals.push(str_literal_content(&t.text).to_owned());
+            }
+            // `enum BreakerState { Variant, … }`
+            if t.kind == TokKind::Ident
+                && t.text == "enum"
+                && code
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && n.text == "BreakerState")
+                && !ctx.in_test(t.line)
+            {
+                enum_sites.push((ctx.path.clone(), t.line, t.col));
+                for v in enum_variants(code, i + 2) {
+                    variants.push((v, ctx.path.clone(), t.line, t.col));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    let gauge_registered = literals.iter().any(|l| l == GAUGE);
+    for (file, line, col) in &enum_sites {
+        if cfg.path_allowed("breaker-obs", file) {
+            continue;
+        }
+        if !gauge_registered {
+            out.push((
+                file.clone(),
+                RawFinding::new(
+                    *line,
+                    *col,
+                    format!(
+                        "`BreakerState` exists but no `{GAUGE}` gauge is \
+                         registered anywhere: breaker transitions would be \
+                         invisible in /metrics"
+                    ),
+                ),
+            ));
+        }
+    }
+    for (variant, file, line, col) in variants {
+        if cfg.path_allowed("breaker-obs", &file) {
+            continue;
+        }
+        let label = snake_case(&variant);
+        if !literals.iter().any(|l| l == &label) {
+            out.push((
+                file,
+                RawFinding::new(
+                    line,
+                    col,
+                    format!(
+                        "`BreakerState::{variant}` has no `\"{label}\"` label \
+                         string in non-test code: that state could be entered \
+                         but never distinguished in the `{GAUGE}` exposition \
+                         or the transition log"
+                    ),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        FileCtx::new(path, src, &Config::default())
+    }
+
+    const ENUM_SRC: &str = r#"
+        pub enum BreakerState {
+            Closed,
+            Open,
+            HalfOpen,
+        }
+        impl BreakerState {
+            pub fn label(self) -> &'static str {
+                match self {
+                    BreakerState::Closed => "closed",
+                    BreakerState::Open => "open",
+                    BreakerState::HalfOpen => "half_open",
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn fully_labelled_enum_with_gauge_passes() {
+        let breaker = ctx("crates/a/src/breaker.rs", ENUM_SRC);
+        let wiring = ctx(
+            "crates/a/src/client.rs",
+            r#"fn f(s: BreakerState) {
+                sift_obs::gauge("sift_client_breaker_state", &[("endpoint", "e")]).set(0);
+            }"#,
+        );
+        assert!(check(&[breaker, wiring], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_label_string_is_flagged() {
+        let breaker = ctx(
+            "crates/a/src/breaker.rs",
+            r#"pub enum BreakerState { Closed, HalfOpen }
+               fn label() -> &'static str { "closed" }
+               fn g() { gauge("sift_client_breaker_state", &[]); }"#,
+        );
+        let out = check(&[breaker], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("HalfOpen"));
+        assert!(out[0].1.message.contains("\"half_open\""));
+    }
+
+    #[test]
+    fn unregistered_gauge_is_flagged_at_enum_site() {
+        let breaker = ctx(
+            "crates/a/src/breaker.rs",
+            r#"pub enum BreakerState { Open }
+               fn label() -> &'static str { "open" }"#,
+        );
+        let out = check(&[breaker], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("sift_client_breaker_state"));
+    }
+
+    #[test]
+    fn test_code_enums_do_not_count() {
+        let f = ctx(
+            "crates/a/src/x.rs",
+            r#"#[cfg(test)]
+            mod tests {
+                enum BreakerState { Wedged }
+            }"#,
+        );
+        assert!(check(&[f], &Config::default()).is_empty());
+    }
+}

@@ -96,8 +96,9 @@ pub fn check(files: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
 }
 
 /// Collects the unit-variant identifiers of the brace block starting at
-/// or after token `from` (the token after the enum's name).
-fn enum_variants(code: &[crate::lexer::Token], from: usize) -> Vec<String> {
+/// or after token `from` (the token after the enum's name). Shared with
+/// `breaker-obs`, which scans the same enum shape.
+pub(crate) fn enum_variants(code: &[crate::lexer::Token], from: usize) -> Vec<String> {
     let mut i = from;
     // Skip to the opening brace (past generics, which FaultKind lacks).
     while i < code.len() && !(code[i].kind == TokKind::Punct && code[i].text == "{") {
@@ -140,7 +141,7 @@ fn enum_variants(code: &[crate::lexer::Token], from: usize) -> Vec<String> {
 }
 
 /// `RateStorm` → `rate_storm`.
-fn snake_case(variant: &str) -> String {
+pub(crate) fn snake_case(variant: &str) -> String {
     let mut out = String::with_capacity(variant.len() + 4);
     for (i, c) in variant.chars().enumerate() {
         if c.is_ascii_uppercase() {

@@ -7,6 +7,7 @@
 use crate::config::{Config, Severity};
 use crate::context::FileCtx;
 
+pub mod breaker_obs;
 pub mod fault_obs;
 pub mod float_eq;
 pub mod lossy_cast;
@@ -139,6 +140,20 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: true,
             kind: RuleKind::Workspace(fault_obs::check),
+        },
+        Rule {
+            id: "breaker-obs",
+            summary: "every `BreakerState` variant needs a matching \
+                      `sift_client_breaker_state` label string",
+            rationale: "Overload incidents are reconstructed from the breaker \
+                        gauge and transition log; a state whose snake_case \
+                        label never appears in code could be entered but not \
+                        told apart in /metrics, so label coverage is checked \
+                        at lint time.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::Workspace(breaker_obs::check),
         },
     ]
 }

@@ -126,6 +126,16 @@ fn route_obs_fixture() {
 }
 
 #[test]
+fn breaker_obs_fixture() {
+    check(
+        "breaker_obs",
+        include_str!("fixtures/breaker_obs.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
 fn fixtures_are_quiet_under_test_paths() {
     // The same violations under a `tests/` path: only rules that apply in
     // tests may fire. `no_panic.rs` seeds none of those, so it goes quiet.

@@ -1,13 +1,28 @@
 //! Pooling, retrying HTTP client.
+//!
+//! Beyond connection reuse and status-aware retries, the client carries
+//! the outbound half of the overload model (DESIGN.md, "Overload model"):
+//! an optional per-endpoint [`CircuitBreaker`] that fails fast while the
+//! server is melting down, an optional shared [`RetryBudget`] so a
+//! flapping endpoint cannot trigger a fleet-wide retry storm, and an
+//! optional per-request deadline that is both enforced locally (a retry
+//! never fires if it cannot fit in the remaining budget) and propagated
+//! to the server as [`crate::X_SIFT_DEADLINE_MS`] so expired work is shed
+//! there too. Retry backoff applies full jitter drawn from a per-request
+//! seeded RNG stream, keeping chaos replays deterministic.
 
+use crate::breaker::{CircuitBreaker, RetryBudget};
 use crate::http::{parse_response, serialize_request, ParseError, Request, Response, StatusCode};
-use crate::FETCHER_IDENTITY_HEADER;
+use crate::{FETCHER_IDENTITY_HEADER, X_SIFT_DEADLINE_MS};
 use bytes::BytesMut;
 use parking_lot::Mutex;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -31,6 +46,20 @@ pub enum ClientError {
     },
     /// The response body was not the expected JSON document.
     Json(serde_json::Error),
+    /// The endpoint's circuit breaker is open: the request failed fast
+    /// without touching the network.
+    BreakerOpen {
+        /// The breaker's endpoint label.
+        endpoint: String,
+    },
+    /// The request's deadline budget ran out (or the next retry could not
+    /// fit in what remained).
+    DeadlineExceeded {
+        /// Time already spent, in milliseconds.
+        elapsed_ms: u64,
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -43,6 +72,16 @@ impl fmt::Display for ClientError {
             }
             ClientError::Status { status, body } => write!(f, "server said {status}: {body}"),
             ClientError::Json(e) => write!(f, "bad JSON payload: {e}"),
+            ClientError::BreakerOpen { endpoint } => {
+                write!(f, "circuit breaker open for endpoint {endpoint}")
+            }
+            ClientError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms}ms spent of {budget_ms}ms"
+            ),
         }
     }
 }
@@ -54,11 +93,15 @@ impl std::error::Error for ClientError {}
 pub struct RetryPolicy {
     /// Total attempts, including the first (≥ 1).
     pub max_attempts: u32,
-    /// Base backoff; attempt `n` waits `base * 2^(n-1)` unless the server
-    /// sent a `Retry-After`.
+    /// Base backoff; attempt `n` waits up to `base * 2^(n-1)` unless the
+    /// server sent a `Retry-After`.
     pub base_backoff: Duration,
     /// Ceiling on any single wait.
     pub max_backoff: Duration,
+    /// Apply full jitter to backoff waits (a uniform draw in
+    /// `[0, backoff]` from a per-request seeded RNG stream). Server
+    /// `Retry-After` hints are never jittered.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -67,6 +110,7 @@ impl Default for RetryPolicy {
             max_attempts: 5,
             base_backoff: Duration::from_millis(100),
             max_backoff: Duration::from_secs(5),
+            jitter: true,
         }
     }
 }
@@ -83,6 +127,10 @@ pub struct HttpClient {
     pool: Mutex<Vec<TcpStream>>,
     timeout: Duration,
     retry: RetryPolicy,
+    breaker: Option<Arc<CircuitBreaker>>,
+    retry_budget: Option<Arc<RetryBudget>>,
+    deadline: Option<Duration>,
+    jitter_seed: u64,
 }
 
 impl HttpClient {
@@ -94,6 +142,10 @@ impl HttpClient {
             pool: Mutex::new(Vec::new()),
             timeout: Duration::from_secs(30),
             retry: RetryPolicy::default(),
+            breaker: None,
+            retry_budget: None,
+            deadline: None,
+            jitter_seed: 0,
         }
     }
 
@@ -113,6 +165,40 @@ impl HttpClient {
     /// Sets the per-operation socket timeout.
     pub fn with_timeout(mut self, t: Duration) -> Self {
         self.timeout = t;
+        self
+    }
+
+    /// Routes every retried send through a circuit breaker: requests fail
+    /// fast with [`ClientError::BreakerOpen`] while it is open, and
+    /// outcomes feed its state machine. Share one `Arc` across clients to
+    /// break per endpoint rather than per connection.
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Draws every retry from a shared [`RetryBudget`]; when the budget is
+    /// empty the underlying error surfaces instead of another retry
+    /// firing. Share one `Arc` fleet-wide to prevent retry storms.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
+    /// Gives every retried send a total deadline: the remaining budget is
+    /// attached as [`crate::X_SIFT_DEADLINE_MS`] (so the server can shed
+    /// expired work) and a retry never fires if it cannot fit in what
+    /// remains.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Seeds the jitter RNG stream (full-jitter backoff is a pure function
+    /// of this seed, the request and the attempt number, so chaos replays
+    /// stay deterministic).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
         self
     }
 
@@ -165,22 +251,48 @@ impl HttpClient {
 
     /// Sends a request, retrying 429 (honouring `Retry-After`), 5xx and
     /// transport-level I/O failures (connection refused, reset
-    /// mid-exchange, truncated response) with exponential backoff per the
-    /// client's [`RetryPolicy`].
+    /// mid-exchange, truncated response) with full-jitter exponential
+    /// backoff per the client's [`RetryPolicy`] — gated by the circuit
+    /// breaker, retry budget and deadline when configured.
     pub fn send_with_retry(&self, req: &Request) -> Result<Response, ClientError> {
+        let started = Instant::now();
+        // One deposit per logical call funds roughly `deposit_per_call`
+        // retries: the Finagle-style budget shape.
+        if let Some(budget) = &self.retry_budget {
+            budget.deposit();
+        }
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let resp = match self.send(req) {
+            if let Some(b) = &self.breaker {
+                if !b.allow() {
+                    sift_obs::counter(
+                        "sift_client_breaker_fastfail_total",
+                        &[("endpoint", b.endpoint())],
+                    )
+                    .inc();
+                    return Err(ClientError::BreakerOpen {
+                        endpoint: b.endpoint().to_owned(),
+                    });
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if started.elapsed() >= deadline {
+                    return Err(self.deadline_error(started, deadline));
+                }
+            }
+            let resp = match self.send(&self.stamped(req, started)) {
                 Ok(resp) => resp,
                 // A transport failure consumed no retry budget before this
                 // fix: a single reset aborted the whole exchange even with
                 // attempts left. Retry it like a 5xx, minus `Retry-After`.
                 Err(ClientError::Io(e)) => {
+                    self.record_outcome(false);
                     if attempt >= self.retry.max_attempts {
                         return Err(ClientError::Io(e));
                     }
-                    let wait = backoff_wait(&self.retry, attempt);
+                    let wait = self.jittered_backoff(req, attempt);
+                    let wait = self.gate_retry(started, wait, ClientError::Io(e))?;
                     sift_obs::counter("sift_client_retries_total", &[("status", "io")]).inc();
                     sift_obs::histogram("sift_client_backoff_seconds", &[]).observe_duration(wait);
                     sift_obs::event(
@@ -188,7 +300,6 @@ impl HttpClient {
                         "net.client",
                         "transport error, backing off",
                         &[
-                            ("error", serde_json::Value::Str(e.to_string())),
                             ("attempt", serde_json::Value::UInt(u64::from(attempt))),
                             ("wait_ms", serde_json::Value::UInt(wait.as_millis() as u64)),
                         ],
@@ -198,6 +309,10 @@ impl HttpClient {
                 }
                 Err(other) => return Err(other),
             };
+            // Any parsed response below 500 means the server is up and
+            // making decisions — 4xx and 429 included. Only 5xx (and
+            // transport failures above) count against the breaker.
+            self.record_outcome(resp.status.0 < 500);
             if resp.status.is_success() {
                 return Ok(resp);
             }
@@ -218,12 +333,23 @@ impl HttpClient {
                     body: body_excerpt(&resp),
                 });
             }
-            let wait = retry_wait(&self.retry, attempt, &resp);
-            sift_obs::counter(
-                "sift_client_retries_total",
-                &[("status", &resp.status.0.to_string())],
-            )
-            .inc();
+            // An explicit server hint is an instruction, not a guess: it
+            // is honoured as-is (capped), never jittered.
+            let wait = match server_hint(&resp) {
+                Some(hint) => hint.min(self.retry.max_backoff),
+                None => self.jittered_backoff(req, attempt),
+            };
+            let status_label = resp.status.0.to_string();
+            let underlying = if resp.status == StatusCode::TOO_MANY_REQUESTS {
+                ClientError::RateLimited { attempts: attempt }
+            } else {
+                ClientError::Status {
+                    status: resp.status,
+                    body: body_excerpt(&resp),
+                }
+            };
+            let wait = self.gate_retry(started, wait, underlying)?;
+            sift_obs::counter("sift_client_retries_total", &[("status", &status_label)]).inc();
             sift_obs::histogram("sift_client_backoff_seconds", &[]).observe_duration(wait);
             sift_obs::event(
                 sift_obs::Level::Warn,
@@ -269,22 +395,102 @@ impl HttpClient {
             }
         }
     }
+
+    /// The request as actually sent: with the remaining deadline budget
+    /// attached when one is configured.
+    fn stamped(&self, req: &Request, started: Instant) -> Request {
+        let Some(deadline) = self.deadline else {
+            return req.clone();
+        };
+        let remaining = deadline.saturating_sub(started.elapsed());
+        let mut req = req.clone();
+        req.headers.set(
+            X_SIFT_DEADLINE_MS,
+            (remaining.as_millis() as u64).to_string(),
+        );
+        req
+    }
+
+    fn record_outcome(&self, success: bool) {
+        if let Some(b) = &self.breaker {
+            if success {
+                b.record_success();
+            } else {
+                b.record_failure();
+            }
+        }
+    }
+
+    /// Decides whether one more retry may fire after waiting `wait`:
+    /// refused when the wait cannot fit in the remaining deadline or the
+    /// shared retry budget is empty (the underlying error surfaces).
+    fn gate_retry(
+        &self,
+        started: Instant,
+        wait: Duration,
+        underlying: ClientError,
+    ) -> Result<Duration, ClientError> {
+        if let Some(deadline) = self.deadline {
+            let elapsed = started.elapsed();
+            if elapsed + wait >= deadline {
+                return Err(self.deadline_error(started, deadline));
+            }
+        }
+        if let Some(budget) = &self.retry_budget {
+            if !budget.try_withdraw() {
+                sift_obs::counter("sift_client_retry_budget_exhausted_total", &[]).inc();
+                sift_obs::event(
+                    sift_obs::Level::Warn,
+                    "net.client",
+                    "retry budget exhausted",
+                    &[("error", serde_json::Value::Str(underlying.to_string()))],
+                );
+                return Err(underlying);
+            }
+        }
+        Ok(wait)
+    }
+
+    fn deadline_error(&self, started: Instant, deadline: Duration) -> ClientError {
+        ClientError::DeadlineExceeded {
+            elapsed_ms: started.elapsed().as_millis() as u64,
+            budget_ms: deadline.as_millis() as u64,
+        }
+    }
+
+    /// Full-jitter exponential backoff: a uniform draw in `[0, backoff]`
+    /// from a ChaCha8 stream keyed by (client jitter seed, request,
+    /// attempt) — deterministic per replay, decorrelated across requests.
+    fn jittered_backoff(&self, req: &Request, attempt: u32) -> Duration {
+        let exp = backoff_wait(&self.retry, attempt);
+        if !self.retry.jitter {
+            return exp;
+        }
+        let span_ms = exp.as_millis() as u64;
+        let key = crate::fault::request_key(&req.path, &req.body);
+        let mut seed = [0u8; 32];
+        seed[0..8].copy_from_slice(&self.jitter_seed.to_le_bytes());
+        seed[8..16].copy_from_slice(&key.to_le_bytes());
+        seed[16..20].copy_from_slice(&attempt.to_le_bytes());
+        // Domain tag ("JITR") keeps this stream disjoint from the fault
+        // injector's, which seeds from the same request key.
+        seed[24..28].copy_from_slice(&0x4a49_5452u32.to_le_bytes());
+        let mut rng = ChaCha8Rng::from_seed(seed);
+        Duration::from_millis(rng.next_u64() % (span_ms + 1))
+    }
 }
 
-/// How long to wait before retrying `attempt` given the server's response.
-fn retry_wait(policy: &RetryPolicy, attempt: u32, resp: &Response) -> Duration {
-    if let Some(ra) = resp
-        .headers
+/// The server's explicit `Retry-After` hint, if the response carries one.
+fn server_hint(resp: &Response) -> Option<Duration> {
+    resp.headers
         .get("retry-after")
         .and_then(|v| v.trim().parse::<u64>().ok())
-    {
-        return Duration::from_secs(ra).min(policy.max_backoff);
-    }
-    backoff_wait(policy, attempt)
+        .map(Duration::from_secs)
 }
 
-/// Pure exponential backoff (no server hint available — transport errors
-/// and `Retry-After`-less 429 storms).
+/// Pure exponential backoff ceiling for `attempt` (the jitter draw spans
+/// `[0, this]`; transport errors and `Retry-After`-less 429 storms land
+/// here too).
 fn backoff_wait(policy: &RetryPolicy, attempt: u32) -> Duration {
     let exp = policy
         .base_backoff
@@ -322,6 +528,7 @@ fn body_excerpt(resp: &Response) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::{BreakerConfig, BreakerState, RetryBudgetConfig};
     use crate::http::Method;
     use crate::ratelimit::RateLimiterConfig;
     use crate::router::Router;
@@ -343,8 +550,28 @@ mod tests {
                     .unwrap_or("anonymous")
                     .to_owned();
                 Response::text(StatusCode::OK, id)
+            })
+            .route(Method::Get, "/fail", |_| {
+                Response::text(StatusCode::INTERNAL_SERVER_ERROR, "always broken")
+            })
+            .route(Method::Get, "/budget", |req| {
+                let budget = req
+                    .headers
+                    .get(X_SIFT_DEADLINE_MS)
+                    .unwrap_or("none")
+                    .to_owned();
+                Response::text(StatusCode::OK, budget)
             });
         Server::new(router).bind("127.0.0.1:0").expect("bind")
+    }
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+            jitter: true,
+        }
     }
 
     #[test]
@@ -403,6 +630,7 @@ mod tests {
             .with_rate_limiter(RateLimiterConfig {
                 capacity: 2.0,
                 refill_per_sec: 50.0, // refills fast enough for the test
+                ..RateLimiterConfig::default()
             })
             .bind("127.0.0.1:0")
             .expect("bind");
@@ -412,6 +640,7 @@ mod tests {
                 max_attempts: 10,
                 base_backoff: Duration::from_millis(20),
                 max_backoff: Duration::from_millis(100),
+                jitter: true,
             });
         // Hammer past the burst capacity; retries absorb the 429s.
         for _ in 0..6 {
@@ -452,11 +681,7 @@ mod tests {
             .with_fault_plan(FaultPlan::new(3).everywhere(&[(FaultKind::Reset, 1.0)]))
             .bind("127.0.0.1:0")
             .expect("bind");
-        let c = HttpClient::new(h.addr()).with_retry(RetryPolicy {
-            max_attempts: 3,
-            base_backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(5),
-        });
+        let c = HttpClient::new(h.addr()).with_retry(fast_retry(3));
         let before = sift_obs::counter("sift_client_retries_total", &[("status", "io")]).get();
         let err = c.send_with_retry(&Request::get("/ping")).unwrap_err();
         assert!(matches!(err, ClientError::Io(_)), "{err}");
@@ -485,11 +710,7 @@ mod tests {
             ]))
             .bind("127.0.0.1:0")
             .expect("bind");
-        let c = HttpClient::new(h.addr()).with_retry(RetryPolicy {
-            max_attempts: 25,
-            base_backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(5),
-        });
+        let c = HttpClient::new(h.addr()).with_retry(fast_retry(25));
         for _ in 0..10 {
             let resp = c.send_with_retry(&Request::get("/ping")).expect("absorbed");
             assert_eq!(&resp.body[..], b"pong");
@@ -518,14 +739,173 @@ mod tests {
     }
 
     #[test]
-    fn retry_wait_honours_retry_after() {
-        let policy = RetryPolicy::default();
+    fn server_hint_is_honoured_unjittered() {
         let mut resp = Response::text(StatusCode::TOO_MANY_REQUESTS, "slow down");
         resp.headers.set("retry-after", "2");
-        assert_eq!(retry_wait(&policy, 1, &resp), Duration::from_secs(2));
+        assert_eq!(server_hint(&resp), Some(Duration::from_secs(2)));
         let resp = Response::text(StatusCode::INTERNAL_SERVER_ERROR, "oops");
-        assert_eq!(retry_wait(&policy, 1, &resp), policy.base_backoff);
-        assert_eq!(retry_wait(&policy, 3, &resp), policy.base_backoff * 4);
-        assert!(retry_wait(&policy, 30, &resp) <= policy.max_backoff);
+        assert_eq!(server_hint(&resp), None);
+        // The hintless ceiling is still the exponential curve.
+        let policy = RetryPolicy::default();
+        assert_eq!(backoff_wait(&policy, 1), policy.base_backoff);
+        assert_eq!(backoff_wait(&policy, 3), policy.base_backoff * 4);
+        assert!(backoff_wait(&policy, 30) <= policy.max_backoff);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let h = spawn_server();
+        let a = HttpClient::new(h.addr()).with_jitter_seed(9);
+        let b = HttpClient::new(h.addr()).with_jitter_seed(9);
+        let other = HttpClient::new(h.addr()).with_jitter_seed(10);
+        let req = Request::get("/ping");
+        let mut seeds_differ = false;
+        for attempt in 1..=6 {
+            let wa = a.jittered_backoff(&req, attempt);
+            let wb = b.jittered_backoff(&req, attempt);
+            assert_eq!(wa, wb, "same seed, same request, same attempt");
+            assert!(
+                wa <= backoff_wait(&a.retry, attempt),
+                "full jitter stays in range"
+            );
+            if other.jittered_backoff(&req, attempt) != wa {
+                seeds_differ = true;
+            }
+        }
+        assert!(seeds_differ, "different seeds decorrelate");
+        h.shutdown();
+    }
+
+    #[test]
+    fn breaker_opens_and_fails_fast_without_touching_the_network() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let router = Router::new().route(Method::Get, "/ping", |_| {
+            Response::text(StatusCode::OK, "pong")
+        });
+        let h = Server::new(router)
+            .with_fault_plan(FaultPlan::new(3).everywhere(&[(FaultKind::Reset, 1.0)]))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let breaker = Arc::new(CircuitBreaker::new(
+            "unit-test",
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(60),
+                success_threshold: 1,
+            },
+        ));
+        let c = HttpClient::new(h.addr())
+            .with_retry(fast_retry(1))
+            .with_breaker(Arc::clone(&breaker));
+        for _ in 0..2 {
+            let err = c.send_with_retry(&Request::get("/ping")).unwrap_err();
+            assert!(matches!(err, ClientError::Io(_)), "{err}");
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Kill the server: a fast-failing client never notices.
+        h.shutdown();
+        let err = c.send_with_retry(&Request::get("/ping")).unwrap_err();
+        assert!(matches!(err, ClientError::BreakerOpen { .. }), "{err}");
+        assert_eq!(breaker.transition_log(), vec!["closed->open".to_owned()]);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probe() {
+        let h = spawn_server();
+        let breaker = Arc::new(CircuitBreaker::new(
+            "recovery-test",
+            BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_secs(60),
+                success_threshold: 1,
+            },
+        ));
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let c = HttpClient::new(h.addr()).with_breaker(Arc::clone(&breaker));
+        // Still inside the cooldown: fail fast.
+        assert!(matches!(
+            c.send_with_retry(&Request::get("/ping")).unwrap_err(),
+            ClientError::BreakerOpen { .. }
+        ));
+        // After the cooldown the next send is the half-open probe; its
+        // success closes the breaker.
+        breaker.fast_forward(Duration::from_secs(61));
+        let resp = c.send_with_retry(&Request::get("/ping")).expect("probe");
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(
+            breaker.transition_log(),
+            vec![
+                "closed->open".to_owned(),
+                "open->half_open".to_owned(),
+                "half_open->closed".to_owned(),
+            ]
+        );
+        h.shutdown();
+    }
+
+    #[test]
+    fn empty_retry_budget_surfaces_the_underlying_error() {
+        let h = spawn_server();
+        let budget = Arc::new(RetryBudget::new(RetryBudgetConfig {
+            capacity: 1.0,
+            deposit_per_call: 0.0,
+            withdraw_per_retry: 1.0,
+        }));
+        let c = HttpClient::new(h.addr())
+            .with_retry(fast_retry(10))
+            .with_retry_budget(Arc::clone(&budget));
+        let before = sift_obs::counter("sift_client_retry_budget_exhausted_total", &[]).get();
+        let err = c.send_with_retry(&Request::get("/fail")).unwrap_err();
+        // One funded retry, then the budget is dry and the 500 surfaces
+        // long before the 10-attempt policy would have given up.
+        match err {
+            ClientError::Status { status, .. } => {
+                assert_eq!(status, StatusCode::INTERNAL_SERVER_ERROR)
+            }
+            other => panic!("expected status error, got {other}"),
+        }
+        assert!(budget.available() < 1.0);
+        let after = sift_obs::counter("sift_client_retry_budget_exhausted_total", &[]).get();
+        assert!(after > before, "exhaustion counted: {before} -> {after}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn retry_never_fires_when_it_cannot_fit_the_deadline() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr())
+            .with_retry(RetryPolicy {
+                max_attempts: 10,
+                base_backoff: Duration::from_secs(2),
+                max_backoff: Duration::from_secs(2),
+                jitter: false, // a deterministic 2 s wait against a 100 ms budget
+            })
+            .with_deadline(Duration::from_millis(100));
+        let err = c.send_with_retry(&Request::get("/fail")).unwrap_err();
+        match err {
+            ClientError::DeadlineExceeded { budget_ms, .. } => assert_eq!(budget_ms, 100),
+            other => panic!("expected deadline error, got {other}"),
+        }
+        h.shutdown();
+    }
+
+    #[test]
+    fn deadline_budget_is_propagated_as_a_header() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr()).with_deadline(Duration::from_secs(60));
+        let resp = c.send_with_retry(&Request::get("/budget")).expect("send");
+        let budget: u64 = String::from_utf8_lossy(&resp.body)
+            .parse()
+            .expect("numeric budget header");
+        assert!(budget > 0 && budget <= 60_000, "remaining budget: {budget}");
+        // Without a deadline the header is absent.
+        let bare = HttpClient::new(h.addr());
+        let resp = bare
+            .send_with_retry(&Request::get("/budget"))
+            .expect("send");
+        assert_eq!(&resp.body[..], b"none");
+        h.shutdown();
     }
 }

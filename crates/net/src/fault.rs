@@ -201,7 +201,7 @@ impl FaultInjector {
 
 /// FNV-1a over route and body, with a separator so `("/a", b"b")` and
 /// `("/ab", b"")` hash apart.
-fn request_key(route: &str, body: &[u8]) -> u64 {
+pub(crate) fn request_key(route: &str, body: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     let mut step = |byte: u8| {
         hash ^= u64::from(byte);

@@ -4,6 +4,14 @@
 //! rate-limiting" (§4). The service side of that bottleneck lives here: a
 //! token bucket per client identity. Time is injected in milliseconds so
 //! behaviour is exactly testable; the server wires in a monotonic clock.
+//!
+//! The identity map is bounded: identities idle past
+//! [`RateLimiterConfig::idle_ttl_ms`] are evicted on a periodic sweep, so
+//! a scan of millions of one-shot client keys cannot grow memory forever.
+//! Eviction is semantically invisible — only buckets that have fully
+//! refilled are dropped, and a fresh bucket is exactly what a fully
+//! refilled one looks like. Evictions are counted in
+//! `sift_ratelimit_evicted_total`.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -15,6 +23,10 @@ pub struct RateLimiterConfig {
     pub capacity: f64,
     /// Sustained request rate (tokens added per second).
     pub refill_per_sec: f64,
+    /// Evict identities idle for longer than this many milliseconds
+    /// (0 disables eviction). Only fully-refilled buckets are evicted, so
+    /// the limiter's decisions are unaffected.
+    pub idle_ttl_ms: u64,
 }
 
 impl Default for RateLimiterConfig {
@@ -22,6 +34,7 @@ impl Default for RateLimiterConfig {
         RateLimiterConfig {
             capacity: 30.0,
             refill_per_sec: 10.0,
+            idle_ttl_ms: 600_000, // 10 minutes
         }
     }
 }
@@ -46,11 +59,21 @@ struct Bucket {
     rejections: u64,
 }
 
+/// The bucket map plus the bookkeeping that keeps it bounded.
+#[derive(Debug, Default)]
+struct Buckets {
+    map: HashMap<String, Bucket>,
+    last_sweep_ms: u64,
+    /// Rejections that belonged to since-evicted identities, folded in so
+    /// `total_rejections` stays monotone across evictions.
+    evicted_rejections: u64,
+}
+
 /// A token-bucket rate limiter keyed by client identity.
 #[derive(Debug)]
 pub struct RateLimiter {
     config: RateLimiterConfig,
-    buckets: Mutex<HashMap<String, Bucket>>,
+    buckets: Mutex<Buckets>,
 }
 
 impl RateLimiter {
@@ -60,7 +83,7 @@ impl RateLimiter {
         assert!(config.refill_per_sec > 0.0, "refill rate must be positive");
         RateLimiter {
             config,
-            buckets: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(Buckets::default()),
         }
     }
 
@@ -68,7 +91,8 @@ impl RateLimiter {
     /// `now_ms`.
     pub fn check(&self, key: &str, now_ms: u64) -> RateLimitDecision {
         let mut buckets = self.buckets.lock();
-        let bucket = buckets.entry(key.to_owned()).or_insert(Bucket {
+        self.maybe_sweep(&mut buckets, now_ms);
+        let bucket = buckets.map.entry(key.to_owned()).or_insert(Bucket {
             tokens: self.config.capacity,
             last_ms: now_ms,
             rejections: 0,
@@ -96,18 +120,72 @@ impl RateLimiter {
 
     /// Number of tracked client identities.
     pub fn tracked_clients(&self) -> usize {
-        self.buckets.lock().len()
+        self.buckets.lock().map.len()
     }
 
     /// How many requests from `key` have been rejected so far (0 for an
-    /// unseen key).
+    /// unseen or since-evicted key).
     pub fn rejections(&self, key: &str) -> u64 {
-        self.buckets.lock().get(key).map_or(0, |b| b.rejections)
+        self.buckets.lock().map.get(key).map_or(0, |b| b.rejections)
     }
 
-    /// Total rejections across every client identity.
+    /// Total rejections across every client identity, including
+    /// identities that have since been evicted.
     pub fn total_rejections(&self) -> u64 {
-        self.buckets.lock().values().map(|b| b.rejections).sum()
+        let buckets = self.buckets.lock();
+        buckets.evicted_rejections + buckets.map.values().map(|b| b.rejections).sum::<u64>()
+    }
+
+    /// Evicts identities idle past the TTL. Runs at most every TTL/4 so a
+    /// hot limiter is not scanning its whole map on every request.
+    fn maybe_sweep(&self, buckets: &mut Buckets, now_ms: u64) {
+        let ttl = self.config.idle_ttl_ms;
+        if ttl == 0 {
+            return;
+        }
+        if now_ms.saturating_sub(buckets.last_sweep_ms) < ttl / 4 {
+            return;
+        }
+        buckets.last_sweep_ms = now_ms;
+        let capacity = self.config.capacity;
+        let refill = self.config.refill_per_sec;
+        let mut evicted_rejections = 0u64;
+        let before = buckets.map.len();
+        buckets.map.retain(|_, b| {
+            let idle_ms = now_ms.saturating_sub(b.last_ms);
+            // Evict only identities that are BOTH past the TTL and fully
+            // refilled: a returning client gets a fresh bucket identical
+            // to the one it would have refilled to anyway.
+            let refilled = (b.tokens + idle_ms as f64 / 1000.0 * refill) >= capacity;
+            let keep = idle_ms < ttl || !refilled;
+            if !keep {
+                evicted_rejections += b.rejections;
+            }
+            keep
+        });
+        let evicted = before - buckets.map.len();
+        if evicted > 0 {
+            buckets.evicted_rejections += evicted_rejections;
+            sift_obs::counter("sift_ratelimit_evicted_total", &[])
+                .add(u64::try_from(evicted).unwrap_or(u64::MAX));
+            sift_obs::event(
+                sift_obs::Level::Debug,
+                "net.ratelimit",
+                "evicted stale identities",
+                &[
+                    (
+                        "evicted",
+                        serde_json::Value::UInt(u64::try_from(evicted).unwrap_or(u64::MAX)),
+                    ),
+                    (
+                        "remaining",
+                        serde_json::Value::UInt(
+                            u64::try_from(buckets.map.len()).unwrap_or(u64::MAX),
+                        ),
+                    ),
+                ],
+            );
+        }
     }
 }
 
@@ -119,6 +197,15 @@ mod tests {
         RateLimiter::new(RateLimiterConfig {
             capacity,
             refill_per_sec: refill,
+            ..RateLimiterConfig::default()
+        })
+    }
+
+    fn limiter_with_ttl(capacity: f64, refill: f64, ttl_ms: u64) -> RateLimiter {
+        RateLimiter::new(RateLimiterConfig {
+            capacity,
+            refill_per_sec: refill,
+            idle_ttl_ms: ttl_ms,
         })
     }
 
@@ -210,5 +297,74 @@ mod tests {
             l.check("a", 500),
             RateLimitDecision::Limited { .. }
         ));
+    }
+
+    #[test]
+    fn stale_identities_are_evicted_after_ttl() {
+        let l = limiter_with_ttl(2.0, 1.0, 1_000);
+        // A scan of many one-shot identities...
+        for i in 0..100 {
+            assert_eq!(l.check(&format!("scan-{i}"), 0), RateLimitDecision::Allowed);
+        }
+        assert_eq!(l.tracked_clients(), 100);
+        // ...is gone once they have been idle past the TTL.
+        l.check("fresh", 10_000);
+        assert_eq!(l.tracked_clients(), 1);
+    }
+
+    #[test]
+    fn active_identities_survive_the_sweep() {
+        let l = limiter_with_ttl(2.0, 1.0, 1_000);
+        l.check("steady", 0);
+        l.check("one-shot", 0);
+        // "steady" keeps talking; only "one-shot" goes idle past the TTL.
+        l.check("steady", 900);
+        l.check("steady", 1_800);
+        l.check("steady", 2_700);
+        assert_eq!(l.tracked_clients(), 1);
+        assert_eq!(l.rejections("one-shot"), 0);
+    }
+
+    #[test]
+    fn depleted_buckets_are_not_evicted_early() {
+        // 1 token at 0.001/sec: refilling takes ~17 minutes, far past the
+        // 1-second TTL. The depleted bucket must survive the sweep or a
+        // limited client could reset its own budget by going briefly idle.
+        let l = limiter_with_ttl(1.0, 0.001, 1_000);
+        assert_eq!(l.check("greedy", 0), RateLimitDecision::Allowed);
+        assert!(matches!(
+            l.check("greedy", 0),
+            RateLimitDecision::Limited { .. }
+        ));
+        l.check("other", 10_000); // triggers a sweep well past the TTL
+        assert_eq!(l.tracked_clients(), 2, "depleted bucket retained");
+        assert!(matches!(
+            l.check("greedy", 10_000),
+            RateLimitDecision::Limited { .. }
+        ));
+    }
+
+    #[test]
+    fn total_rejections_stays_monotone_across_eviction() {
+        let l = limiter_with_ttl(1.0, 100.0, 1_000);
+        assert_eq!(l.check("a", 0), RateLimitDecision::Allowed);
+        assert!(matches!(l.check("a", 0), RateLimitDecision::Limited { .. }));
+        assert!(matches!(l.check("a", 0), RateLimitDecision::Limited { .. }));
+        assert_eq!(l.total_rejections(), 2);
+        // Fast refill: "a" is fully refilled and idle at t=10s → evicted.
+        l.check("b", 10_000);
+        assert_eq!(l.tracked_clients(), 1);
+        assert_eq!(l.rejections("a"), 0, "per-key count resets on eviction");
+        assert_eq!(l.total_rejections(), 2, "aggregate survives eviction");
+    }
+
+    #[test]
+    fn zero_ttl_disables_eviction() {
+        let l = limiter_with_ttl(2.0, 100.0, 0);
+        for i in 0..50 {
+            l.check(&format!("scan-{i}"), 0);
+        }
+        l.check("late", 1_000_000_000);
+        assert_eq!(l.tracked_clients(), 51);
     }
 }

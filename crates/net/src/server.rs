@@ -5,12 +5,22 @@
 //! An optional per-client token-bucket limiter answers 429 with a
 //! `Retry-After` before the request ever reaches a handler, mirroring how
 //! the real aggregation service throttles crawlers.
+//!
+//! Overload control (see DESIGN.md, "Overload model"): an
+//! [`AdmissionController`] bounds the accept queue and the in-flight
+//! request count, shedding excess connections with a canned
+//! `503 + Retry-After` at the acceptor — before a single request byte is
+//! parsed. Requests carrying an [`crate::X_SIFT_DEADLINE_MS`] header whose
+//! budget is already spent are shed the same way, and
+//! [`ServerHandle::drain`] finishes in-flight work while refusing new
+//! connections instead of just flipping the shutdown flag.
 
+use crate::admission::{AdmissionConfig, AdmissionController, ShedReason};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::http::{parse_request, serialize_response, Request, Response, StatusCode};
 use crate::ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
 use crate::router::Router;
-use crate::FETCHER_IDENTITY_HEADER;
+use crate::{FETCHER_IDENTITY_HEADER, X_SIFT_DEADLINE_MS};
 use bytes::BytesMut;
 use crossbeam::channel;
 use std::io::{Read, Write};
@@ -28,6 +38,8 @@ pub struct Server {
     faults: Option<Arc<FaultInjector>>,
     workers: usize,
     read_timeout: Duration,
+    write_timeout: Duration,
+    admission: AdmissionConfig,
 }
 
 impl Server {
@@ -39,6 +51,10 @@ impl Server {
             faults: None,
             workers: 4,
             read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            // No bounds unless asked for; the controller still powers
+            // deadline sheds and graceful drain.
+            admission: AdmissionConfig::unlimited(),
         }
     }
 
@@ -51,6 +67,13 @@ impl Server {
     /// Enables deterministic fault injection (see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(FaultInjector::new(plan)));
+        self
+    }
+
+    /// Bounds the accept queue and in-flight request count; excess load
+    /// is shed with `503 + Retry-After` (see [`crate::admission`]).
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = config;
         self
     }
 
@@ -68,38 +91,44 @@ impl Server {
         self
     }
 
+    /// Sets the per-connection write timeout, mirroring
+    /// [`Self::with_read_timeout`] (previously hardcoded to 30 s).
+    pub fn with_write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = t;
+        self
+    }
+
     /// Binds and starts serving. `addr` is typically `127.0.0.1:0` (pick a
     /// free port; read it back from [`ServerHandle::addr`]).
     pub fn bind(self, addr: &str) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let admission = Arc::new(AdmissionController::new(self.admission));
         let started = Instant::now();
 
-        let (tx, rx) = channel::unbounded::<TcpStream>();
+        let (tx, rx) = channel::unbounded::<(TcpStream, Instant)>();
 
         let mut threads = Vec::with_capacity(self.workers + 1);
         for i in 0..self.workers {
             let rx = rx.clone();
-            let router = Arc::clone(&self.router);
-            let limiter = self.limiter.clone();
-            let faults = self.faults.clone();
-            let read_timeout = self.read_timeout;
-            let shutdown = Arc::clone(&shutdown);
+            let ctx = ConnContext {
+                router: Arc::clone(&self.router),
+                limiter: self.limiter.clone(),
+                faults: self.faults.clone(),
+                admission: Arc::clone(&admission),
+                read_timeout: self.read_timeout,
+                write_timeout: self.write_timeout,
+                epoch: started,
+                shutdown: Arc::clone(&shutdown),
+            };
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("sift-net-worker-{i}"))
                     .spawn(move || {
-                        while let Ok(stream) = rx.recv() {
-                            let _ = serve_connection(
-                                stream,
-                                &router,
-                                limiter.as_deref(),
-                                faults.as_deref(),
-                                read_timeout,
-                                started,
-                                &shutdown,
-                            );
+                        while let Ok((stream, accepted_at)) = rx.recv() {
+                            ctx.admission.dequeued();
+                            let _ = serve_connection(stream, accepted_at, &ctx);
                         }
                     })?,
             );
@@ -111,6 +140,8 @@ impl Server {
             // could fail under load and leave the acceptor blocked.
             listener.set_nonblocking(true)?;
             let shutdown = Arc::clone(&shutdown);
+            let admission = Arc::clone(&admission);
+            let write_timeout = self.write_timeout;
             threads.push(
                 std::thread::Builder::new()
                     .name("sift-net-acceptor".into())
@@ -126,8 +157,18 @@ impl Server {
                                     if s.set_nonblocking(false).is_err() {
                                         continue;
                                     }
-                                    if tx.send(s).is_err() {
-                                        break;
+                                    match admission.try_enqueue() {
+                                        Ok(()) => {
+                                            if tx.send((s, Instant::now())).is_err() {
+                                                break;
+                                            }
+                                        }
+                                        // Shed at the accept edge: the 503
+                                        // goes out before any request byte
+                                        // is read, let alone parsed.
+                                        Err(reason) => {
+                                            shed_at_accept(s, &admission, reason, write_timeout);
+                                        }
                                     }
                                 }
                                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -145,6 +186,7 @@ impl Server {
         Ok(ServerHandle {
             addr: local_addr,
             shutdown,
+            admission,
             threads,
         })
     }
@@ -155,6 +197,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    admission: Arc<AdmissionController>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -164,9 +207,50 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown and joins every server thread.
+    /// Requests shutdown and joins every server thread. In-flight
+    /// responses may be cut short; use [`Self::drain`] for a graceful
+    /// stop.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
+    }
+
+    /// Flips the server into drain mode without blocking: in-flight and
+    /// keep-alive requests finish, new connections get `503 +
+    /// Retry-After`. Follow up with [`Self::drain`] (or
+    /// [`Self::shutdown`]) to actually stop.
+    pub fn begin_drain(&self) {
+        self.admission.begin_drain();
+    }
+
+    /// Whether the server is draining.
+    pub fn is_draining(&self) -> bool {
+        self.admission.is_draining()
+    }
+
+    /// Requests currently being processed (0 once drained).
+    pub fn inflight(&self) -> usize {
+        self.admission.inflight()
+    }
+
+    /// Gracefully stops the server: begins draining, waits up to `grace`
+    /// for in-flight requests to finish, then shuts down and joins every
+    /// thread. Returns `true` if the server drained fully within the
+    /// grace period.
+    pub fn drain(mut self, grace: Duration) -> bool {
+        self.begin_drain();
+        let waited = Instant::now();
+        while self.admission.inflight() > 0 && waited.elapsed() < grace {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let drained = self.admission.inflight() == 0;
+        sift_obs::event(
+            sift_obs::Level::Info,
+            "net.server",
+            "drain finished",
+            &[("drained", serde_json::Value::Str(drained.to_string()))],
+        );
+        self.shutdown_inner();
+        drained
     }
 
     fn shutdown_inner(&mut self) {
@@ -187,6 +271,55 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Everything a worker needs to serve connections.
+struct ConnContext {
+    router: Arc<Router>,
+    limiter: Option<Arc<RateLimiter>>,
+    faults: Option<Arc<FaultInjector>>,
+    admission: Arc<AdmissionController>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    epoch: Instant,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Writes the canned shed response to a just-accepted connection and
+/// closes it gracefully, without ever parsing the request.
+///
+/// Runs on a short-lived thread so the accept loop keeps draining during
+/// a shed storm. The lingering close matters: the client's request bytes
+/// are still unread in the kernel buffer, and closing over them would
+/// send an RST that can destroy the in-flight `503` before the client
+/// reads it. Half-closing and discarding input until the peer hangs up
+/// (bounded by a short timeout) delivers the response reliably.
+/// Best-effort throughout: a client that vanished mid-shed loses nothing.
+fn shed_at_accept(
+    mut stream: TcpStream,
+    admission: &AdmissionController,
+    reason: ShedReason,
+    write_timeout: Duration,
+) {
+    let wire = serialize_response(&admission.shed_response(reason));
+    let lingering_close = move || {
+        let _ = stream.set_write_timeout(Some(write_timeout));
+        if stream.write_all(&wire).is_err() {
+            return;
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut sink = [0u8; 4096];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    };
+    if std::thread::Builder::new()
+        .name("sift-net-shed".into())
+        .spawn(lingering_close)
+        .is_err()
+    {
+        // Out of threads: the connection just drops. The client's retry
+        // path treats that like any other transport failure.
+    }
+}
+
 /// The client identity a request is rate-limited under: the declared
 /// fetcher identity header if present, otherwise the TCP peer IP.
 fn client_identity(req: &Request, peer: &SocketAddr) -> String {
@@ -196,29 +329,36 @@ fn client_identity(req: &Request, peer: &SocketAddr) -> String {
         .unwrap_or_else(|| peer.ip().to_string())
 }
 
+/// The declared deadline budget of a request, if any.
+fn deadline_budget_ms(req: &Request) -> Option<u64> {
+    req.headers
+        .get(X_SIFT_DEADLINE_MS)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+}
+
 fn serve_connection(
     mut stream: TcpStream,
-    router: &Router,
-    limiter: Option<&RateLimiter>,
-    faults: Option<&FaultInjector>,
-    read_timeout: Duration,
-    epoch: Instant,
-    shutdown: &AtomicBool,
+    accepted_at: Instant,
+    ctx: &ConnContext,
 ) -> std::io::Result<()> {
     // Short socket timeout so idle keep-alive reads re-check the shutdown
     // flag frequently; the configured `read_timeout` bounds total idleness.
-    let poll = Duration::from_millis(250).min(read_timeout);
+    let poll = Duration::from_millis(250).min(ctx.read_timeout);
     stream.set_read_timeout(Some(poll))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(ctx.write_timeout))?;
     stream.set_nodelay(true)?;
     let peer = stream.peer_addr()?;
     let _active = sift_obs::gauge("sift_http_active_connections", &[]).track();
 
     let mut buf = BytesMut::with_capacity(8 * 1024);
     let mut chunk = [0u8; 16 * 1024];
+    // When the *current* request started waiting: accept time for the
+    // first request on the connection, end of the previous response for
+    // keep-alive successors. Deadline budgets are charged against this.
+    let mut wait_epoch = accepted_at;
 
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if ctx.shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
         // Parse any complete pipelined request already buffered before
@@ -237,11 +377,17 @@ fn serve_connection(
                         if e.kind() == std::io::ErrorKind::WouldBlock
                             || e.kind() == std::io::ErrorKind::TimedOut =>
                     {
-                        if shutdown.load(Ordering::SeqCst) {
+                        if ctx.shutdown.load(Ordering::SeqCst) {
+                            return Ok(());
+                        }
+                        // A draining server closes idle keep-alive
+                        // connections; nothing is owed to a client with
+                        // no request in flight.
+                        if ctx.admission.is_draining() && buf.is_empty() {
                             return Ok(());
                         }
                         idle += poll;
-                        if idle >= read_timeout {
+                        if idle >= ctx.read_timeout {
                             return Ok(()); // idle keep-alive expired
                         }
                     }
@@ -262,10 +408,50 @@ fn serve_connection(
         let route = req.path.split('?').next().unwrap_or("").to_owned();
         let started_at = Instant::now();
 
-        // Fault injection decides before the limiter runs, so a plan's
-        // fault sequence depends only on the request traffic (replayable),
-        // never on limiter timing.
-        let injected = faults.and_then(|f| f.decide(&route, &req.body));
+        // Fault injection decides before admission and the limiter run, so
+        // a plan's fault sequence depends only on the request traffic
+        // (replayable), never on shed or limiter timing. The decision is
+        // only *executed* if the request is admitted.
+        let injected = ctx
+            .faults
+            .as_deref()
+            .and_then(|f| f.decide(&route, &req.body));
+
+        // Admission: a request that arrives on a draining server, with a
+        // spent deadline budget, or past the in-flight cap is shed with
+        // `503 + Retry-After` and the connection closes.
+        if ctx.admission.is_draining() {
+            let resp = ctx.admission.shed_response(ShedReason::Draining);
+            stream.write_all(&serialize_response(&resp))?;
+            return Ok(());
+        }
+        if let Some(budget_ms) = deadline_budget_ms(&req) {
+            let waited_ms = wait_epoch.elapsed().as_millis() as u64;
+            if waited_ms >= budget_ms {
+                sift_obs::event(
+                    sift_obs::Level::Warn,
+                    "net.admission",
+                    "deadline spent on arrival",
+                    &[
+                        ("route", serde_json::Value::Str(route.clone())),
+                        ("budget_ms", serde_json::Value::UInt(budget_ms)),
+                        ("waited_ms", serde_json::Value::UInt(waited_ms)),
+                    ],
+                );
+                let resp = ctx.admission.shed_response(ShedReason::Deadline);
+                stream.write_all(&serialize_response(&resp))?;
+                return Ok(());
+            }
+        }
+        let admitted = match ctx.admission.try_admit() {
+            Ok(guard) => guard,
+            Err(reason) => {
+                let resp = ctx.admission.shed_response(reason);
+                stream.write_all(&serialize_response(&resp))?;
+                return Ok(());
+            }
+        };
+
         if let Some(kind) = injected {
             sift_obs::counter("sift_net_faults_injected_total", &[("kind", kind.label())]).inc();
             sift_obs::event(
@@ -285,7 +471,7 @@ fn serve_connection(
             // Serve the real response, but only a prefix of it: the head's
             // `Content-Length` promises bytes that never arrive.
             Some(FaultKind::Truncate) => {
-                let resp = dispatch_protected(router, &req);
+                let resp = dispatch_protected(&ctx.router, &req);
                 let wire = serialize_response(&resp);
                 let keep = if resp.body.is_empty() {
                     wire.len() / 2
@@ -299,7 +485,12 @@ fn serve_connection(
             }
             // Hold the response back, then serve normally.
             Some(FaultKind::Stall) => {
-                std::thread::sleep(faults.map(FaultInjector::stall).unwrap_or_default());
+                std::thread::sleep(
+                    ctx.faults
+                        .as_deref()
+                        .map(FaultInjector::stall)
+                        .unwrap_or_default(),
+                );
             }
             _ => {}
         }
@@ -318,12 +509,24 @@ fn serve_connection(
                     Response::text(StatusCode::TOO_MANY_REQUESTS, "injected fault")
                 }
                 // Reset/Truncate returned above; Stall serves normally.
-                FaultKind::Reset | FaultKind::Truncate | FaultKind::Stall => {
-                    dispatch_with_limiter(router, limiter, &req, &route, &peer, epoch)
-                }
+                FaultKind::Reset | FaultKind::Truncate | FaultKind::Stall => dispatch_with_limiter(
+                    &ctx.router,
+                    ctx.limiter.as_deref(),
+                    &req,
+                    &route,
+                    &peer,
+                    ctx.epoch,
+                ),
             }
         } else {
-            dispatch_with_limiter(router, limiter, &req, &route, &peer, epoch)
+            dispatch_with_limiter(
+                &ctx.router,
+                ctx.limiter.as_deref(),
+                &req,
+                &route,
+                &peer,
+                ctx.epoch,
+            )
         };
 
         sift_obs::counter(
@@ -335,6 +538,8 @@ fn serve_connection(
             .observe_duration(started_at.elapsed());
 
         stream.write_all(&serialize_response(&resp))?;
+        drop(admitted); // the in-flight slot covers dispatch and write
+        wait_epoch = Instant::now();
         if close_after {
             return Ok(());
         }
@@ -393,6 +598,9 @@ fn dispatch_protected(router: &Router, req: &Request) -> Response {
 mod tests {
     use super::*;
     use crate::http::Method;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Condvar;
+    use std::sync::Mutex as StdMutex;
 
     fn test_router() -> Router {
         Router::new()
@@ -486,6 +694,7 @@ mod tests {
             .with_rate_limiter(RateLimiterConfig {
                 capacity: 2.0,
                 refill_per_sec: 0.5,
+                ..RateLimiterConfig::default()
             })
             .bind("127.0.0.1:0")
             .expect("bind");
@@ -510,6 +719,161 @@ mod tests {
         let n = s.read(&mut buf).expect("read");
         let text = String::from_utf8_lossy(&buf[..n]);
         assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn write_timeout_is_configurable() {
+        let h = Server::new(test_router())
+            .with_write_timeout(Duration::from_secs(2))
+            .with_read_timeout(Duration::from_secs(2))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let text = raw_roundtrip(h.addr(), b"GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn spent_deadline_is_shed_before_dispatch() {
+        let h = Server::new(test_router())
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        // A zero budget is spent by definition: deterministic shed.
+        let text = raw_roundtrip(
+            h.addr(),
+            b"GET /ping HTTP/1.1\r\nx-sift-deadline-ms: 0\r\nconnection: close\r\n\r\n",
+        );
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.to_lowercase().contains("retry-after:"), "{text}");
+        // A generous budget sails through.
+        let text = raw_roundtrip(
+            h.addr(),
+            b"GET /ping HTTP/1.1\r\nx-sift-deadline-ms: 60000\r\nconnection: close\r\n\r\n",
+        );
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        h.shutdown();
+    }
+
+    /// A router whose `/slow` handler parks until released, signalling
+    /// entry — the scaffolding for drain and overload tests.
+    struct Gate {
+        entered: AtomicBool,
+        release: StdMutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate {
+                entered: AtomicBool::new(false),
+                release: StdMutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        fn open(&self) {
+            *self.release.lock().expect("gate lock") = true;
+            self.cv.notify_all();
+        }
+
+        fn wait_entered(&self) {
+            let waited = Instant::now();
+            while !self.entered.load(Ordering::SeqCst) {
+                assert!(
+                    waited.elapsed() < Duration::from_secs(5),
+                    "handler never entered"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// Opens the gate when dropped, so a panicking assertion cannot leave
+    /// a worker parked in the handler forever (the `ServerHandle` drop
+    /// joins workers and would otherwise hang the whole test run).
+    struct OpenOnDrop(Arc<Gate>);
+
+    impl Drop for OpenOnDrop {
+        fn drop(&mut self) {
+            self.0.open();
+        }
+    }
+
+    fn gated_router(gate: &Arc<Gate>) -> Router {
+        let gate = Arc::clone(gate);
+        test_router().route(Method::Get, "/slow", move |_| {
+            gate.entered.store(true, Ordering::SeqCst);
+            let mut released = gate.release.lock().expect("gate lock");
+            while !*released {
+                released = gate.cv.wait(released).expect("gate wait");
+            }
+            Response::text(StatusCode::OK, "slow done")
+        })
+    }
+
+    #[test]
+    fn drain_finishes_inflight_request_and_sheds_fresh_connections() {
+        let gate = Gate::new();
+        let h = Server::new(gated_router(&gate))
+            .with_workers(2)
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let _open_guard = OpenOnDrop(Arc::clone(&gate));
+        let addr = h.addr();
+
+        // A keep-alive connection parks mid-request in the handler.
+        let inflight = std::thread::spawn(move || {
+            let c = crate::client::HttpClient::new(addr);
+            c.send(&Request::get("/slow")).expect("in-flight completes")
+        });
+        gate.wait_entered();
+
+        // Drain begins while that request is still running.
+        h.begin_drain();
+        assert!(h.is_draining());
+
+        // A fresh connection is refused at the accept edge with
+        // `503 + Retry-After`, without its request being read.
+        let text = raw_roundtrip(addr, b"GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.to_lowercase().contains("retry-after:"), "{text}");
+
+        // The in-flight request still completes once released.
+        gate.open();
+        let resp = inflight.join().expect("client thread");
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(&resp.body[..], b"slow done");
+
+        assert!(h.drain(Duration::from_secs(5)), "drained within grace");
+    }
+
+    #[test]
+    fn inflight_cap_sheds_overload() {
+        let gate = Gate::new();
+        let h = Server::new(gated_router(&gate))
+            .with_workers(2)
+            .with_admission(AdmissionConfig {
+                max_inflight: 1,
+                max_queue: 0,
+                retry_after_secs: 3,
+            })
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let _open_guard = OpenOnDrop(Arc::clone(&gate));
+        let addr = h.addr();
+        let inflight = std::thread::spawn(move || {
+            let c = crate::client::HttpClient::new(addr);
+            c.send(&Request::get("/slow")).expect("held request")
+        });
+        gate.wait_entered();
+        // The single in-flight slot is taken: the next request sheds.
+        let text = raw_roundtrip(addr, b"GET /ping HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+        assert!(text.contains("retry-after: 3"), "{text}");
+        gate.open();
+        let resp = inflight.join().expect("client thread");
+        assert_eq!(resp.status, StatusCode::OK);
         h.shutdown();
     }
 }

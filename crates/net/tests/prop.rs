@@ -6,8 +6,9 @@ use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 use sift_net::http::{parse_request, parse_response, serialize_request, serialize_response};
 use sift_net::{
-    FaultKind, FaultPlan, Headers, HttpClient, Method, RateLimitDecision, RateLimiter,
-    RateLimiterConfig, Request, Response, RetryPolicy, Router, Server, StatusCode,
+    BreakerConfig, BreakerState, CircuitBreaker, FaultKind, FaultPlan, Headers, HttpClient, Method,
+    RateLimitDecision, RateLimiter, RateLimiterConfig, Request, Response, RetryPolicy, Router,
+    Server, StatusCode,
 };
 use std::time::Duration;
 
@@ -152,6 +153,67 @@ proptest! {
         }
     }
 
+    /// Circuit-breaker liveness: whatever sequence of successes, failures,
+    /// admission checks and clock skips is thrown at it, the breaker never
+    /// wedges — recovery (cooldown, probe admission, enough successes)
+    /// always reaches `Closed`, and every transition is between distinct
+    /// adjacent states.
+    #[test]
+    fn breaker_transitions_never_deadlock(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                Just(0u8), // record_success
+                Just(1u8), // record_failure
+                Just(2u8), // allow (may flip open -> half-open)
+                Just(3u8), // fast_forward past the cooldown
+                Just(4u8), // fast_forward a sliver of the cooldown
+            ],
+            0..80,
+        ),
+        failure_threshold in 1u32..6,
+        success_threshold in 1u32..4,
+        cooldown_ms in 1u64..5_000,
+    ) {
+        let cooldown = Duration::from_millis(cooldown_ms);
+        let breaker = CircuitBreaker::new(
+            "prop",
+            BreakerConfig {
+                failure_threshold,
+                cooldown,
+                success_threshold,
+            },
+        );
+        for op in ops {
+            match op {
+                0 => breaker.record_success(),
+                1 => breaker.record_failure(),
+                2 => {
+                    let _ = breaker.allow();
+                }
+                3 => breaker.fast_forward(cooldown + Duration::from_millis(1)),
+                _ => breaker.fast_forward(Duration::from_millis(cooldown_ms / 2)),
+            }
+        }
+        // No transition is a self-loop, and none skips half-open on the
+        // way back from open.
+        for (from, to) in breaker.transitions() {
+            prop_assert!(from != to, "self-loop transition {from:?}");
+            prop_assert!(
+                !(from == BreakerState::Open && to == BreakerState::Closed),
+                "open must recover via half-open"
+            );
+        }
+        // Liveness: from any reachable state, cooldown + probe +
+        // successes always reaches Closed.
+        breaker.fast_forward(cooldown + Duration::from_millis(1));
+        prop_assert!(breaker.allow(), "post-cooldown probe must be admitted");
+        for _ in 0..success_threshold {
+            breaker.record_success();
+        }
+        prop_assert_eq!(breaker.state(), BreakerState::Closed);
+        prop_assert!(breaker.allow(), "closed breaker admits traffic");
+    }
+
     /// Token-bucket conservation: over any request pattern, the number of
     /// allowed requests never exceeds capacity + refill * elapsed.
     #[test]
@@ -163,6 +225,7 @@ proptest! {
         let limiter = RateLimiter::new(RateLimiterConfig {
             capacity,
             refill_per_sec: refill,
+            ..RateLimiterConfig::default()
         });
         let mut now = 0u64;
         let mut allowed = 0u64;
@@ -205,6 +268,7 @@ proptest! {
             max_attempts,
             base_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(2),
+            jitter: true,
         });
         let io_retries = sift_obs::counter("sift_client_retries_total", &[("status", "io")]);
         let before = io_retries.get();

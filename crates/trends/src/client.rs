@@ -40,6 +40,16 @@ pub trait TrendsClient: Send + Sync {
     fn identity(&self) -> &str {
         "anonymous"
     }
+    /// Whether the client believes a request would currently be attempted.
+    ///
+    /// The HTTP path overrides this with its circuit-breaker state so
+    /// orchestration layers (the fetcher queue, the re-fetch loop) can
+    /// shed or pause optional work instead of queueing doomed requests
+    /// behind an open breaker. Must not mutate breaker state: it is a
+    /// peek, not an admission.
+    fn healthy(&self) -> bool {
+        true
+    }
 }
 
 impl TrendsClient for TrendsService {

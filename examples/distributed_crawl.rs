@@ -27,6 +27,7 @@ fn main() {
         .with_rate_limiter(RateLimiterConfig {
             capacity: 20.0,
             refill_per_sec: 40.0,
+            ..RateLimiterConfig::default()
         })
         .with_workers(8)
         .bind("127.0.0.1:0")

@@ -21,4 +21,11 @@ cargo build --release --offline --example chaos_crawl
 diff target/chaos-a.txt target/chaos-b.txt \
   || { echo "chaos replay diverged between same-seed runs" >&2; exit 1; }
 
+# Overload gate: the acceptance test pins a server, sheds a 4x burst,
+# opens and re-closes the breaker, and replays the whole choreography to
+# an identical report. Runs as part of the workspace pass above too; the
+# explicit invocation keeps the gate loud if the test file is ever
+# dropped from the workspace manifest.
+cargo test -q --offline --test overload_http
+
 echo "all checks passed"

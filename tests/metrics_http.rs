@@ -129,6 +129,7 @@ fn metrics_expose_rate_limit_rejections() {
         .with_rate_limiter(RateLimiterConfig {
             capacity: 2.0,
             refill_per_sec: 0.5,
+            ..RateLimiterConfig::default()
         })
         .bind("127.0.0.1:0")
         .expect("bind");

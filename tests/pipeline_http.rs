@@ -66,6 +66,7 @@ fn http_study_matches_in_process_study() {
         .with_rate_limiter(RateLimiterConfig {
             capacity: 60.0,
             refill_per_sec: 400.0,
+            ..RateLimiterConfig::default()
         })
         .with_workers(6)
         .bind("127.0.0.1:0")
@@ -79,6 +80,7 @@ fn http_study_matches_in_process_study() {
                         max_attempts: 20,
                         base_backoff: Duration::from_millis(5),
                         max_backoff: Duration::from_millis(200),
+                        jitter: true,
                     },
                 ),
             ) as Arc<dyn TrendsClient>
@@ -128,6 +130,7 @@ fn rate_limited_single_identity_still_completes() {
         .with_rate_limiter(RateLimiterConfig {
             capacity: 2.0,
             refill_per_sec: 50.0,
+            ..RateLimiterConfig::default()
         })
         .bind("127.0.0.1:0")
         .expect("bind");
@@ -136,6 +139,7 @@ fn rate_limited_single_identity_still_completes() {
         max_attempts: 50,
         base_backoff: Duration::from_millis(5),
         max_backoff: Duration::from_millis(100),
+        jitter: true,
     });
     let params = StudyParams {
         range: HourRange::new(Hour(0), Hour(400)),

@@ -117,7 +117,13 @@ pub mod channel {
         fn drop(&mut self) {
             if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last sender: wake blocked receivers so they observe the
-                // disconnect instead of sleeping forever.
+                // disconnect instead of sleeping forever. The notify must
+                // happen while holding the queue lock — otherwise a
+                // receiver that has read `senders == 1` but not yet parked
+                // in `wait` misses the wakeup and sleeps forever (it was
+                // holding the lock during its check, so acquiring the lock
+                // here means every such receiver has since parked).
+                let _q = self.chan.queue.lock().unwrap_or_else(|p| p.into_inner());
                 self.chan.ready.notify_all();
             }
         }
