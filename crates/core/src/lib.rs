@@ -17,7 +17,10 @@
 //!    ([`impact`]), area ([`area`]) and context ([`context`]) — annotating
 //!    each spike with simultaneously-rising search terms, heavy-hitter
 //!    prioritised and semantically clustered,
-//! 5. and drives the whole study end to end ([`study`], [`report`]).
+//! 5. and drives the whole study end to end ([`study`], [`report`]),
+//!    crash-safely when asked ([`durable`]): responses are journaled
+//!    write-ahead, rounds sealed with atomic checkpoints, and a killed
+//!    study resumes where it died.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@
 pub mod area;
 pub mod context;
 pub mod detect;
+pub mod durable;
 pub mod impact;
 pub mod plan;
 pub mod refetch;
@@ -35,7 +39,8 @@ pub mod timeline;
 pub use area::{cluster_spikes, OutageCluster};
 pub use context::{AnnotatedSpike, Annotation, ContextParams};
 pub use detect::{detect_spikes, DetectParams, Spike};
+pub use durable::{RegionJournal, StudyDurability};
 pub use plan::{plan_frames, FramePlan, PlanParams};
-pub use refetch::{RefetchError, RefetchOutcome, RefetchParams};
-pub use study::{run_study, StudyError, StudyParams, StudyResult, StudyStats};
+pub use refetch::{averaged_timeline_durable, RefetchError, RefetchOutcome, RefetchParams};
+pub use study::{run_study, run_study_durable, StudyError, StudyParams, StudyResult, StudyStats};
 pub use timeline::{stitch, StitchError, Timeline};

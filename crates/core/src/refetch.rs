@@ -9,6 +9,7 @@
 //! rounds.
 
 use crate::detect::{detect_spikes, DetectParams, Spike};
+use crate::durable::RegionJournal;
 use crate::timeline::{stitch, StitchError, Timeline};
 use serde::{Deserialize, Serialize};
 use sift_geo::State;
@@ -61,8 +62,18 @@ pub struct RefetchOutcome {
     pub converged: bool,
     /// Spike-set similarity after each round (starting with round 2).
     pub similarity_trace: Vec<f64>,
-    /// Frames actually fetched (degraded slots are not counted).
+    /// Frame slots filled with a live or journal-replayed response
+    /// (degraded slots are not counted). Replayed slots are included so a
+    /// resumed run reports the same logical workload as an uninterrupted
+    /// one; [`RefetchOutcome::frames_replayed`] says how many of them
+    /// never touched the network this time.
     pub frames_fetched: u64,
+    /// Of [`RefetchOutcome::frames_fetched`], slots served from a
+    /// recovered journal instead of the network (resumed runs only).
+    pub frames_replayed: u64,
+    /// The re-fetch round this loop resumed at (0 for a fresh run): every
+    /// earlier round was recovered whole from a checkpoint or journal.
+    pub resumed_from_round: u32,
     /// Frame slots filled from the previous round's response because the
     /// fresh fetch failed (graceful degradation; only possible after
     /// round 1).
@@ -85,6 +96,11 @@ pub enum RefetchError {
     Fetch(FetchError),
     /// Fetched frames could not be stitched.
     Stitch(StitchError),
+    /// The write-ahead journal or checkpoint could not be written. Raised
+    /// only when durability was requested: a crawl that cannot uphold its
+    /// crash-safety contract fails loudly instead of silently degrading
+    /// to a non-resumable run.
+    Durability(std::io::Error),
 }
 
 impl std::fmt::Display for RefetchError {
@@ -92,6 +108,7 @@ impl std::fmt::Display for RefetchError {
         match self {
             RefetchError::Fetch(e) => write!(f, "fetching failed: {e}"),
             RefetchError::Stitch(e) => write!(f, "stitching failed: {e}"),
+            RefetchError::Durability(e) => write!(f, "journaling failed: {e}"),
         }
     }
 }
@@ -154,13 +171,47 @@ pub fn averaged_timeline(
     params: &RefetchParams,
     detect: &DetectParams,
 ) -> Result<RefetchOutcome, RefetchError> {
+    averaged_timeline_impl(client, term, state, frames, params, detect, None)
+}
+
+/// [`averaged_timeline`] with crash-safe durability: every response is
+/// journaled before it is folded into the running mean, each completed
+/// round is sealed with an atomic checkpoint, and slots the journal
+/// already holds are replayed instead of re-fetched. A loop killed in
+/// round *k* therefore resumes at round *k*, re-fetching at most the one
+/// response that was in flight — and, because replayed responses flow
+/// through the same code path as live ones, converges to the same
+/// outcome an uninterrupted run would have produced.
+pub fn averaged_timeline_durable(
+    client: &dyn TrendsClient,
+    term: &SearchTerm,
+    state: State,
+    frames: &[HourRange],
+    params: &RefetchParams,
+    detect: &DetectParams,
+    journal: &mut RegionJournal,
+) -> Result<RefetchOutcome, RefetchError> {
+    averaged_timeline_impl(client, term, state, frames, params, detect, Some(journal))
+}
+
+fn averaged_timeline_impl(
+    client: &dyn TrendsClient,
+    term: &SearchTerm,
+    state: State,
+    frames: &[HourRange],
+    params: &RefetchParams,
+    detect: &DetectParams,
+    mut journal: Option<&mut RegionJournal>,
+) -> Result<RefetchOutcome, RefetchError> {
     assert!(params.max_rounds >= 1);
+    let resumed_from_round = journal.as_ref().map_or(0, |j| j.resumed_from_round());
     let state_label = state.to_string();
     let mut mean: Option<Timeline> = None;
     let mut prev_spikes: Option<Vec<Spike>> = None;
     let mut prev_responses: Option<Vec<FrameResponse>> = None;
     let mut similarity_trace = Vec::new();
     let mut frames_fetched = 0u64;
+    let mut frames_replayed = 0u64;
     let mut frames_degraded = 0u64;
     let mut rounds = 0u32;
     let mut converged = false;
@@ -168,11 +219,16 @@ pub fn averaged_timeline(
     let mut final_spikes = Vec::new();
 
     for round in 0..params.max_rounds {
+        // A round the journal can serve whole needs no network at all, so
+        // the breaker-health gate below must not halt it.
+        let round_recovered = journal
+            .as_ref()
+            .is_some_and(|j| j.round_recovered(round, frames.len()));
         // Round 1 must run — there is no result without it, and a fresh
         // breaker has seen no traffic yet. Later rounds only refine the
         // estimate, so when the client's breaker has opened the loop
         // keeps what it has instead of queueing doomed fetches.
-        if round > 0 && !client.healthy() {
+        if round > 0 && !round_recovered && !client.healthy() {
             halted = true;
             sift_obs::counter("sift_refetch_halted_total", &[("state", &state_label)]).inc();
             sift_obs::event(
@@ -191,6 +247,16 @@ pub fn averaged_timeline(
             let _span = sift_obs::span("fetch");
             let mut responses = Vec::with_capacity(frames.len());
             for (i, r) in frames.iter().enumerate() {
+                let idx = u32::try_from(i).unwrap_or(u32::MAX);
+                // A slot the journal holds was fetched in a previous life
+                // of this process — replay it; fetching again would break
+                // the zero-refetch resume contract.
+                if let Some(resp) = journal.as_mut().and_then(|j| j.replayed_frame(round, idx)) {
+                    frames_fetched += 1;
+                    frames_replayed += 1;
+                    responses.push(resp);
+                    continue;
+                }
                 let fetched = client.fetch_frame(&FrameRequest {
                     term: term.clone(),
                     state,
@@ -200,6 +266,10 @@ pub fn averaged_timeline(
                 });
                 match fetched {
                     Ok(resp) => {
+                        if let Some(j) = journal.as_mut() {
+                            j.record_frame(round, idx, &resp)
+                                .map_err(RefetchError::Durability)?;
+                        }
                         frames_fetched += 1;
                         responses.push(resp);
                     }
@@ -227,6 +297,13 @@ pub fn averaged_timeline(
                                 ("error", serde_json::Value::Str(e.to_string())),
                             ],
                         );
+                        // Journal the degraded slot too: replay must
+                        // reproduce the run exactly, including the slots
+                        // that fell back to the previous round's sample.
+                        if let Some(j) = journal.as_mut() {
+                            j.record_frame(round, idx, &prev[i])
+                                .map_err(RefetchError::Durability)?;
+                        }
                         responses.push(prev[i].clone());
                     }
                 }
@@ -240,6 +317,11 @@ pub fn averaged_timeline(
             stitch(&refs).map_err(RefetchError::Stitch)?
         };
         prev_responses = Some(responses);
+        // Seal the round: atomic checkpoint subsuming (and emptying) the
+        // journal. A crash from here on resumes at round + 1.
+        if let Some(j) = journal.as_mut() {
+            j.round_done(round).map_err(RefetchError::Durability)?;
+        }
 
         let current = match &mut mean {
             slot @ None => slot.insert(round_timeline),
@@ -300,6 +382,8 @@ pub fn averaged_timeline(
         converged,
         similarity_trace,
         frames_fetched,
+        frames_replayed,
+        resumed_from_round,
         frames_degraded,
         coverage,
         halted,
@@ -660,6 +744,70 @@ mod tests {
             .filter(|s| s.magnitude > 12.0 && s.magnitude <= 50.0)
             .count();
         assert!(medium <= 3, "texture too strong: {:?}", outcome.spikes);
+    }
+
+    #[test]
+    fn durable_loop_crashed_mid_round_resumes_to_the_identical_outcome() {
+        use crate::durable::StudyDurability;
+        use sift_journal::testutil::scratch_dir;
+        use sift_journal::{CrashInjector, CrashPlan, CrashSite};
+        use std::sync::Arc;
+
+        let term = SearchTerm::parse("topic:Internet outage");
+        let frames = weekly_frames(900);
+        let clean = averaged_timeline(
+            &service_with_events(),
+            &term,
+            State::TX,
+            &frames,
+            &RefetchParams::default(),
+            &DetectParams::default(),
+        )
+        .expect("clean run");
+
+        let dir = scratch_dir("refetch_durable");
+        let inj = Arc::new(CrashInjector::new(
+            CrashPlan::nowhere().at(CrashSite::MidJournalRecord, 9),
+        ));
+        let durability = StudyDurability::new(&dir).with_crash(inj);
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut j = durability.region(State::TX).expect("open");
+            let _ = averaged_timeline_durable(
+                &service_with_events(),
+                &term,
+                State::TX,
+                &frames,
+                &RefetchParams::default(),
+                &DetectParams::default(),
+                &mut j,
+            );
+        }))
+        .is_err();
+        assert!(crashed, "injected crash must fire");
+
+        let mut j = StudyDurability::new(&dir)
+            .region(State::TX)
+            .expect("recover");
+        let resumed = averaged_timeline_durable(
+            &service_with_events(),
+            &term,
+            State::TX,
+            &frames,
+            &RefetchParams::default(),
+            &DetectParams::default(),
+            &mut j,
+        )
+        .expect("resumed run");
+
+        assert!(resumed.frames_replayed > 0, "{resumed:?}");
+        assert_eq!(resumed.timeline, clean.timeline);
+        assert_eq!(resumed.spikes, clean.spikes);
+        assert_eq!(resumed.rounds, clean.rounds);
+        assert_eq!(resumed.converged, clean.converged);
+        assert_eq!(
+            resumed.frames_fetched, clean.frames_fetched,
+            "replayed slots count toward the same logical workload"
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 use crate::area::{cluster_spikes, OutageCluster};
 use crate::context::{annotate, heavy_hitters, AnnotatedSpike, ContextParams};
 use crate::detect::DetectParams;
+use crate::durable::{RegionJournal, StudyDurability};
 use crate::plan::{plan_frames, PlanParams};
-use crate::refetch::{averaged_timeline, RefetchError, RefetchParams};
+use crate::refetch::{averaged_timeline, averaged_timeline_durable, RefetchError, RefetchParams};
 use crate::timeline::Timeline;
 use serde::{Deserialize, Serialize};
 use sift_geo::State;
@@ -95,6 +96,15 @@ pub struct StudyStats {
     /// circuit breaker opened (see `RefetchOutcome::halted`).
     #[serde(default)]
     pub halted_regions: usize,
+    /// Per region, the re-fetch round the loop resumed at — nonzero only
+    /// when a durable study picked up work a previous (crashed) run had
+    /// already sealed. All zeros on a fresh or non-durable run.
+    #[serde(default)]
+    pub resumed_from_round: Vec<(State, u32)>,
+    /// Of `frames_requested`, slots served from a recovered journal
+    /// instead of the network, across all regions (durable resumes only).
+    #[serde(default)]
+    pub frames_replayed: u64,
     /// Per-stage span timings recorded while this study ran.
     pub telemetry: sift_obs::TelemetrySnapshot,
 }
@@ -148,6 +158,14 @@ pub enum StudyError {
         /// The underlying failure.
         source: FetchError,
     },
+    /// The region's write-ahead journal or checkpoint could not be read
+    /// or written (durable studies only).
+    Durability {
+        /// The region that failed.
+        state: State,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for StudyError {
@@ -158,6 +176,9 @@ impl fmt::Display for StudyError {
             }
             StudyError::Rising { state, source } => {
                 write!(f, "rising suggestions failed for {state}: {source}")
+            }
+            StudyError::Durability { state, source } => {
+                write!(f, "durability failed for {state}: {source}")
             }
         }
     }
@@ -175,6 +196,8 @@ struct RegionOutcome {
     frames_degraded: u64,
     coverage: f64,
     halted: bool,
+    resumed_from_round: u32,
+    frames_replayed: u64,
     rising_requested: u64,
     /// `(spike, its gathered suggestions)`.
     spikes: Vec<(crate::detect::Spike, Vec<RisingTerm>)>,
@@ -188,6 +211,30 @@ struct RegionOutcome {
 pub fn run_study(
     client: &dyn TrendsClient,
     params: &StudyParams,
+) -> Result<StudyResult, StudyError> {
+    run_study_impl(client, params, None)
+}
+
+/// [`run_study`] with crash-safe durability: every region journals its
+/// responses and seals each completed re-fetch round with an atomic
+/// checkpoint under the durability directory, so a study killed in round
+/// *k* of a region resumes at round *k* with rounds `< k` intact —
+/// re-fetching at most the one response that was in flight — and produces
+/// the same [`StudyResult`] an uninterrupted run would have.
+/// [`StudyStats::resumed_from_round`] records, per region, where the
+/// resumed loop picked up.
+pub fn run_study_durable(
+    client: &dyn TrendsClient,
+    params: &StudyParams,
+    durability: &StudyDurability,
+) -> Result<StudyResult, StudyError> {
+    run_study_impl(client, params, Some(durability))
+}
+
+fn run_study_impl(
+    client: &dyn TrendsClient,
+    params: &StudyParams,
+    durability: Option<&StudyDurability>,
 ) -> Result<StudyResult, StudyError> {
     let baseline = sift_obs::SpanBaseline::capture();
     let plan = {
@@ -218,7 +265,7 @@ pub fn run_study(
                 scope.spawn(move || {
                     chunk
                         .into_iter()
-                        .map(|state| region_study(client, params, &plan.frames, state))
+                        .map(|state| region_study(client, params, &plan.frames, state, durability))
                         .collect::<Vec<_>>()
                 })
             })
@@ -256,6 +303,12 @@ pub fn run_study(
         stats.rising_requested += r.rising_requested;
         stats.rounds_by_state.push((r.state, r.rounds));
         stats.coverage_by_state.push((r.state, r.coverage));
+        stats.frames_replayed += r.frames_replayed;
+        if durability.is_some() {
+            stats
+                .resumed_from_round
+                .push((r.state, r.resumed_from_round));
+        }
         if r.converged {
             stats.converged_regions += 1;
         }
@@ -322,15 +375,34 @@ fn region_study(
     params: &StudyParams,
     frames: &[HourRange],
     state: State,
+    durability: Option<&StudyDurability>,
 ) -> Result<RegionOutcome, StudyError> {
-    let outcome = averaged_timeline(
-        client,
-        &params.term,
-        state,
-        frames,
-        &params.refetch,
-        &params.detect,
-    )
+    // One durability domain per region: the parallel workers never share
+    // a journal file.
+    let mut journal: Option<RegionJournal> = durability
+        .map(|d| d.region(state))
+        .transpose()
+        .map_err(|source| StudyError::Durability { state, source })?;
+
+    let outcome = match journal.as_mut() {
+        Some(j) => averaged_timeline_durable(
+            client,
+            &params.term,
+            state,
+            frames,
+            &params.refetch,
+            &params.detect,
+            j,
+        ),
+        None => averaged_timeline(
+            client,
+            &params.term,
+            state,
+            frames,
+            &params.refetch,
+            &params.detect,
+        ),
+    }
     .map_err(|source| StudyError::Region { state, source })?;
 
     // Rising suggestions: weekly responses are shared between spikes in
@@ -348,16 +420,30 @@ fn region_study(
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                 std::collections::hash_map::Entry::Vacant(e) => {
                     rising_requested += 1;
-                    let resp = client
-                        .fetch_rising(&RisingRequest {
-                            term: params.term.clone(),
-                            state,
-                            start: frame.start,
-                            len: u32::try_from(frame.len()).unwrap_or(u32::MAX),
-                            tag: 0,
-                        })
-                        .map_err(|source| StudyError::Rising { state, source })?;
-                    e.insert(resp.rising)
+                    let len = u32::try_from(frame.len()).unwrap_or(u32::MAX);
+                    let replayed = journal
+                        .as_mut()
+                        .and_then(|j| j.replayed_rising(frame.start.0, len));
+                    let rising = match replayed {
+                        Some(resp) => resp.rising,
+                        None => {
+                            let resp = client
+                                .fetch_rising(&RisingRequest {
+                                    term: params.term.clone(),
+                                    state,
+                                    start: frame.start,
+                                    len,
+                                    tag: 0,
+                                })
+                                .map_err(|source| StudyError::Rising { state, source })?;
+                            if let Some(j) = journal.as_mut() {
+                                j.record_rising(frame.start.0, len, &resp)
+                                    .map_err(|source| StudyError::Durability { state, source })?;
+                            }
+                            resp.rising
+                        }
+                    };
+                    e.insert(rising)
                 }
             };
             suggestions.extend(entry.iter().cloned());
@@ -371,15 +457,26 @@ fn region_study(
             let mut fetched = 0usize;
             while day < spike.end && fetched < params.max_daily_per_spike {
                 rising_requested += 1;
-                let resp = client
-                    .fetch_rising(&RisingRequest {
-                        term: params.term.clone(),
-                        state,
-                        start: day,
-                        len: 24,
-                        tag: 0,
-                    })
-                    .map_err(|source| StudyError::Rising { state, source })?;
+                let replayed = journal.as_mut().and_then(|j| j.replayed_rising(day.0, 24));
+                let resp = match replayed {
+                    Some(resp) => resp,
+                    None => {
+                        let resp = client
+                            .fetch_rising(&RisingRequest {
+                                term: params.term.clone(),
+                                state,
+                                start: day,
+                                len: 24,
+                                tag: 0,
+                            })
+                            .map_err(|source| StudyError::Rising { state, source })?;
+                        if let Some(j) = journal.as_mut() {
+                            j.record_rising(day.0, 24, &resp)
+                                .map_err(|source| StudyError::Durability { state, source })?;
+                        }
+                        resp
+                    }
+                };
                 suggestions.extend(resp.rising.into_iter().map(|mut t| {
                     // sift-lint: allow(lossy-cast) — float `as u32` saturates; rounding the boosted weight down is intended
                     t.weight = (f64::from(t.weight) * params.daily_weight_boost) as u32;
@@ -393,6 +490,12 @@ fn region_study(
         spikes.push((*spike, suggestions));
     }
 
+    // Seal the region so a resume of a *finished* study is a pure replay.
+    if let Some(j) = journal.as_mut() {
+        j.finish()
+            .map_err(|source| StudyError::Durability { state, source })?;
+    }
+
     Ok(RegionOutcome {
         state,
         timeline: outcome.timeline,
@@ -402,6 +505,8 @@ fn region_study(
         frames_degraded: outcome.frames_degraded,
         coverage: outcome.coverage,
         halted: outcome.halted,
+        resumed_from_round: outcome.resumed_from_round,
+        frames_replayed: outcome.frames_replayed,
         rising_requested,
         spikes,
     })
@@ -566,6 +671,64 @@ mod tests {
         params.daily_rising = true;
         let with = run_study(&service, &params).expect("study runs");
         assert!(with.stats.rising_requested > without.stats.rising_requested);
+    }
+
+    #[test]
+    fn durable_study_crashed_at_a_checkpoint_resumes_identically() {
+        use sift_journal::testutil::scratch_dir;
+        use sift_journal::{CrashInjector, CrashPlan, CrashSite};
+        use std::sync::Arc;
+
+        let params = small_params();
+        let clean = run_study(&two_region_service(), &params).expect("clean study");
+
+        let dir = scratch_dir("study_durable");
+        // Die while a checkpoint's temp file is written but not yet
+        // renamed into place — the journal must stay authoritative.
+        let inj = Arc::new(CrashInjector::new(
+            CrashPlan::nowhere().at(CrashSite::CheckpointTempWritten, 3),
+        ));
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let durability = StudyDurability::new(&dir).with_crash(inj);
+            let _ = run_study_durable(&two_region_service(), &params, &durability);
+        }))
+        .is_err();
+        assert!(crashed, "injected crash must fire");
+
+        let resumed =
+            run_study_durable(&two_region_service(), &params, &StudyDurability::new(&dir))
+                .expect("resumed study");
+
+        assert!(resumed.stats.frames_replayed > 0, "{:?}", resumed.stats);
+        assert!(
+            resumed
+                .stats
+                .resumed_from_round
+                .iter()
+                .any(|&(_, round)| round > 0),
+            "{:?}",
+            resumed.stats.resumed_from_round
+        );
+        assert_eq!(resumed.spikes.len(), clean.spikes.len());
+        for (a, b) in resumed.spikes.iter().zip(clean.spikes.iter()) {
+            assert_eq!(a.spike, b.spike);
+            assert_eq!(a.annotations, b.annotations);
+        }
+        assert_eq!(resumed.timelines, clean.timelines);
+        assert_eq!(resumed.clusters.len(), clean.clusters.len());
+        assert_eq!(resumed.stats.frames_requested, clean.stats.frames_requested);
+
+        // A resume of the *finished* study is a pure replay: zero fetches.
+        let replayed =
+            run_study_durable(&two_region_service(), &params, &StudyDurability::new(&dir))
+                .expect("pure replay");
+        assert_eq!(
+            replayed.stats.frames_replayed,
+            replayed.stats.frames_requested
+        );
+        for (a, b) in replayed.spikes.iter().zip(clean.spikes.iter()) {
+            assert_eq!(a.spike, b.spike);
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! * [`unit`] — fetcher units: one identity each, in-process or HTTP,
 //! * [`queue`] — maps the workload across units on worker threads and
 //!   gathers responses,
-//! * [`store`] — the unified response database, JSON-persistable.
+//! * [`store`] — the unified response database, JSON-persistable,
+//! * [`durable`] — a crash-safe store wrapper (write-ahead journal +
+//!   atomic checkpoints) powering `CollectionRun::resume`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,13 +25,15 @@ pub mod plan {
     //! it lives in `sift-core` and is re-exported here for crawl code).
     pub use sift_core::plan::*;
 }
+pub mod durable;
 pub mod queue;
 pub mod serve;
 pub mod store;
 pub mod unit;
 
+pub use durable::{DurableStore, ResumeReport};
 pub use queue::{CollectionRun, FailedWork, RunReport, ShedCause, ShedWork, WorkItem};
 pub use serve::trends_router;
 pub use sift_core::plan::{plan_frames, FramePlan, PlanParams};
-pub use store::ResponseStore;
+pub use store::{MergeReport, ResponseSink, ResponseStore};
 pub use unit::{FetchError, HttpTrendsClient, InProcessClient, RoundRobin, TrendsClient};

@@ -24,7 +24,8 @@
 //! in the queue when the breaker opens is the lowest-priority tail: the
 //! queue sheds least-important frames first.
 
-use crate::store::ResponseStore;
+use crate::durable::DurableStore;
+use crate::store::{FrameKey, ResponseSink, ResponseStore, RisingKey};
 use crate::unit::{FetchError, TrendsClient};
 use crossbeam::channel;
 use sift_geo::State;
@@ -57,6 +58,27 @@ impl WorkItem {
         match self {
             WorkItem::Frame(r) => r.start,
             WorkItem::Rising(r) => r.start,
+        }
+    }
+
+    /// Whether `store` already holds the response this item would fetch —
+    /// the question resume asks to skip journaled work.
+    pub fn fulfilled_by(&self, store: &ResponseStore) -> bool {
+        match self {
+            WorkItem::Frame(r) => store
+                .frame(&FrameKey {
+                    state: r.state,
+                    start: r.start,
+                    tag: r.tag,
+                })
+                .is_some(),
+            WorkItem::Rising(r) => store
+                .rising(&RisingKey {
+                    state: r.state,
+                    start: r.start,
+                    len: r.len,
+                })
+                .is_some(),
         }
     }
 }
@@ -124,6 +146,9 @@ pub struct RunReport {
     pub requeued: usize,
     /// Items shed by overload control (never counted in `failed`).
     pub shed: usize,
+    /// Planned items skipped because the durable store already held their
+    /// responses (only non-zero for [`CollectionRun::resume`]).
+    pub resumed: usize,
     /// `(unit identity, requests completed)` per unit.
     pub per_unit: Vec<(String, usize)>,
     /// Every permanently-failed item, with its coordinates and tag.
@@ -216,18 +241,54 @@ impl CollectionRun {
     }
 
     /// Executes the workload at uniform priority, merging every response
-    /// into `store`. Returns the run report.
-    pub fn execute(&self, items: Vec<WorkItem>, store: &mut ResponseStore) -> RunReport {
-        self.execute_prioritized(items.into_iter().map(|i| (i, 0)).collect(), store)
+    /// into `sink`. Returns the run report.
+    pub fn execute<S: ResponseSink>(&self, items: Vec<WorkItem>, sink: &mut S) -> RunReport {
+        self.execute_prioritized(items.into_iter().map(|i| (i, 0)).collect(), sink)
+    }
+
+    /// Resumes an interrupted crawl: items the recovered durable store
+    /// already holds are skipped (counted in [`RunReport::resumed`] and
+    /// `sift_fetcher_resumed_items_total`), and only genuinely unfetched
+    /// work — with its priorities and the run's attempt budget, breaker
+    /// and deadline intact — goes back on the queue, journaled as it
+    /// lands. With a fresh durability directory this degrades to a plain
+    /// [`CollectionRun::execute_prioritized`].
+    pub fn resume(&self, items: Vec<(WorkItem, i32)>, durable: &mut DurableStore) -> RunReport {
+        let (have, need): (Vec<_>, Vec<_>) = items
+            .into_iter()
+            .partition(|(item, _)| item.fulfilled_by(durable.store()));
+        let resumed = have.len();
+        if resumed > 0 {
+            sift_obs::counter("sift_fetcher_resumed_items_total", &[])
+                .add(u64::try_from(resumed).unwrap_or(u64::MAX));
+            sift_obs::event(
+                sift_obs::Level::Info,
+                "fetcher.queue",
+                "resume skipped already-journaled items",
+                &[
+                    (
+                        "resumed",
+                        serde_json::Value::UInt(u64::try_from(resumed).unwrap_or(u64::MAX)),
+                    ),
+                    (
+                        "remaining",
+                        serde_json::Value::UInt(u64::try_from(need.len()).unwrap_or(u64::MAX)),
+                    ),
+                ],
+            );
+        }
+        let mut report = self.execute_prioritized(need, durable);
+        report.resumed = resumed;
+        report
     }
 
     /// Executes a prioritized workload: higher-priority items are queued
     /// (and therefore drained) first, so overload sheds the low-priority
     /// tail. Returns the run report.
-    pub fn execute_prioritized(
+    pub fn execute_prioritized<S: ResponseSink>(
         &self,
         mut items: Vec<(WorkItem, i32)>,
-        store: &mut ResponseStore,
+        sink: &mut S,
     ) -> RunReport {
         // Stable sort: equal priorities keep their submission order.
         items.sort_by_key(|(_, priority)| std::cmp::Reverse(*priority));
@@ -339,7 +400,7 @@ impl CollectionRun {
                 let unit_identity = report.per_unit[unit_idx].0.clone();
                 match outcome {
                     Outcome::Frame(tag, resp) => {
-                        store.insert_frame(tag, resp);
+                        sink.insert_frame(tag, resp);
                         report.completed += 1;
                         outstanding -= 1;
                         sift_obs::counter(
@@ -350,7 +411,7 @@ impl CollectionRun {
                         report.per_unit[unit_idx].1 += 1;
                     }
                     Outcome::Rising(len, resp) => {
-                        store.insert_rising(len, resp);
+                        sink.insert_rising(len, resp);
                         report.completed += 1;
                         outstanding -= 1;
                         sift_obs::counter(
@@ -789,6 +850,41 @@ mod tests {
             .shed_items
             .iter()
             .all(|s| s.reason == ShedCause::Deadline));
+    }
+
+    #[test]
+    fn resume_skips_journaled_work_and_fetches_the_rest() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (units, service) = units(2);
+        let run = CollectionRun::new(units);
+        let items = prioritized_workload();
+        let n = items.len();
+        let dir = sift_journal::testutil::scratch_dir("queue_resume");
+
+        // First pass: crawl the first half of the plan durably.
+        let half = n / 2;
+        {
+            let (mut durable, _) = crate::durable::DurableStore::open(&dir).expect("open");
+            let report = run.resume(items[..half].to_vec(), &mut durable);
+            assert_eq!(report.completed, half);
+            assert_eq!(report.resumed, 0);
+        }
+        let fetched_before_resume = service.stats().frames_served;
+
+        // Second pass over the FULL plan: the journaled half is skipped,
+        // only the rest reaches the service.
+        let (mut durable, recovered) = crate::durable::DurableStore::open(&dir).expect("reopen");
+        assert_eq!(recovered.replayed, half);
+        let report = run.resume(items, &mut durable);
+        assert_eq!(report.resumed, half, "{report:?}");
+        assert_eq!(report.completed, n - half, "{report:?}");
+        assert_eq!(report.failed, 0);
+        assert_eq!(durable.store().frame_count(), n);
+        assert_eq!(
+            service.stats().frames_served - fetched_before_resume,
+            (n - half) as u64,
+            "already-journaled frames must not be re-fetched"
+        );
     }
 
     #[test]

@@ -28,6 +28,40 @@ pub struct RisingKey {
     pub len: u32,
 }
 
+/// Anywhere a collection run can deliver responses: the plain in-memory
+/// [`ResponseStore`], or a durability wrapper that journals every insert
+/// before applying it (see `DurableStore`). Delivery is infallible by
+/// design — a durable sink that hits an I/O error keeps collecting in
+/// memory and surfaces the error after the run, so a disk hiccup never
+/// aborts a crawl that can still make progress.
+pub trait ResponseSink {
+    /// Delivers a frame response fetched under `tag`.
+    fn insert_frame(&mut self, tag: u64, resp: FrameResponse);
+    /// Delivers a rising response for a `len`-hour frame.
+    fn insert_rising(&mut self, len: u32, resp: RisingResponse);
+}
+
+impl ResponseSink for ResponseStore {
+    fn insert_frame(&mut self, tag: u64, resp: FrameResponse) {
+        ResponseStore::insert_frame(self, tag, resp);
+    }
+
+    fn insert_rising(&mut self, len: u32, resp: RisingResponse) {
+        ResponseStore::insert_rising(self, len, resp);
+    }
+}
+
+/// What [`ResponseStore::merge`] absorbed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Frame entries that were new to the receiving store.
+    pub frames_added: usize,
+    /// Rising entries that were new to the receiving store.
+    pub rising_added: usize,
+    /// Keys present on both sides with different payloads (newcomer won).
+    pub conflicts: usize,
+}
+
 /// The merged database of everything the fetcher units gathered.
 ///
 /// Responses arrive from many units in arbitrary order; the store is the
@@ -90,6 +124,11 @@ impl ResponseStore {
         self.frames.get(key)
     }
 
+    /// One specific rising response, if present.
+    pub fn rising(&self, key: &RisingKey) -> Option<&RisingResponse> {
+        self.rising.get(key)
+    }
+
     /// All rising responses for a region, sorted by frame start.
     pub fn rising_for(&self, state: State) -> Vec<(&RisingKey, &RisingResponse)> {
         let mut out: Vec<(&RisingKey, &RisingResponse)> = self
@@ -121,10 +160,69 @@ impl ResponseStore {
         self.rising.len()
     }
 
-    /// Absorbs another store (other's entries win on key collisions).
-    pub fn merge(&mut self, other: ResponseStore) {
-        self.frames.extend(other.frames);
-        self.rising.extend(other.rising);
+    /// Absorbs another store (other's entries win on key collisions) and
+    /// reports what happened. A *conflict* is a key present on both sides
+    /// with **different** payloads — for deterministic same-seed crawls
+    /// (and for journal replay on resume) the expected conflict count is
+    /// zero, so conflicts are counted in
+    /// `sift_store_merge_conflicts_total` and surfaced as a debug event
+    /// instead of being silently last-writer-wins.
+    pub fn merge(&mut self, other: ResponseStore) -> MergeReport {
+        let mut report = MergeReport::default();
+        for (key, value) in other.frames {
+            match self.frames.insert(key, value) {
+                None => report.frames_added += 1,
+                Some(prev) => {
+                    if prev != self.frames[&key] {
+                        report.conflicts += 1;
+                        sift_obs::counter("sift_store_merge_conflicts_total", &[("kind", "frame")])
+                            .inc();
+                        sift_obs::event(
+                            sift_obs::Level::Debug,
+                            "fetcher.store",
+                            "merge overwrote a frame with different data",
+                            &[
+                                (
+                                    "state",
+                                    serde_json::Value::Str(key.state.abbrev().to_owned()),
+                                ),
+                                ("start", serde_json::Value::Int(key.start.0)),
+                                ("tag", serde_json::Value::UInt(key.tag)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        for (key, value) in other.rising {
+            match self.rising.insert(key, value) {
+                None => report.rising_added += 1,
+                Some(prev) => {
+                    if prev != self.rising[&key] {
+                        report.conflicts += 1;
+                        sift_obs::counter(
+                            "sift_store_merge_conflicts_total",
+                            &[("kind", "rising")],
+                        )
+                        .inc();
+                        sift_obs::event(
+                            sift_obs::Level::Debug,
+                            "fetcher.store",
+                            "merge overwrote a rising response with different data",
+                            &[
+                                (
+                                    "state",
+                                    serde_json::Value::Str(key.state.abbrev().to_owned()),
+                                ),
+                                ("start", serde_json::Value::Int(key.start.0)),
+                                ("len", serde_json::Value::UInt(u64::from(key.len))),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        report
     }
 
     /// Serializes the store to a JSON document.
@@ -224,15 +322,50 @@ mod tests {
     }
 
     #[test]
-    fn merge_prefers_newcomer() {
+    fn merge_prefers_newcomer_and_counts_the_conflict() {
         let mut a = ResponseStore::new();
         a.insert_frame(0, frame(State::TX, 100));
         let mut b = ResponseStore::new();
         let mut f = frame(State::TX, 100);
         f.values = vec![9];
         b.insert_frame(0, f);
-        a.merge(b);
+        let report = a.merge(b);
         assert_eq!(a.frame_count(), 1);
         assert_eq!(a.frames_for(State::TX, 0)[0].values, vec![9]);
+        assert_eq!(
+            report,
+            MergeReport {
+                frames_added: 0,
+                rising_added: 0,
+                conflicts: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_of_identical_duplicates_is_not_a_conflict() {
+        let mut a = ResponseStore::new();
+        a.insert_frame(0, frame(State::TX, 100));
+        let mut b = ResponseStore::new();
+        b.insert_frame(0, frame(State::TX, 100)); // byte-identical twin
+        b.insert_frame(0, frame(State::TX, 200)); // genuinely new
+        b.insert_rising(
+            168,
+            RisingResponse {
+                state: State::TX,
+                start: Hour(100),
+                rising: vec![],
+            },
+        );
+        let report = a.merge(b);
+        assert_eq!(
+            report,
+            MergeReport {
+                frames_added: 1,
+                rising_added: 1,
+                conflicts: 0,
+            }
+        );
+        assert_eq!(a.frame_count(), 2);
     }
 }

@@ -1,0 +1,140 @@
+//! Atomic snapshot checkpoints: `[magic][len][crc][payload]` installed
+//! via temp + rename.
+//!
+//! A checkpoint compacts the journal: once a snapshot of the full state
+//! is durably installed, every journal record it subsumes can be
+//! dropped. Because installation goes through [`write_atomic`], a reader
+//! only ever sees a complete old checkpoint or a complete new one; the
+//! CRC frame is defence in depth against disk-level corruption, not
+//! against torn writes.
+
+use crate::atomic::write_atomic;
+use crate::crash::CrashInjector;
+use crate::record::{self, Decoded};
+use std::io;
+use std::path::Path;
+
+/// Leading magic identifying (and versioning) a checkpoint file.
+pub const MAGIC: &[u8; 8] = b"SIFTCKP1";
+
+/// Durably installs `payload` as the checkpoint at `path`.
+pub fn write_checkpoint(
+    path: &Path,
+    payload: &[u8],
+    crash: Option<&CrashInjector>,
+) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(MAGIC.len() + record::HEADER_LEN + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&record::encode(payload));
+    write_atomic(path, &bytes, crash)?;
+    sift_obs::gauge("sift_journal_checkpoint_age_seconds", &[]).set(0);
+    Ok(())
+}
+
+/// Reads the checkpoint at `path`. `Ok(None)` means "no usable
+/// checkpoint": the file is absent, or it fails validation — which the
+/// atomic install protocol makes possible only through disk-level
+/// corruption, so it is reported and treated as absence rather than
+/// trusted or fatal.
+pub fn read_checkpoint(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        report_corrupt(path, "bad magic");
+        return Ok(None);
+    }
+    match record::decode(&bytes, MAGIC.len()) {
+        Decoded::Record { payload, next } if next == bytes.len() => {
+            record_age(path);
+            Ok(Some(payload.to_vec()))
+        }
+        Decoded::Record { .. } => {
+            report_corrupt(path, "trailing bytes");
+            Ok(None)
+        }
+        Decoded::Invalid | Decoded::End => {
+            report_corrupt(path, "bad frame");
+            Ok(None)
+        }
+    }
+}
+
+/// Publishes how stale the checkpoint on disk is, from its mtime. Uses
+/// the wall clock by necessity: staleness across process restarts is a
+/// wall-clock quantity.
+fn record_age(path: &Path) {
+    let age = std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    sift_obs::gauge("sift_journal_checkpoint_age_seconds", &[])
+        .set(i64::try_from(age).unwrap_or(i64::MAX));
+}
+
+fn report_corrupt(path: &Path, why: &str) {
+    sift_obs::counter("sift_journal_checkpoint_corrupt_total", &[]).inc();
+    sift_obs::event(
+        sift_obs::Level::Warn,
+        "journal.checkpoint",
+        "checkpoint failed validation, treating as absent",
+        &[
+            ("path", serde_json::Value::Str(path.display().to_string())),
+            ("why", serde_json::Value::Str(why.to_owned())),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::{CrashPlan, CrashSite};
+    use crate::testutil::scratch_dir;
+
+    #[test]
+    fn round_trips_and_reports_age() {
+        let dir = scratch_dir("ckpt_roundtrip");
+        let path = dir.join("ckpt.bin");
+        assert_eq!(read_checkpoint(&path).expect("absent ok"), None);
+        write_checkpoint(&path, b"snapshot-bytes", None).expect("write");
+        assert_eq!(
+            read_checkpoint(&path).expect("read"),
+            Some(b"snapshot-bytes".to_vec())
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_treated_as_absent() {
+        let dir = scratch_dir("ckpt_corrupt");
+        let path = dir.join("ckpt.bin");
+        write_checkpoint(&path, b"snapshot", None).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read raw");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt in place");
+        assert_eq!(read_checkpoint(&path).expect("read"), None);
+        // Wrong magic entirely.
+        std::fs::write(&path, b"NOTACKPT").expect("overwrite");
+        assert_eq!(read_checkpoint(&path).expect("read"), None);
+    }
+
+    #[test]
+    fn crash_between_temp_and_rename_preserves_previous_checkpoint() {
+        let dir = scratch_dir("ckpt_crash");
+        let path = dir.join("ckpt.bin");
+        write_checkpoint(&path, b"gen-1", None).expect("seed");
+        let inj = CrashInjector::new(CrashPlan::nowhere().at(CrashSite::CheckpointTempWritten, 0));
+        let crashed =
+            std::panic::catch_unwind(|| write_checkpoint(&path, b"gen-2", Some(&inj))).is_err();
+        assert!(crashed);
+        assert_eq!(
+            read_checkpoint(&path).expect("read"),
+            Some(b"gen-1".to_vec()),
+            "half-installed checkpoint must be invisible"
+        );
+    }
+}

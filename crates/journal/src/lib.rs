@@ -1,0 +1,45 @@
+//! sift-journal: crash-safe durability for long-running crawls.
+//!
+//! The paper's collection workload is weeks of HTTP fetches; losing the
+//! accumulated `ResponseStore` to a process crash means re-crawling from
+//! scratch. This crate provides the three primitives that make a crawl
+//! resumable, and the harness that proves they work:
+//!
+//! * [`Journal`] — an append-only, CRC32-framed, fsync-batched
+//!   write-ahead log. Recovery walks the file and truncates at the first
+//!   invalid frame, so a torn tail from a mid-record crash is cut, never
+//!   replayed.
+//! * [`write_checkpoint`] / [`read_checkpoint`] — atomic snapshots
+//!   installed via write-temp → fsync → rename → fsync-dir
+//!   ([`write_atomic`]); a reader sees a complete old snapshot or a
+//!   complete new one, never a mix. A checkpoint subsumes and empties the
+//!   journal.
+//! * [`CrashPlan`] / [`CrashInjector`] — deterministic crash injection at
+//!   the durability boundaries ([`CrashSite`]), mirroring `sift-net`'s
+//!   `FaultPlan`: the same seed dies at the same byte, so
+//!   crash-and-resume tests replay exactly.
+//!
+//! The invariant the rest of the workspace builds on: **crawl → crash at
+//! any injected point → resume → identical result to an uninterrupted
+//! same-seed run**, with only the record in flight at the crash ever
+//! re-fetched.
+//!
+//! Recovery telemetry flows through `sift-obs`:
+//! `sift_journal_records_replayed_total`,
+//! `sift_journal_torn_tail_truncated_total`,
+//! `sift_journal_checkpoint_age_seconds`,
+//! `sift_journal_checkpoint_corrupt_total`.
+
+pub mod atomic;
+pub mod checkpoint;
+pub mod crash;
+pub mod crc;
+pub mod journal;
+pub mod record;
+pub mod testutil;
+
+pub use atomic::{tmp_path, write_atomic};
+pub use checkpoint::{read_checkpoint, write_checkpoint};
+pub use crash::{CrashInjector, CrashMode, CrashPlan, CrashPoint, CrashSite};
+pub use crc::crc32;
+pub use journal::{Journal, Recovery};

@@ -1,0 +1,108 @@
+//! `durable-write`: persistence modules must write through the atomic
+//! helper.
+//!
+//! A bare `File::create` / `fs::write` in a module that owns on-disk
+//! state replaces the file in place: a crash between truncate and the
+//! final write leaves a torn file that recovery then trusts. The
+//! workspace's persistence modules (named on this rule's `strict_paths`
+//! in `Lint.toml`) must install files via
+//! `sift_journal::atomic::write_atomic` — temp file + fsync + rename —
+//! or justify the raw write with an inline
+//! `// sift-lint: allow(durable-write)`. Outside those modules the rule
+//! stays silent: scratch files and tools may write however they like.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<RawFinding>) {
+    if !cfg.path_strict("durable-write", &ctx.path) {
+        return;
+    }
+    let code = &ctx.code;
+    let pair = |i: usize, a: &str, b: &str| {
+        code.get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == a)
+            && code
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Punct && t.text == "::")
+            && code
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text == b)
+    };
+    for (i, tok) in code.iter().enumerate() {
+        let (what, fix) = if pair(i, "File", "create") {
+            (
+                "`File::create` truncates in place",
+                "install via `sift_journal::atomic::write_atomic` (temp + fsync + rename)",
+            )
+        } else if pair(i, "fs", "write") {
+            (
+                "`fs::write` replaces the file non-atomically",
+                "install via `sift_journal::atomic::write_atomic` (temp + fsync + rename)",
+            )
+        } else {
+            continue;
+        };
+        out.push(RawFinding::new(
+            tok.line,
+            tok.col,
+            format!("{what} in a persistence module: {fix}, or justify with an inline allow"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict_cfg() -> Config {
+        let mut cfg = Config::default();
+        cfg.rules
+            .entry("durable-write".into())
+            .or_default()
+            .strict_paths = vec!["**/persist.rs".into()];
+        cfg
+    }
+
+    fn findings(path: &str, src: &str, cfg: &Config) -> Vec<RawFinding> {
+        let ctx = FileCtx::new(path, src, cfg);
+        let mut out = Vec::new();
+        check(&ctx, cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_raw_writes_on_strict_paths() {
+        let cfg = strict_cfg();
+        let out = findings(
+            "crates/x/src/persist.rs",
+            "fn f() { let f = File::create(p)?; std::fs::write(p, b)?; }",
+            &cfg,
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn silent_off_the_strict_paths() {
+        let cfg = strict_cfg();
+        let out = findings(
+            "crates/x/src/other.rs",
+            "fn f() { let f = File::create(p)?; }",
+            &cfg,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn reads_and_writer_methods_are_fine() {
+        let cfg = strict_cfg();
+        let out = findings(
+            "crates/x/src/persist.rs",
+            "fn f() { let d = fs::read(p)?; File::open(p)?; w.write(b)?; w.write_all(b)?; }",
+            &cfg,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -8,6 +8,7 @@ use crate::config::{Config, Severity};
 use crate::context::FileCtx;
 
 pub mod breaker_obs;
+pub mod durable_write;
 pub mod fault_obs;
 pub mod float_eq;
 pub mod lossy_cast;
@@ -93,6 +94,21 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: false,
             kind: RuleKind::PerFile(lossy_cast::check),
+        },
+        Rule {
+            id: "durable-write",
+            summary: "persistence modules (`strict_paths`) must install files \
+                      via the atomic write helper, not `File::create` / \
+                      `fs::write`",
+            rationale: "Crash-safe resume trusts whatever recovery reads back; \
+                        a checkpoint replaced in place can be half-written at \
+                        the moment of death, so durable state must reach disk \
+                        as temp + fsync + rename \
+                        (`sift_journal::atomic::write_atomic`) only.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::PerFile(durable_write::check),
         },
         Rule {
             id: "float-eq",

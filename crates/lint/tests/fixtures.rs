@@ -96,6 +96,33 @@ fn lossy_cast_strict_fixture() {
 }
 
 #[test]
+fn durable_write_fixture() {
+    // Default path: not a persistence module, so the rule stays silent.
+    check(
+        "durable_write",
+        include_str!("fixtures/durable_write.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn durable_write_strict_fixture() {
+    // Same file named as a persistence module: raw installs are flagged.
+    let mut cfg = Config::default();
+    cfg.rules
+        .entry("durable-write".to_owned())
+        .or_default()
+        .strict_paths = vec!["crates/fixture/src/durable_write.rs".to_owned()];
+    check(
+        "durable_write",
+        include_str!("fixtures/durable_write.rs"),
+        &cfg,
+        true,
+    );
+}
+
+#[test]
 fn float_eq_fixture() {
     check(
         "float_eq",

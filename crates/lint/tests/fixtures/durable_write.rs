@@ -1,0 +1,38 @@
+//! Fixture for the `durable-write` rule: raw file installs in a
+//! persistence module. Every finding here is strict-only — the rule is
+//! silent unless the file sits on the rule's `strict_paths`.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+pub fn bad_create(path: &Path) -> std::io::Result<File> {
+    File::create(path) //~strict durable-write
+}
+
+pub fn bad_qualified_create(path: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(path) //~strict durable-write
+}
+
+pub fn bad_fs_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes) //~strict durable-write
+}
+
+pub fn bad_unqualified_fs_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes) //~strict durable-write
+}
+
+pub fn fine_reading(path: &Path) -> std::io::Result<Vec<u8>> {
+    let _ = File::open(path)?;
+    fs::read(path)
+}
+
+pub fn fine_writer_methods(mut f: File, bytes: &[u8]) -> std::io::Result<()> {
+    f.write_all(bytes)?;
+    f.write(bytes).map(|_| ())
+}
+
+pub fn suppressed(path: &Path) -> std::io::Result<File> {
+    // sift-lint: allow(durable-write) — fixture exercises suppression
+    File::create(path)
+}

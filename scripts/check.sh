@@ -28,4 +28,21 @@ diff target/chaos-a.txt target/chaos-b.txt \
 # dropped from the workspace manifest.
 cargo test -q --offline --test overload_http
 
+# Crash-consistency gate: a seeded crawl killed at each durability
+# boundary (in-process panic and out-of-process abort) must resume to
+# the identical result, re-fetching at most the one in-flight response.
+cargo test -q --offline --test resume_http
+
+# Resume determinism gate: two same-seed runs of the crash-and-resume
+# example must print byte-identical reports (the injected crash lands at
+# the same fetch, recovery replays the same journal, the resumed result
+# diffs clean against the uninterrupted run inside the example itself).
+cargo build --release --offline --example resumable_crawl
+./target/release/examples/resumable_crawl --seed 7 --crash-at mid_journal_record \
+  > target/resume-a.txt 2> /dev/null
+./target/release/examples/resumable_crawl --seed 7 --crash-at mid_journal_record \
+  > target/resume-b.txt 2> /dev/null
+diff target/resume-a.txt target/resume-b.txt \
+  || { echo "resumed replay diverged between same-seed runs" >&2; exit 1; }
+
 echo "all checks passed"

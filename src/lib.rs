@@ -16,6 +16,8 @@
 //! * [`probe`] — the active-probing baseline (ANT/Trinocular-style).
 //! * [`obs`] — zero-dependency metrics, span timing and structured
 //!   event logging, exposed live at `GET /metrics`.
+//! * [`journal`] — crash-safe durability: write-ahead journal, atomic
+//!   checkpoints, deterministic crash injection for resumable crawls.
 //! * [`geo`], [`simtime`], [`nlp`] — geography, civil time and semantic
 //!   clustering substrates.
 //!
@@ -27,6 +29,7 @@
 pub use sift_core as core;
 pub use sift_fetcher as fetcher;
 pub use sift_geo as geo;
+pub use sift_journal as journal;
 pub use sift_net as net;
 pub use sift_nlp as nlp;
 pub use sift_obs as obs;
