@@ -1,0 +1,119 @@
+//! The perf-regression gate: compares a freshly measured `BENCH_*.json`
+//! profile against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p sift-bench --bin bench_gate -- \
+//!     <candidate.json> <baseline.json>
+//! ```
+//!
+//! Both files must be valid `sift-bench/1` profiles (schema checked
+//! first, so a truncated emission fails loudly rather than vacuously
+//! passing). The gate fails when the candidate's end-to-end time exceeds
+//! the baseline's by more than the baseline's `tolerance.end_to_end`
+//! band, or any pipeline stage exceeds its baseline by more than the
+//! (wider) `tolerance.stage` band. Both comparisons add the absolute
+//! floor `tolerance.abs_floor_seconds` so that micro-stages measured in
+//! milliseconds cannot flake the gate on scheduler noise.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+struct Profile {
+    end_to_end: f64,
+    stages: Vec<(String, f64)>,
+    tol_end_to_end: f64,
+    tol_stage: f64,
+    abs_floor: f64,
+}
+
+fn num(v: &Value, key: &str, path: &str) -> f64 {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("{path}: missing or non-numeric field {key:?}"))
+}
+
+fn load(path: &str) -> Profile {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: cannot read bench profile: {e}"));
+    let v: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e:?}"));
+    let schema = v.get("schema").and_then(Value::as_str);
+    assert!(
+        schema == Some("sift-bench/1"),
+        "{path}: schema must be \"sift-bench/1\", got {schema:?}"
+    );
+    for key in ["date", "scale", "regions", "end_to_end_seconds", "stages"] {
+        assert!(v.get(key).is_some(), "{path}: missing field {key:?}");
+    }
+    let Some(Value::Object(stage_fields)) = v.get("stages") else {
+        panic!("{path}: \"stages\" must be an object");
+    };
+    let mut stages = Vec::new();
+    for (name, stage) in stage_fields {
+        let seconds = num(stage, "seconds", path);
+        let share = num(stage, "share", path);
+        assert!(
+            seconds >= 0.0 && (0.0..=1.0).contains(&share),
+            "{path}: stage {name:?} out of range (seconds {seconds}, share {share})"
+        );
+        stages.push((name.clone(), seconds));
+    }
+    assert!(!stages.is_empty(), "{path}: no stages recorded");
+    let tol = v
+        .get("tolerance")
+        .unwrap_or_else(|| panic!("{path}: missing field \"tolerance\""));
+    Profile {
+        end_to_end: num(&v, "end_to_end_seconds", path),
+        stages,
+        tol_end_to_end: num(tol, "end_to_end", path),
+        tol_stage: num(tol, "stage", path),
+        abs_floor: num(tol, "abs_floor_seconds", path),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [candidate_path, baseline_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <candidate.json> <baseline.json>");
+        return ExitCode::FAILURE;
+    };
+    let candidate = load(candidate_path);
+    let baseline = load(baseline_path);
+
+    // Tolerances come from the baseline: the committed file is the
+    // contract, a candidate cannot loosen its own gate.
+    let mut failed = false;
+    let mut check = |what: &str, measured: f64, reference: f64, band: f64| {
+        let limit = reference * (1.0 + band) + baseline.abs_floor;
+        let verdict = if measured > limit {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:<4} {what:<14} {measured:>9.3}s vs baseline {reference:>9.3}s (limit {limit:>9.3}s)"
+        );
+    };
+    check(
+        "end-to-end",
+        candidate.end_to_end,
+        baseline.end_to_end,
+        baseline.tol_end_to_end,
+    );
+    for (name, reference) in &baseline.stages {
+        let measured = candidate
+            .stages
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| panic!("{candidate_path}: baseline stage {name:?} missing"));
+        check(name, measured, *reference, baseline.tol_stage);
+    }
+    if failed {
+        eprintln!("bench gate: performance regressed beyond the tolerance band");
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate: within tolerance");
+    ExitCode::SUCCESS
+}

@@ -26,6 +26,8 @@ struct Args {
     only: Option<HashSet<String>>,
     threads: usize,
     daily_rising: bool,
+    bench_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +38,8 @@ fn parse_args() -> Args {
             .map(|n| n.get())
             .unwrap_or(8),
         daily_rising: true,
+        bench_out: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,6 +63,12 @@ fn parse_args() -> Args {
             "--quick" => {
                 args.scale = 0.25;
                 args.daily_rising = false;
+            }
+            "--bench-out" => {
+                args.bench_out = Some(it.next().expect("--bench-out <path>").into());
+            }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().expect("--trace-out <path>").into());
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -84,7 +94,11 @@ fn main() {
     );
     drop(world_span);
 
-    let study_span = sift_obs::span("study");
+    // The study gets its own trace root (not a child of "experiments"),
+    // so its tree completes — and can be exported and profiled — as soon
+    // as the last region worker closes, independent of the rest of main.
+    let study_span = sift_obs::span_root("bench");
+    let study_trace_id = study_span.context().trace_id;
     let params = StudyParams {
         threads: args.threads,
         daily_rising: args.daily_rising,
@@ -101,6 +115,9 @@ fn main() {
     );
     drop(study_span);
     eprint!("# stage timings:\n{}", result.stats.telemetry);
+    if args.bench_out.is_some() || args.trace_out.is_some() {
+        emit_profile(&args, &params, study_trace_id);
+    }
 
     let spikes = result.bare_spikes();
 
@@ -151,6 +168,72 @@ fn main() {
 
 fn section(id: &str, title: &str) {
     println!("\n== {id}: {title} ==");
+}
+
+/// Exports the study's trace tree (`--trace-out`, Chrome trace-event
+/// JSON) and the `BENCH_<date>.json` profile (`--bench-out`): end-to-end
+/// plus per-stage timings read off the critical path of the finished
+/// trace — not ad-hoc stopwatches — so the stage numbers sum to the wall
+/// time the run actually took.
+fn emit_profile(args: &Args, params: &StudyParams, trace_id: u64) {
+    let trace = sift_obs::trace::wait_completed(trace_id, std::time::Duration::from_secs(30))
+        .expect("study trace did not complete");
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, sift_obs::chrome_trace_json(&trace)).expect("write --trace-out");
+        eprintln!("# trace: {} spans -> {}", trace.spans.len(), path.display());
+    }
+    let Some(path) = &args.bench_out else { return };
+    let cp = sift_obs::critical_path(&trace).expect("trace has a root");
+    eprint!("# {cp}");
+    let end_to_end = cp.total_us;
+    let mut stages = String::new();
+    for (i, (stage, names)) in sift_core::study::PIPELINE_STAGES.iter().enumerate() {
+        if i > 0 {
+            stages.push(',');
+        }
+        let us = cp.named_us(names);
+        stages.push_str(&format!(
+            "\"{stage}\":{{\"seconds\":{:.6},\"share\":{:.6}}}",
+            us as f64 / 1e6,
+            cp.share(names)
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"sift-bench/1\",\"date\":\"{date}\",",
+            "\"scale\":{scale},\"regions\":{regions},\"threads\":{threads},",
+            "\"end_to_end_seconds\":{e2e:.6},\"stages\":{{{stages}}},",
+            "\"tolerance\":{{\"end_to_end\":0.15,\"stage\":0.35,",
+            "\"abs_floor_seconds\":0.25}}}}\n"
+        ),
+        date = today_utc(),
+        scale = args.scale,
+        regions = params.regions.len(),
+        threads = params.threads,
+        e2e = end_to_end as f64 / 1e6,
+        stages = stages,
+    );
+    std::fs::write(path, json).expect("write --bench-out");
+    eprintln!("# bench profile -> {}", path.display());
+}
+
+/// Today as `YYYY-MM-DD` (UTC), from the system clock. Days-to-civil is
+/// the standard Gregorian era decomposition.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = secs as i64 / 86_400 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// §1/§4 headline numbers.

@@ -136,6 +136,7 @@ pub fn detect_spikes(timeline: &Timeline, params: &DetectParams) -> Vec<Spike> {
     }
 
     spikes.sort_by_key(|s| (s.start, s.peak));
+    sift_obs::attr_add("spikes", u64::try_from(spikes.len()).unwrap_or(u64::MAX));
     spikes
 }
 

@@ -308,6 +308,7 @@ fn averaged_timeline_impl(
                     }
                 }
             }
+            sift_obs::attr_add("frames", u64::try_from(responses.len()).unwrap_or(u64::MAX));
             responses
         };
 

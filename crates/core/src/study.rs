@@ -21,6 +21,22 @@ use sift_trends::{RisingRequest, SearchTerm};
 use std::collections::HashMap;
 use std::fmt;
 
+/// The four pipeline stages a study's critical path is bucketed into, in
+/// pipeline order, each with the span names whose self-time it absorbs:
+/// stitch → re-fetch averaging (collection inclusive of HTTP attempts) →
+/// prominence walk → annotation (rising gathering, heavy hitters,
+/// clustering). The bench binaries and `scripts/check.sh`'s regression
+/// gate report per-stage seconds under these names.
+pub const PIPELINE_STAGES: &[(&str, &[&str])] = &[
+    ("stitch", &["stitch"]),
+    (
+        "refetch",
+        &["fetch", "frame", "request", "serve", "region", "plan"],
+    ),
+    ("detect", &["detect"]),
+    ("annotate", &["annotate", "context", "cluster", "rising"]),
+];
+
 /// Parameters of one study.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StudyParams {
@@ -236,6 +252,10 @@ fn run_study_impl(
     params: &StudyParams,
     durability: Option<&StudyDurability>,
 ) -> Result<StudyResult, StudyError> {
+    // The study span is the end-to-end root every stage hangs off: the
+    // bench binaries derive their timings from this trace tree.
+    let study_span = sift_obs::span("study");
+    let study_ctx = study_span.context();
     let baseline = sift_obs::SpanBaseline::capture();
     let plan = {
         let _span = sift_obs::span("plan");
@@ -265,7 +285,13 @@ fn run_study_impl(
                 scope.spawn(move || {
                     chunk
                         .into_iter()
-                        .map(|state| region_study(client, params, &plan.frames, state, durability))
+                        .map(|state| {
+                            // Reopen the study context on this worker
+                            // thread; its own span stack is empty and
+                            // would orphan every region's spans.
+                            let _region_span = sift_obs::span_in(study_ctx, "region");
+                            region_study(client, params, &plan.frames, state, durability)
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -315,9 +341,14 @@ fn run_study_impl(
         if r.halted {
             stats.halted_regions += 1;
         }
+        let _annotate_span = sift_obs::span("annotate");
         for (spike, suggestions) in &r.spikes {
             spikes.push(annotate(*spike, suggestions, &heavy, &params.context));
         }
+        sift_obs::attr_add(
+            "spikes_annotated",
+            u64::try_from(r.spikes.len()).unwrap_or(u64::MAX),
+        );
     }
     for r in regions {
         timelines.push((r.state, r.timeline));
@@ -729,6 +760,52 @@ mod tests {
         for (a, b) in replayed.spikes.iter().zip(clean.spikes.iter()) {
             assert_eq!(a.spike, b.spike);
         }
+    }
+
+    #[test]
+    fn study_assembles_one_trace_with_all_stages_and_a_critical_path() {
+        let service = two_region_service();
+        let tid = {
+            let root = sift_obs::span_root("study-trace-test");
+            let _ = run_study(&service, &small_params()).expect("study runs");
+            root.context().trace_id
+        };
+        let trace = sift_obs::trace::wait_completed(tid, std::time::Duration::from_secs(10))
+            .expect("trace completed");
+        assert!(trace.orphans().is_empty(), "no severed parentage");
+        for name in [
+            "study", "plan", "region", "fetch", "stitch", "detect", "annotate",
+        ] {
+            assert!(
+                trace.spans.iter().any(|s| s.name == name),
+                "stage span {name} missing from the study trace"
+            );
+        }
+        let stitch = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "stitch")
+            .expect("stitch span");
+        assert!(stitch.arg("frames_stitched").is_some_and(|n| n > 0));
+        let cp = sift_obs::critical_path(&trace).expect("critical path");
+        // The walk telescopes: critical-path time sums to the root's
+        // duration, and the four pipeline stages account for nearly all
+        // of the study span's wall time.
+        let study = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "study")
+            .expect("study span");
+        let stage_names: Vec<&str> = PIPELINE_STAGES
+            .iter()
+            .flat_map(|(_, names)| names.iter().copied())
+            .collect();
+        let staged = cp.named_us(&stage_names);
+        assert!(
+            staged * 10 >= study.dur_us * 9,
+            "stages cover >=90% of the study: {staged}us of {}us",
+            study.dur_us
+        );
     }
 
     #[test]

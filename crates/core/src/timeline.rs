@@ -199,6 +199,10 @@ pub fn stitch(frames: &[&FrameResponse]) -> Result<Timeline, StitchError> {
         values,
     };
     timeline.renormalize();
+    sift_obs::attr_add(
+        "frames_stitched",
+        u64::try_from(frames.len()).unwrap_or(u64::MAX),
+    );
     Ok(timeline)
 }
 

@@ -178,6 +178,7 @@ enum Outcome {
         attempts: u32,
         error: String,
         permanent: bool,
+        ctx: Option<sift_obs::SpanContext>,
     },
     /// Item dropped by overload control before (re)fetching.
     Shed {
@@ -200,6 +201,12 @@ struct Queued {
     /// Whether the item has already been bounced once since the last
     /// failure (guards against ping-pong when only one unit is draining).
     bounced: bool,
+    /// The trace context of the span open where the item was enqueued.
+    /// Worker threads have their own (empty) span stacks, which would
+    /// silently sever parentage; carrying the context in the work item
+    /// lets every fetch span — across bounces and re-queues — attach to
+    /// the run's trace.
+    ctx: Option<sift_obs::SpanContext>,
 }
 
 impl CollectionRun {
@@ -294,6 +301,9 @@ impl CollectionRun {
         items.sort_by_key(|(_, priority)| std::cmp::Reverse(*priority));
         // sift-lint: allow(wall-clock) — the run deadline bounds the host crawl, not simulated time
         let deadline_at = self.deadline.map(|d| std::time::Instant::now() + d);
+        // Captured once on the enqueuing thread; workers reopen it so
+        // their fetch spans join the caller's trace.
+        let run_ctx = sift_obs::SpanContext::current();
         let (work_tx, work_rx) = channel::unbounded::<Queued>();
         let mut outstanding = 0usize;
         for (item, priority) in items {
@@ -303,6 +313,7 @@ impl CollectionRun {
                 attempts: 0,
                 last_unit: None,
                 bounced: false,
+                ctx: run_ctx,
             };
             // sift-lint: allow(no-panic) — send to an unbounded channel with a live receiver cannot fail
             work_tx.send(queued).expect("unbounded channel accepts");
@@ -363,15 +374,25 @@ impl CollectionRun {
                             continue;
                         }
                         let attempts = q.attempts + 1;
-                        let outcome = match &q.item {
-                            WorkItem::Frame(req) => match unit.fetch_frame(req) {
-                                Ok(resp) => Outcome::Frame(req.tag, resp),
-                                Err(e) => failed(q, attempts, &e),
-                            },
-                            WorkItem::Rising(req) => match unit.fetch_rising(req) {
-                                Ok(resp) => Outcome::Rising(req.len, resp),
-                                Err(e) => failed(q, attempts, &e),
-                            },
+                        // Restore the enqueuer's context: without it the
+                        // worker's empty span stack would make every
+                        // fetch span an orphan root.
+                        let outcome = {
+                            let _fetch_span = match q.ctx {
+                                Some(c) => sift_obs::span_in(c, "fetch"),
+                                None => sift_obs::span("fetch"),
+                            };
+                            sift_obs::attr_set("attempt", u64::from(attempts));
+                            match &q.item {
+                                WorkItem::Frame(req) => match unit.fetch_frame(req) {
+                                    Ok(resp) => Outcome::Frame(req.tag, resp),
+                                    Err(e) => failed(q, attempts, &e),
+                                },
+                                WorkItem::Rising(req) => match unit.fetch_rising(req) {
+                                    Ok(resp) => Outcome::Rising(req.len, resp),
+                                    Err(e) => failed(q, attempts, &e),
+                                },
+                            }
                         };
                         if out_tx.send((unit_idx, outcome)).is_err() {
                             break;
@@ -458,6 +479,7 @@ impl CollectionRun {
                         attempts,
                         error,
                         permanent,
+                        ctx,
                     } => {
                         // A transient failure is only worth re-queueing
                         // while the breaker says the service is taking
@@ -490,6 +512,7 @@ impl CollectionRun {
                                 attempts,
                                 last_unit: Some(unit_idx),
                                 bounced: false,
+                                ctx,
                             };
                             let requeued = work_tx.as_ref().is_some_and(|tx| tx.send(q).is_ok());
                             if !requeued {
@@ -540,6 +563,7 @@ impl CollectionRun {
 /// request itself is bad), transport failures are worth another unit.
 fn failed(q: Queued, attempts: u32, e: &FetchError) -> Outcome {
     Outcome::Failed {
+        ctx: q.ctx,
         item: q.item,
         priority: q.priority,
         attempts,
@@ -658,6 +682,65 @@ mod tests {
         let report = run.execute(frame_workload(0), &mut store);
         let busy_units = report.per_unit.iter().filter(|(_, n)| *n > 0).count();
         assert!(busy_units >= 2, "expected parallel draining: {report:?}");
+    }
+
+    #[test]
+    fn fetch_spans_join_the_enqueuing_trace_across_workers() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (units, _service) = units(3);
+        let run = CollectionRun::new(units);
+        let items = frame_workload(0);
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let tid = {
+            let root = sift_obs::span_root("queue-trace-test");
+            let report = run.execute(items, &mut store);
+            assert_eq!(report.completed, n);
+            root.context().trace_id
+        };
+        let trace =
+            sift_obs::trace::wait_completed(tid, Duration::from_secs(5)).expect("trace completed");
+        let fetches = trace.spans.iter().filter(|s| s.name == "fetch").count();
+        assert_eq!(fetches, n, "one fetch span per item, all in the run trace");
+        assert!(trace.orphans().is_empty(), "no severed parentage");
+    }
+
+    #[test]
+    fn requeued_items_keep_their_trace_context() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let service = Arc::new(TrendsService::with_defaults(Scenario::single_region(
+            State::CA,
+            vec![],
+        )));
+        let units: Vec<Arc<dyn TrendsClient>> = vec![
+            Arc::new(FlakyClient::new(Arc::clone(&service), 4, "flaky")),
+            Arc::new(SlowClient(InProcessClient::with_identity(
+                Arc::clone(&service),
+                "steady",
+            ))),
+        ];
+        let run = CollectionRun::new(units).with_attempt_budget(6);
+        let items = frame_workload(0);
+        let n = items.len();
+        let mut store = ResponseStore::new();
+        let tid = {
+            let root = sift_obs::span_root("queue-requeue-trace-test");
+            let report = run.execute(items, &mut store);
+            assert_eq!(report.completed, n, "{report:?}");
+            assert!(report.requeued >= 1, "{report:?}");
+            root.context().trace_id
+        };
+        let trace =
+            sift_obs::trace::wait_completed(tid, Duration::from_secs(5)).expect("trace completed");
+        // Retried items produce extra fetch spans with attempt > 1, still
+        // attached to the same trace — never orphan roots.
+        let retried = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "fetch" && s.arg("attempt").is_some_and(|a| a > 1))
+            .count();
+        assert!(retried >= 1, "requeued fetches carry their attempt number");
+        assert!(trace.orphans().is_empty());
     }
 
     #[test]

@@ -112,17 +112,24 @@ impl HttpTrendsClient {
 
 impl TrendsClient for HttpTrendsClient {
     fn fetch_frame(&self, req: &FrameRequest) -> Result<FrameResponse, FetchError> {
+        // Child of the queue worker's restored fetch span (same thread),
+        // so each frame's HTTP attempts hang off the run's trace.
+        let _span = sift_obs::span("frame");
         let result: ApiResult<FrameResponse> = self
             .client
             .post_json("/api/frame", req)
             .map_err(|e| FetchError::Transport(e.to_string()))?;
         match result {
-            ApiResult::Ok(resp) => Ok(resp),
+            ApiResult::Ok(resp) => {
+                sift_obs::attr_add("frames", 1);
+                Ok(resp)
+            }
             ApiResult::Err(e) => Err(FetchError::Service(e)),
         }
     }
 
     fn fetch_rising(&self, req: &RisingRequest) -> Result<RisingResponse, FetchError> {
+        let _span = sift_obs::span("rising");
         let result: ApiResult<RisingResponse> = self
             .client
             .post_json("/api/rising", req)

@@ -15,6 +15,7 @@ pub mod lossy_cast;
 pub mod no_panic;
 pub mod no_print;
 pub mod route_obs;
+pub mod trace_span;
 pub mod wall_clock;
 
 /// A finding before path/severity attachment.
@@ -132,6 +133,20 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: true,
             kind: RuleKind::PerFile(no_print::check),
+        },
+        Rule {
+            id: "trace-span",
+            summary: "pipeline modules (`strict_paths`) must create spans via \
+                      the context-carrying API, never bare `Span::enter`",
+            rationale: "Causal trace trees are only as connected as their \
+                        weakest handoff: a bare `Span::enter` on a worker \
+                        thread silently roots a new trace, so the study and \
+                        fetcher crates must thread `SpanContext` explicitly \
+                        (`span_in`) across every queue and thread boundary.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::PerFile(trace_span::check),
         },
         Rule {
             id: "route-obs",

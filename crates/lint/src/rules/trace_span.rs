@@ -1,0 +1,102 @@
+//! `trace-span`: pipeline code must create spans through the
+//! context-carrying API.
+//!
+//! `Span::enter` parents a span on whatever the *current thread's*
+//! innermost frame happens to be — on a worker thread that is nothing,
+//! and the span silently becomes a fresh root, severing it from the
+//! run's trace tree. The crates on this rule's `strict_paths` (the
+//! study pipeline and the fetcher) hand work across threads constantly,
+//! so they must use `sift_obs::span` for same-thread children,
+//! `sift_obs::span_in(ctx, ..)` when crossing a thread or queue
+//! boundary, and `sift_obs::span_root` for deliberate new traces — or
+//! justify a bare enter with an inline
+//! `// sift-lint: allow(trace-span)`. Elsewhere the rule stays silent.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<RawFinding>) {
+    if !cfg.path_strict("trace-span", &ctx.path) {
+        return;
+    }
+    let code = &ctx.code;
+    for (i, tok) in code.iter().enumerate() {
+        let bare_enter = tok.kind == TokKind::Ident
+            && tok.text == "Span"
+            && code
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Punct && t.text == "::")
+            && code
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text == "enter");
+        if bare_enter {
+            out.push(RawFinding::new(
+                tok.line,
+                tok.col,
+                "bare `Span::enter` severs trace parentage across threads: use \
+                 `sift_obs::span` / `span_in(ctx, ..)` / `span_root`, or justify \
+                 with an inline allow"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict_cfg() -> Config {
+        let mut cfg = Config::default();
+        cfg.rules
+            .entry("trace-span".into())
+            .or_default()
+            .strict_paths = vec!["**/pipeline.rs".into()];
+        cfg
+    }
+
+    fn findings(path: &str, src: &str, cfg: &Config) -> Vec<RawFinding> {
+        let ctx = FileCtx::new(path, src, cfg);
+        let mut out = Vec::new();
+        check(&ctx, cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_enter_on_strict_paths() {
+        let cfg = strict_cfg();
+        let out = findings(
+            "crates/x/src/pipeline.rs",
+            "fn f() { let _s = sift_obs::Span::enter(\"stage\"); }",
+            &cfg,
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn silent_off_the_strict_paths() {
+        let cfg = strict_cfg();
+        let out = findings(
+            "crates/x/src/other.rs",
+            "fn f() { let _s = Span::enter(\"stage\"); }",
+            &cfg,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn context_carrying_helpers_are_fine() {
+        let cfg = strict_cfg();
+        let out = findings(
+            "crates/x/src/pipeline.rs",
+            "fn f(c: sift_obs::SpanContext) { \
+                 let _a = sift_obs::span(\"stage\"); \
+                 let _b = sift_obs::span_in(c, \"stage\"); \
+                 let _c = sift_obs::span_root(\"run\"); }",
+            &cfg,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -123,6 +123,33 @@ fn durable_write_strict_fixture() {
 }
 
 #[test]
+fn trace_span_fixture() {
+    // Default path: not a pipeline module, so the rule stays silent.
+    check(
+        "trace_span",
+        include_str!("fixtures/trace_span.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
+fn trace_span_strict_fixture() {
+    // Same file named as a pipeline module: bare enters are flagged.
+    let mut cfg = Config::default();
+    cfg.rules
+        .entry("trace-span".to_owned())
+        .or_default()
+        .strict_paths = vec!["crates/fixture/src/trace_span.rs".to_owned()];
+    check(
+        "trace_span",
+        include_str!("fixtures/trace_span.rs"),
+        &cfg,
+        true,
+    );
+}
+
+#[test]
 fn float_eq_fixture() {
     check(
         "float_eq",

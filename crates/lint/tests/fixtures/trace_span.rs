@@ -1,0 +1,24 @@
+//! Fixture for the `trace-span` rule: bare `Span::enter` in pipeline
+//! code. Every finding here is strict-only — the rule is silent unless
+//! the file sits on the rule's `strict_paths`.
+
+use sift_obs::{Span, SpanContext};
+
+pub fn bad_bare_enter() -> Span {
+    Span::enter("stage") //~strict trace-span
+}
+
+pub fn bad_qualified_enter() -> sift_obs::Span {
+    sift_obs::Span::enter("stage") //~strict trace-span
+}
+
+pub fn fine_context_carrying(ctx: SpanContext) {
+    let _same_thread = sift_obs::span("stage");
+    let _across_boundary = sift_obs::span_in(ctx, "stage");
+    let _deliberate_root = sift_obs::span_root("run");
+}
+
+pub fn suppressed() -> Span {
+    // sift-lint: allow(trace-span) — fixture exercises suppression
+    Span::enter("stage")
+}

@@ -13,7 +13,7 @@
 
 use crate::breaker::{CircuitBreaker, RetryBudget};
 use crate::http::{parse_response, serialize_request, ParseError, Request, Response, StatusCode};
-use crate::{FETCHER_IDENTITY_HEADER, X_SIFT_DEADLINE_MS};
+use crate::{FETCHER_IDENTITY_HEADER, X_SIFT_DEADLINE_MS, X_SIFT_TRACE};
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use rand::{RngCore, SeedableRng};
@@ -214,6 +214,14 @@ impl HttpClient {
         if let Some(id) = &self.identity {
             req.headers.set(FETCHER_IDENTITY_HEADER, id.clone());
         }
+        // Carry the caller's trace across the wire: the span active at
+        // send time (under retries, the attempt span) becomes the parent
+        // of the server-side work. A caller-set header wins.
+        if req.headers.get(X_SIFT_TRACE).is_none() {
+            if let Some(ctx) = sift_obs::SpanContext::current() {
+                req.headers.set(X_SIFT_TRACE, ctx.to_header());
+            }
+        }
         let wire = serialize_request(&req);
 
         // First try a pooled connection, if any. Pop in its own statement:
@@ -281,6 +289,13 @@ impl HttpClient {
                     return Err(self.deadline_error(started, deadline));
                 }
             }
+            // Each attempt is its own span: it is the context stamped
+            // into X-Sift-Trace by `send`, so the server-side work for a
+            // retried request parents onto the exact attempt that
+            // carried it — retries show up as attempt-numbered siblings,
+            // never as orphan roots.
+            let _attempt_span = sift_obs::span("request");
+            sift_obs::attr_set("attempt", u64::from(attempt));
             let resp = match self.send(&self.stamped(req, started)) {
                 Ok(resp) => resp,
                 // A transport failure consumed no retry budget before this
@@ -293,6 +308,7 @@ impl HttpClient {
                     }
                     let wait = self.jittered_backoff(req, attempt);
                     let wait = self.gate_retry(started, wait, ClientError::Io(e))?;
+                    sift_obs::attr_add("retries", 1);
                     sift_obs::counter("sift_client_retries_total", &[("status", "io")]).inc();
                     sift_obs::histogram("sift_client_backoff_seconds", &[]).observe_duration(wait);
                     sift_obs::event(
@@ -314,6 +330,7 @@ impl HttpClient {
             // transport failures above) count against the breaker.
             self.record_outcome(resp.status.0 < 500);
             if resp.status.is_success() {
+                sift_obs::attr_add("bytes", u64::try_from(resp.body.len()).unwrap_or(u64::MAX));
                 return Ok(resp);
             }
             let retryable =
@@ -349,6 +366,7 @@ impl HttpClient {
                 }
             };
             let wait = self.gate_retry(started, wait, underlying)?;
+            sift_obs::attr_add("retries", 1);
             sift_obs::counter("sift_client_retries_total", &[("status", &status_label)]).inc();
             sift_obs::histogram("sift_client_backoff_seconds", &[]).observe_duration(wait);
             sift_obs::event(
@@ -888,6 +906,40 @@ mod tests {
             ClientError::DeadlineExceeded { budget_ms, .. } => assert_eq!(budget_ms, 100),
             other => panic!("expected deadline error, got {other}"),
         }
+        h.shutdown();
+    }
+
+    #[test]
+    fn trace_context_joins_client_and_server_spans() {
+        let h = spawn_server();
+        let c = HttpClient::new(h.addr());
+        let tid = {
+            let root = sift_obs::span_root("client-server-trace-test");
+            let resp = c.send_with_retry(&Request::get("/ping")).expect("send");
+            assert_eq!(resp.status, StatusCode::OK);
+            root.context().trace_id
+        };
+        let trace =
+            sift_obs::trace::wait_completed(tid, Duration::from_secs(5)).expect("trace completed");
+        let request = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "request")
+            .expect("attempt span recorded");
+        assert_eq!(request.arg("attempt"), Some(1));
+        assert!(request.arg("bytes").is_some(), "response bytes attributed");
+        let serve = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "serve")
+            .expect("server span joined the client trace");
+        assert_eq!(
+            serve.parent_id,
+            Some(request.span_id),
+            "serve parents onto the exact attempt"
+        );
+        assert_eq!(serve.arg("status"), Some(200));
+        assert!(trace.orphans().is_empty());
         h.shutdown();
     }
 

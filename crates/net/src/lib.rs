@@ -78,3 +78,16 @@ pub const FETCHER_IDENTITY_HEADER: &str = "x-fetcher-ip";
 /// instead of computing an answer nobody will read. A missing header
 /// means "no deadline"; a value of `0` is by definition already spent.
 pub const X_SIFT_DEADLINE_MS: &str = "x-sift-deadline-ms";
+
+/// The header carrying a request's trace context across the HTTP
+/// boundary.
+///
+/// Value format: `<trace_id hex16>-<span_id hex16>`
+/// ([`sift_obs::SpanContext::to_header`]). The client stamps it from the
+/// span active at send time — under retries that is the attempt span, so
+/// each attempt's server-side work parents onto that very attempt — and
+/// the server reopens the context around dispatch, joining fetcher →
+/// HTTP → trends spans into one trace tree even across retries, breaker
+/// probes and fault-injected replays. A missing or malformed header
+/// starts a detached server-side trace; it never fails the request.
+pub const X_SIFT_TRACE: &str = "x-sift-trace";

@@ -1,8 +1,10 @@
-//! Observability endpoints: `GET /metrics` and `GET /healthz`.
+//! Observability endpoints: `GET /metrics`, `GET /healthz` and
+//! `GET /trace/recent`.
 //!
-//! [`mount_observability`] adds both routes to any [`Router`], so every
+//! [`mount_observability`] adds the routes to any [`Router`], so every
 //! server built on this crate (the trends service included) exposes its
-//! live metrics in the Prometheus text format alongside a liveness probe.
+//! live metrics in the Prometheus text format alongside a liveness probe
+//! and the most recent completed trace trees as JSON.
 
 use crate::http::{Method, Response, StatusCode};
 use crate::router::Router;
@@ -11,11 +13,13 @@ use bytes::Bytes;
 /// The content type Prometheus scrapers expect from `/metrics`.
 pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
-/// Adds `GET /metrics` (global-registry Prometheus text exposition) and
-/// `GET /healthz` (liveness, answers `ok`) to `router`.
+/// Adds `GET /metrics` (global-registry Prometheus text exposition),
+/// `GET /healthz` (liveness, answers `ok`) and `GET /trace/recent` (the
+/// last completed trace trees as a JSON array, oldest first) to
+/// `router`.
 ///
-/// Re-registering either route replaces the previous handler, so mounting
-/// on a router that already has a `/healthz` is harmless.
+/// Re-registering any of the routes replaces the previous handler, so
+/// mounting on a router that already has a `/healthz` is harmless.
 pub fn mount_observability(router: Router) -> Router {
     router
         .route(Method::Get, "/metrics", |_| {
@@ -33,6 +37,18 @@ pub fn mount_observability(router: Router) -> Router {
             sift_obs::counter("sift_net_healthz_total", &[]).inc();
             Response::text(StatusCode::OK, "ok")
         })
+        .route(Method::Get, "/trace/recent", |_| {
+            sift_obs::counter("sift_net_trace_recent_scrapes_total", &[]).inc();
+            let traces = sift_obs::trace::recent_traces();
+            let body = sift_obs::trace::traces_json(&traces);
+            let mut resp = Response {
+                status: StatusCode::OK,
+                headers: crate::http::Headers::new(),
+                body: Bytes::from(body.into_bytes()),
+            };
+            resp.headers.set("content-type", "application/json");
+            resp
+        })
 }
 
 #[cfg(test)]
@@ -46,6 +62,28 @@ mod tests {
         let resp = r.dispatch(&Request::get("/healthz"));
         assert_eq!(resp.status, StatusCode::OK);
         assert_eq!(&resp.body[..], b"ok");
+    }
+
+    #[test]
+    fn trace_recent_serves_completed_traces_as_json() {
+        let ctx = {
+            let root = sift_obs::span_root("net-obs-trace-test");
+            let _child = sift_obs::span("net-obs-trace-child");
+            root.context()
+        };
+        // The root guard dropped: the trace is complete and in the ring.
+        let r = mount_observability(Router::new());
+        let resp = r.dispatch(&Request::get("/trace/recent"));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.get("content-type"), Some("application/json"));
+        let text = String::from_utf8_lossy(&resp.body);
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        assert!(matches!(v, serde_json::Value::Array(_)), "{text}");
+        assert!(
+            text.contains(&format!("{:016x}", ctx.trace_id)),
+            "trace id missing from {text}"
+        );
+        assert!(text.contains("net-obs-trace-child"), "{text}");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::http::{parse_request, serialize_response, Request, Response, StatusCode};
 use crate::ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
 use crate::router::Router;
-use crate::{FETCHER_IDENTITY_HEADER, X_SIFT_DEADLINE_MS};
+use crate::{FETCHER_IDENTITY_HEADER, X_SIFT_DEADLINE_MS, X_SIFT_TRACE};
 use bytes::BytesMut;
 use crossbeam::channel;
 use std::io::{Read, Write};
@@ -336,6 +336,15 @@ fn deadline_budget_ms(req: &Request) -> Option<u64> {
         .and_then(|v| v.trim().parse::<u64>().ok())
 }
 
+/// The trace context a request carried over the wire, if any. A
+/// malformed header parses to `None` — the request is served in a
+/// detached trace, never failed.
+fn trace_context(req: &Request) -> Option<sift_obs::SpanContext> {
+    req.headers
+        .get(X_SIFT_TRACE)
+        .and_then(sift_obs::SpanContext::from_header)
+}
+
 fn serve_connection(
     mut stream: TcpStream,
     accepted_at: Instant,
@@ -452,6 +461,15 @@ fn serve_connection(
             }
         };
 
+        // Rejoin the caller's trace once the request is admitted: the
+        // serve span parents onto the exact client attempt that carried
+        // the X-Sift-Trace header, covering fault execution, dispatch
+        // and the response write. No (or bad) header: a detached root.
+        let _serve_span = match trace_context(&req) {
+            Some(tc) => sift_obs::span_in(tc, "serve"),
+            None => sift_obs::span_root("serve"),
+        };
+
         if let Some(kind) = injected {
             sift_obs::counter("sift_net_faults_injected_total", &[("kind", kind.label())]).inc();
             sift_obs::event(
@@ -529,6 +547,8 @@ fn serve_connection(
             )
         };
 
+        sift_obs::attr_set("status", u64::from(resp.status.0));
+        sift_obs::attr_add("bytes", u64::try_from(resp.body.len()).unwrap_or(u64::MAX));
         sift_obs::counter(
             "sift_http_requests_total",
             &[("route", &route), ("status", &resp.status.0.to_string())],

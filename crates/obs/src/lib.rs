@@ -11,8 +11,16 @@
 //!   lock-free atomic RMW.
 //! * [`registry`] — a global [`Registry`] keyed by metric name + labels,
 //!   rendering the Prometheus text exposition format for `GET /metrics`.
-//! * [`span`] — RAII [`Span`] timers with a thread-local context stack;
-//!   drops record into `sift_span_seconds{span=…}`.
+//! * [`span`] — RAII [`Span`] timers forming causal trace trees: each
+//!   span carries a trace id, span id and parent id on a thread-local
+//!   context stack; drops record into `sift_span_seconds{span=…}` and
+//!   deposit a record into the trace store. [`SpanContext`] hands the
+//!   tree across worker threads ([`span_in`]) and across HTTP (the
+//!   `X-Sift-Trace` header).
+//! * [`trace`] — assembly of completed trace trees, a Chrome
+//!   trace-event JSON exporter ([`trace::chrome_trace_json`],
+//!   Perfetto-loadable) and a critical-path analyzer
+//!   ([`trace::critical_path`]).
 //! * [`event`] — a leveled, structured JSON-lines [`EventLog`] (bounded
 //!   ring buffer by default, switchable to stderr).
 //! * [`telemetry`] — serializable per-stage timing summaries
@@ -21,7 +29,7 @@
 //!
 //! The usual entry points are the crate-level helpers: [`counter`],
 //! [`gauge`], [`histogram`] (global registry, thread-locally cached
-//! handles), [`span`] and [`event`].
+//! handles), [`span`], [`span_in`], [`attr_add`] and [`event`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,12 +39,14 @@ pub mod metrics;
 pub mod registry;
 pub mod span;
 pub mod telemetry;
+pub mod trace;
 
 pub use event::{EventLog, Level};
 pub use metrics::{Counter, Gauge, GaugeGuard, Histogram, HistogramSpec, HistogramState};
 pub use registry::{MetricKey, Registry};
-pub use span::{current_path, Span, SPAN_METRIC};
+pub use span::{attr_add, attr_set, current_path, Span, SpanContext, SPAN_METRIC};
 pub use telemetry::{SpanBaseline, StageTiming, TelemetrySnapshot};
+pub use trace::{chrome_trace_json, critical_path, CriticalPath, SpanRecord, Trace};
 
 use serde_json::Value;
 use std::cell::RefCell;
@@ -106,10 +116,26 @@ pub fn histogram_with_spec(name: &str, labels: &[(&str, &str)], spec: &Histogram
     })
 }
 
-/// Opens a span; dropping the returned guard records its duration into
-/// the global `sift_span_seconds{span="<name>"}` histogram.
+/// Opens a span as a child of this thread's innermost open span (or as
+/// a fresh trace root when none is open); dropping the returned guard
+/// records its duration into the global
+/// `sift_span_seconds{span="<name>"}` histogram and its record into the
+/// trace store.
 pub fn span(name: &str) -> Span {
     Span::enter(name)
+}
+
+/// Opens a span as a child of an explicit [`SpanContext`] — the handoff
+/// API for crossing thread or process boundaries, where the thread-local
+/// stack would otherwise sever parentage.
+pub fn span_in(ctx: SpanContext, name: &str) -> Span {
+    Span::open(name, Some(ctx))
+}
+
+/// Opens a span as the root of a fresh trace, regardless of any span
+/// already open on this thread.
+pub fn span_root(name: &str) -> Span {
+    Span::open(name, None)
 }
 
 /// Emits one structured event to the global log.

@@ -9,6 +9,16 @@ use crate::metrics::{Counter, Gauge, Histogram, HistogramSpec, HistogramState};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default bound on the number of series (distinct label sets) one
+/// metric name may register. Per-identity and per-endpoint labels grow
+/// with traffic; past the cap new label sets get detached instruments
+/// and are tallied in `sift_obs_labels_dropped_total{metric=…}`.
+pub const DEFAULT_SERIES_CAP_PER_NAME: usize = 512;
+
+/// The overflow counter label-capped registrations are tallied in.
+pub const LABELS_DROPPED_METRIC: &str = "sift_obs_labels_dropped_total";
 
 /// A metric series identifier: name plus sorted label pairs.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -60,17 +70,65 @@ impl Instrument {
 }
 
 /// A collection of metric series, rendered together as Prometheus text.
-#[derive(Debug, Default)]
+///
+/// Cardinality is bounded: each metric name may register at most
+/// [`DEFAULT_SERIES_CAP_PER_NAME`] label sets (configurable via
+/// [`Registry::set_series_cap`]). Registrations past the cap return a
+/// working but *detached* instrument — callers never crash, the series
+/// just stays out of the exposition — and increment
+/// `sift_obs_labels_dropped_total{metric=…}`.
+#[derive(Debug)]
 pub struct Registry {
     // BTreeMap keeps exposition deterministic and groups a metric's series
     // (same name, different labels) together.
     series: RwLock<BTreeMap<MetricKey, Instrument>>,
+    per_name_cap: AtomicUsize,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            series: RwLock::new(BTreeMap::new()),
+            per_name_cap: AtomicUsize::new(DEFAULT_SERIES_CAP_PER_NAME),
+        }
+    }
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Sets the per-metric-name series cap (`0` disables the bound).
+    pub fn set_series_cap(&self, cap: usize) {
+        self.per_name_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// True when registering `key` must be refused: its metric name is
+    /// at the cap and `key` is not among the existing series. Tallies
+    /// the refusal in `sift_obs_labels_dropped_total{metric=…}`
+    /// (inserted directly, itself exempt from the cap).
+    fn over_cap(&self, series: &mut BTreeMap<MetricKey, Instrument>, key: &MetricKey) -> bool {
+        let cap = self.per_name_cap.load(Ordering::Relaxed);
+        if cap == 0 || series.contains_key(key) {
+            return false;
+        }
+        let count = series
+            .range(MetricKey::new(key.name(), &[])..)
+            .take_while(|(k, _)| k.name() == key.name())
+            .count();
+        if count < cap {
+            return false;
+        }
+        let dropped = MetricKey::new(LABELS_DROPPED_METRIC, &[("metric", key.name())]);
+        if let Instrument::Counter(c) = series
+            .entry(dropped)
+            .or_insert_with(|| Instrument::Counter(Counter::new()))
+        {
+            c.inc();
+        }
+        true
     }
 
     /// The counter for `name` + `labels`, registering it on first use.
@@ -85,6 +143,9 @@ impl Registry {
             };
         }
         let mut series = self.series.write();
+        if self.over_cap(&mut series, &key) {
+            return Counter::new();
+        }
         match series
             .entry(key)
             .or_insert_with(|| Instrument::Counter(Counter::new()))
@@ -104,6 +165,9 @@ impl Registry {
             };
         }
         let mut series = self.series.write();
+        if self.over_cap(&mut series, &key) {
+            return Gauge::new();
+        }
         match series
             .entry(key)
             .or_insert_with(|| Instrument::Gauge(Gauge::new()))
@@ -129,6 +193,9 @@ impl Registry {
             };
         }
         let mut series = self.series.write();
+        if self.over_cap(&mut series, &key) {
+            return Histogram::with_spec(spec);
+        }
         match series
             .entry(key)
             .or_insert_with(|| Instrument::Histogram(Histogram::with_spec(spec)))
@@ -323,6 +390,71 @@ mod tests {
         r.counter("esc_total", &[("q", "say \"hi\"\\n")]).inc();
         let text = r.render_prometheus();
         assert!(text.contains(r#"q="say \"hi\"\\n""#), "{text}");
+    }
+
+    #[test]
+    fn series_cap_bounds_cardinality_and_counts_drops() {
+        let r = Registry::new();
+        r.set_series_cap(2);
+        let a = r.counter("capped_total", &[("id", "1")]);
+        let b = r.counter("capped_total", &[("id", "2")]);
+        // Third label set: refused, detached, tallied.
+        let c = r.counter("capped_total", &[("id", "3")]);
+        a.inc();
+        b.inc();
+        c.add(7); // must not crash, must not render
+                  // Existing series resolve normally even at the cap.
+        let a2 = r.counter("capped_total", &[("id", "1")]);
+        a2.inc();
+        assert_eq!(a.get(), 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("capped_total{id=\"1\"} 2"), "{text}");
+        assert!(text.contains("capped_total{id=\"2\"} 1"), "{text}");
+        assert!(!text.contains("id=\"3\""), "{text}");
+        assert!(
+            text.contains("sift_obs_labels_dropped_total{metric=\"capped_total\"} 1"),
+            "{text}"
+        );
+        // Repeated refusals keep counting.
+        let _ = r.counter("capped_total", &[("id", "4")]);
+        assert_eq!(
+            r.counter(LABELS_DROPPED_METRIC, &[("metric", "capped_total")])
+                .get(),
+            2
+        );
+    }
+
+    #[test]
+    fn series_cap_applies_to_gauges_and_histograms() {
+        let r = Registry::new();
+        r.set_series_cap(1);
+        let _ = r.gauge("g_active", &[("e", "a")]);
+        let detached = r.gauge("g_active", &[("e", "b")]);
+        detached.set(9);
+        let spec = HistogramSpec::explicit(vec![1.0]);
+        let _ = r.histogram("h_seconds", &[("e", "a")], &spec);
+        let dropped_h = r.histogram("h_seconds", &[("e", "b")], &spec);
+        dropped_h.observe(0.5);
+        let text = r.render_prometheus();
+        assert!(!text.contains("e=\"b\""), "{text}");
+        assert!(
+            text.contains("sift_obs_labels_dropped_total{metric=\"g_active\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sift_obs_labels_dropped_total{metric=\"h_seconds\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn zero_cap_disables_the_bound() {
+        let r = Registry::new();
+        r.set_series_cap(0);
+        for i in 0..600 {
+            r.counter("unbounded_total", &[("i", &i.to_string())]).inc();
+        }
+        assert_eq!(r.len(), 600);
     }
 
     #[test]

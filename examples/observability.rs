@@ -1,7 +1,10 @@
 //! Live telemetry: crawl a rate-limited trends service over HTTP, then
 //! scrape the server's own `GET /metrics` endpoint — request latencies by
 //! route, per-identity 429 counts, crawl throughput and study-stage span
-//! timings, all in Prometheus text format.
+//! timings, all in Prometheus text format. The run's trace tree (client
+//! and server spans joined across the HTTP boundary by `X-Sift-Trace`)
+//! is exported as Chrome trace-event JSON — load it at
+//! <https://ui.perfetto.dev> — and summarized as a critical-path report.
 //!
 //! Run with: `cargo run --release --example observability`
 //!
@@ -57,13 +60,36 @@ fn main() {
         ..StudyParams::default()
     };
     println!("running the SIFT study over HTTP ...");
+    // A root span here makes the whole crawl one trace: the study's
+    // pipeline spans, every HTTP attempt the queue issues, and the
+    // server-side serve spans (joined via the X-Sift-Trace header) all
+    // land in a single tree that completes when the last one closes.
+    let run_span = sift::obs::span_root("observability");
+    let trace_id = run_span.context().trace_id;
     let result = run_study(&client, &params).expect("study over http");
+    drop(run_span);
     println!(
         "{} spikes; {} frames requested\n\nper-stage telemetry:\n{}",
         result.spikes.len(),
         result.stats.frames_requested,
         result.stats.telemetry
     );
+
+    // Export the finished trace for Perfetto and walk its critical path.
+    let trace = sift::obs::trace::wait_completed(trace_id, std::time::Duration::from_secs(10))
+        .expect("run trace completes");
+    let trace_path = std::path::Path::new("target").join("observability-trace.json");
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write(&trace_path, sift::obs::chrome_trace_json(&trace)).expect("write trace export");
+    println!(
+        "exported {} spans ({} client request attempts, {} server serves) -> {}",
+        trace.spans.len(),
+        trace.spans.iter().filter(|s| s.name == "request").count(),
+        trace.spans.iter().filter(|s| s.name == "serve").count(),
+        trace_path.display()
+    );
+    let cp = sift::obs::critical_path(&trace).expect("trace has a root");
+    print!("{cp}");
 
     // Scrape our own server the way any Prometheus collector would.
     let scrape = HttpClient::new(server.addr());

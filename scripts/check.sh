@@ -33,6 +33,19 @@ cargo test -q --offline --test overload_http
 # the identical result, re-fetching at most the one in-flight response.
 cargo test -q --offline --test resume_http
 
+# Perf-trajectory gate: a reduced-scale bench smoke re-runs the study
+# and derives end-to-end + per-stage timings from its trace tree. The
+# emitted profile must validate as `sift-bench/1` and stay inside the
+# committed baseline's tolerance band (>15% end-to-end regression, or a
+# stage beyond its wider band, fails the build). The baseline is the
+# newest committed BENCH_<date>.json, regenerated with the same flags.
+cargo build --release --offline -p sift-bench --bins
+./target/release/experiments --quick --only none --threads 1 \
+  --bench-out target/bench-smoke.json > /dev/null 2> target/bench-smoke.log
+baseline=$(ls BENCH_*.json | sort | tail -1)
+./target/release/bench_gate target/bench-smoke.json "$baseline" \
+  || { echo "bench gate failed against ${baseline}" >&2; exit 1; }
+
 # Resume determinism gate: two same-seed runs of the crash-and-resume
 # example must print byte-identical reports (the injected crash lands at
 # the same fetch, recovery replays the same journal, the resumed result

@@ -163,6 +163,69 @@ fn chaos_study_matches_fault_free_and_replays_bit_identically() {
 }
 
 #[test]
+fn chaos_study_yields_one_connected_trace_per_region() {
+    let service = Arc::new(TrendsService::with_defaults(world()));
+    let server = chaos_server(&service, 3);
+
+    // Root the run explicitly: everything the study does — pipeline
+    // stages, every HTTP attempt, every server-side serve — must join
+    // this one trace even while faults force retries and replays.
+    let root = sift::obs::span_root("chaos-study");
+    let trace_id = root.context().trace_id;
+    let _chaos = study_over(&server, "127.0.0.22");
+    drop(root);
+
+    let trace = sift::obs::trace::wait_completed(trace_id, Duration::from_secs(30))
+        .expect("chaos trace completes");
+    server.shutdown();
+
+    // One connected tree: a single root and no severed parentage — a
+    // retry or fault replay must never surface as an orphan root.
+    let roots: Vec<_> = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent_id.is_none())
+        .collect();
+    assert_eq!(roots.len(), 1, "exactly one root span: {roots:?}");
+    assert_eq!(roots[0].name, "chaos-study");
+    assert!(
+        trace.orphans().is_empty(),
+        "no orphaned spans: {:?}",
+        trace.orphans()
+    );
+    assert_eq!(
+        trace.spans.iter().filter(|s| s.name == "region").count(),
+        params().regions.len(),
+        "one region span per studied region"
+    );
+
+    // The seeded fault mix forces client retries; each one must appear
+    // as an attempt-numbered "request" child span inside the same trace.
+    let request_spans: Vec<_> = trace.spans.iter().filter(|s| s.name == "request").collect();
+    assert!(!request_spans.is_empty());
+    assert!(request_spans.iter().all(|s| s.arg("attempt").is_some()));
+    assert!(
+        request_spans
+            .iter()
+            .any(|s| s.arg("attempt").is_some_and(|a| a >= 2)),
+        "seeded faults must force at least one numbered retry attempt"
+    );
+
+    // Server-side spans joined the same tree across the HTTP boundary,
+    // each parented on the exact client attempt that carried its header.
+    let request_ids: std::collections::HashSet<u64> =
+        request_spans.iter().map(|s| s.span_id).collect();
+    let serve_spans: Vec<_> = trace.spans.iter().filter(|s| s.name == "serve").collect();
+    assert!(!serve_spans.is_empty(), "server spans must join the trace");
+    assert!(
+        serve_spans
+            .iter()
+            .all(|s| s.parent_id.is_some_and(|p| request_ids.contains(&p))),
+        "every serve span hangs off a client request attempt"
+    );
+}
+
+#[test]
 fn collection_run_over_chaos_http_recovers_every_frame() {
     let service = Arc::new(TrendsService::with_defaults(world()));
     let server = chaos_server(&service, 3);
