@@ -77,25 +77,57 @@ impl Spike {
     }
 }
 
+/// Reusable working buffers for [`detect_spikes_into`]. The refetch loop
+/// detects once per round per region; keeping the visit-order and
+/// consumed-block buffers here makes every round after the first
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct DetectScratch {
+    consumed: Vec<bool>,
+    order: Vec<usize>,
+}
+
 /// Detects every spike in a timeline, returned sorted by start hour.
+///
+/// Convenience wrapper over [`detect_spikes_into`] that allocates its own
+/// buffers; callers detecting in a loop should hold a [`DetectScratch`]
+/// and an output `Vec` instead.
 pub fn detect_spikes(timeline: &Timeline, params: &DetectParams) -> Vec<Spike> {
+    let mut scratch = DetectScratch::default();
+    let mut spikes = Vec::new();
+    detect_spikes_into(timeline, params, &mut scratch, &mut spikes);
+    spikes
+}
+
+/// [`detect_spikes`] into caller-owned buffers: `spikes` is cleared and
+/// refilled; `scratch` keeps its capacity across calls.
+pub fn detect_spikes_into(
+    timeline: &Timeline,
+    params: &DetectParams,
+    scratch: &mut DetectScratch,
+    spikes: &mut Vec<Spike>,
+) {
     let v = &timeline.values;
     let n = v.len();
-    let mut consumed = vec![false; n];
-    let mut spikes = Vec::new();
+    let consumed = &mut scratch.consumed;
+    consumed.clear();
+    consumed.resize(n, false);
+    spikes.clear();
 
     // Visit blocks from highest to lowest (earliest first on ties): each
     // unconsumed visit is by construction the highest remaining peak, so
     // the walk order matches the paper's "start at the highest peak"
     // iteration without rescanning the series per spike.
-    let mut order: Vec<usize> = (0..n).filter(|&i| v[i] >= params.min_peak).collect();
-    order.sort_by(|&a, &b| {
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend((0..n).filter(|&i| v[i] >= params.min_peak));
+    order.sort_unstable_by(|&a, &b| {
         v[b].partial_cmp(&v[a])
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
 
-    for peak in order {
+    for &peak in order.iter() {
         if spikes.len() >= params.max_spikes {
             break;
         }
@@ -135,9 +167,8 @@ pub fn detect_spikes(timeline: &Timeline, params: &DetectParams) -> Vec<Spike> {
         });
     }
 
-    spikes.sort_by_key(|s| (s.start, s.peak));
+    spikes.sort_unstable_by_key(|s| (s.start, s.peak));
     sift_obs::attr_add("spikes", u64::try_from(spikes.len()).unwrap_or(u64::MAX));
-    spikes
 }
 
 #[cfg(test)]

@@ -8,12 +8,12 @@
 //! detect converge" (§3.2). The paper observes convergence after six
 //! rounds.
 
-use crate::detect::{detect_spikes, DetectParams, Spike};
+use crate::detect::{detect_spikes_into, DetectParams, DetectScratch, Spike};
 use crate::durable::RegionJournal;
-use crate::timeline::{stitch, StitchError, Timeline};
+use crate::timeline::{stitch_into, StitchError, Timeline};
 use serde::{Deserialize, Serialize};
 use sift_geo::State;
-use sift_simtime::HourRange;
+use sift_simtime::{Hour, HourRange};
 use sift_trends::client::{FetchError, TrendsClient};
 use sift_trends::{FrameRequest, FrameResponse, SearchTerm};
 
@@ -125,6 +125,18 @@ impl std::error::Error for RefetchError {}
 /// rounds barely move the score, while a major spike appearing or
 /// disappearing does.
 pub fn spike_set_similarity(a: &[Spike], b: &[Spike], tolerance_h: i64) -> f64 {
+    spike_set_similarity_scratch(a, b, tolerance_h, &mut Vec::new())
+}
+
+/// [`spike_set_similarity`] with a caller-owned match buffer (`used` is
+/// cleared and refilled), so the per-round convergence check in the
+/// averaging loop allocates nothing.
+pub fn spike_set_similarity_scratch(
+    a: &[Spike],
+    b: &[Spike],
+    tolerance_h: i64,
+    used: &mut Vec<bool>,
+) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -133,7 +145,8 @@ pub fn spike_set_similarity(a: &[Spike], b: &[Spike], tolerance_h: i64) -> f64 {
     if denom <= 0.0 {
         return 1.0;
     }
-    let mut used = vec![false; b.len()];
+    used.clear();
+    used.resize(b.len(), false);
     let mut matched = 0.0f64;
     for sa in a {
         if let Some((idx, sb)) = b
@@ -194,6 +207,25 @@ pub fn averaged_timeline_durable(
     averaged_timeline_impl(client, term, state, frames, params, detect, Some(journal))
 }
 
+/// A zero-length placeholder for the round loop's reusable timeline
+/// buffers; every field is overwritten before first use.
+fn empty_timeline(state: State) -> Timeline {
+    Timeline {
+        state,
+        start: Hour(0),
+        values: Vec::new(),
+    }
+}
+
+/// Copies `src` into `dst` reusing `dst`'s value buffer — the derived
+/// `Clone` would allocate a fresh `Vec` per round.
+fn copy_timeline(dst: &mut Timeline, src: &Timeline) {
+    dst.state = src.state;
+    dst.start = src.start;
+    dst.values.clear();
+    dst.values.extend_from_slice(&src.values);
+}
+
 fn averaged_timeline_impl(
     client: &dyn TrendsClient,
     term: &SearchTerm,
@@ -206,9 +238,6 @@ fn averaged_timeline_impl(
     assert!(params.max_rounds >= 1);
     let resumed_from_round = journal.as_ref().map_or(0, |j| j.resumed_from_round());
     let state_label = state.to_string();
-    let mut mean: Option<Timeline> = None;
-    let mut prev_spikes: Option<Vec<Spike>> = None;
-    let mut prev_responses: Option<Vec<FrameResponse>> = None;
     let mut similarity_trace = Vec::new();
     let mut frames_fetched = 0u64;
     let mut frames_replayed = 0u64;
@@ -216,7 +245,32 @@ fn averaged_timeline_impl(
     let mut rounds = 0u32;
     let mut converged = false;
     let mut halted = false;
-    let mut final_spikes = Vec::new();
+
+    // Per-round working set, hoisted so the loop reuses capacity instead
+    // of reallocating once per round (this is the per-region hot path:
+    // every buffer below would otherwise be rebuilt max_rounds times).
+    let mut responses: Vec<FrameResponse> = Vec::with_capacity(frames.len());
+    // Empty until the first round completes; the degradation fallback
+    // checks emptiness where it previously checked `Option::None`.
+    let mut prev_responses: Vec<FrameResponse> = Vec::new();
+    let mut round_timeline = empty_timeline(state);
+    let mut mean = empty_timeline(state);
+    let mut detect_input = empty_timeline(state);
+    let mut detect_scratch = DetectScratch::default();
+    let mut spikes: Vec<Spike> = Vec::new();
+    let mut strong: Vec<Spike> = Vec::new();
+    let mut prev_strong: Vec<Spike> = Vec::new();
+    let mut have_prev_strong = false;
+    let mut similarity_used: Vec<bool> = Vec::new();
+    // One request, re-stamped per frame: `SearchTerm` owns heap, so
+    // cloning it per fetch would allocate once per frame per round.
+    let mut request = FrameRequest {
+        term: term.clone(),
+        state,
+        start: Hour(0),
+        len: 0,
+        tag: 0,
+    };
 
     for round in 0..params.max_rounds {
         // A round the journal can serve whole needs no network at all, so
@@ -236,6 +290,7 @@ fn averaged_timeline_impl(
                 "core.refetch",
                 "refetch halted: client unhealthy (breaker open)",
                 &[
+                    // sift-lint: allow(hot-alloc) — halt path: fires at most once, then breaks the loop
                     ("state", serde_json::Value::Str(state_label.clone())),
                     ("rounds_run", serde_json::Value::UInt(u64::from(rounds))),
                 ],
@@ -243,9 +298,9 @@ fn averaged_timeline_impl(
             break;
         }
         rounds = round + 1;
-        let responses: Vec<FrameResponse> = {
+        {
             let _span = sift_obs::span("fetch");
-            let mut responses = Vec::with_capacity(frames.len());
+            responses.clear();
             for (i, r) in frames.iter().enumerate() {
                 let idx = u32::try_from(i).unwrap_or(u32::MAX);
                 // A slot the journal holds was fetched in a previous life
@@ -257,14 +312,10 @@ fn averaged_timeline_impl(
                     responses.push(resp);
                     continue;
                 }
-                let fetched = client.fetch_frame(&FrameRequest {
-                    term: term.clone(),
-                    state,
-                    start: r.start,
-                    len: u32::try_from(r.len()).unwrap_or(u32::MAX),
-                    tag: u64::from(round),
-                });
-                match fetched {
+                request.start = r.start;
+                request.len = u32::try_from(r.len()).unwrap_or(u32::MAX);
+                request.tag = u64::from(round);
+                match client.fetch_frame(&request) {
                     Ok(resp) => {
                         if let Some(j) = journal.as_mut() {
                             j.record_frame(round, idx, &resp)
@@ -277,9 +328,9 @@ fn averaged_timeline_impl(
                         // Round 1 has no previous sample to degrade to;
                         // later rounds reuse the same frame slot from the
                         // round before and carry on.
-                        let Some(prev) = &prev_responses else {
+                        if prev_responses.is_empty() {
                             return Err(RefetchError::Fetch(e));
-                        };
+                        }
                         frames_degraded += 1;
                         sift_obs::counter(
                             "sift_refetch_frames_degraded_total",
@@ -291,9 +342,11 @@ fn averaged_timeline_impl(
                             "core.refetch",
                             "frame fetch failed; reusing previous round's sample",
                             &[
+                                // sift-lint: allow(hot-alloc) — failure path: runs once per degraded frame, not per sample
                                 ("state", serde_json::Value::Str(state_label.clone())),
                                 ("frame_start", serde_json::Value::Int(r.start.0)),
                                 ("round", serde_json::Value::UInt(u64::from(rounds))),
+                                // sift-lint: allow(hot-alloc) — failure path: the error string is the event payload
                                 ("error", serde_json::Value::Str(e.to_string())),
                             ],
                         );
@@ -301,61 +354,64 @@ fn averaged_timeline_impl(
                         // reproduce the run exactly, including the slots
                         // that fell back to the previous round's sample.
                         if let Some(j) = journal.as_mut() {
-                            j.record_frame(round, idx, &prev[i])
+                            j.record_frame(round, idx, &prev_responses[i])
                                 .map_err(RefetchError::Durability)?;
                         }
-                        responses.push(prev[i].clone());
+                        // sift-lint: allow(hot-alloc) — failure path: the degraded slot needs its own copy
+                        responses.push(prev_responses[i].clone());
                     }
                 }
             }
             sift_obs::attr_add("frames", u64::try_from(responses.len()).unwrap_or(u64::MAX));
-            responses
-        };
+        }
 
-        let round_timeline = {
+        {
             let _span = sift_obs::span("stitch");
-            let refs: Vec<&FrameResponse> = responses.iter().collect();
-            stitch(&refs).map_err(RefetchError::Stitch)?
-        };
-        prev_responses = Some(responses);
+            stitch_into(&responses, &mut round_timeline).map_err(RefetchError::Stitch)?;
+        }
+        std::mem::swap(&mut prev_responses, &mut responses);
         // Seal the round: atomic checkpoint subsuming (and emptying) the
         // journal. A crash from here on resumes at round + 1.
         if let Some(j) = journal.as_mut() {
             j.round_done(round).map_err(RefetchError::Durability)?;
         }
 
-        let current = match &mut mean {
-            slot @ None => slot.insert(round_timeline),
-            Some(m) => {
-                m.accumulate_mean(&round_timeline, round + 1);
-                m
-            }
-        };
+        if round == 0 {
+            copy_timeline(&mut mean, &round_timeline);
+        } else {
+            mean.accumulate_mean(&round_timeline, round + 1);
+        }
         // Work on a renormalized copy; the running mean itself must stay
         // un-renormalized so later rounds average in the same units.
-        let spikes = {
+        {
             let _span = sift_obs::span("detect");
-            let mut detect_input = current.clone();
+            copy_timeline(&mut detect_input, &mean);
             detect_input.renormalize();
-            detect_spikes(&detect_input, detect)
-        };
+            detect_spikes_into(&detect_input, detect, &mut detect_scratch, &mut spikes);
+        }
 
-        let strong: Vec<Spike> = spikes
-            .iter()
-            .copied()
-            .filter(|s| s.magnitude >= params.convergence_floor)
-            .collect();
-        if let Some(prev) = &prev_spikes {
-            let sim = spike_set_similarity(prev, &strong, params.peak_tolerance_h);
+        strong.clear();
+        strong.extend(
+            spikes
+                .iter()
+                .copied()
+                .filter(|s| s.magnitude >= params.convergence_floor),
+        );
+        if have_prev_strong {
+            let sim = spike_set_similarity_scratch(
+                &prev_strong,
+                &strong,
+                params.peak_tolerance_h,
+                &mut similarity_used,
+            );
             similarity_trace.push(sim);
             if rounds >= params.min_rounds && sim >= params.convergence {
                 converged = true;
-                final_spikes = spikes;
                 break;
             }
         }
-        prev_spikes = Some(strong);
-        final_spikes = spikes;
+        std::mem::swap(&mut prev_strong, &mut strong);
+        have_prev_strong = true;
     }
 
     sift_obs::counter("sift_refetch_rounds_total", &[("state", &state_label)])
@@ -364,10 +420,12 @@ fn averaged_timeline_impl(
         sift_obs::counter("sift_refetch_converged_total", &[("state", &state_label)]).inc();
     }
     sift_obs::counter("sift_spikes_detected_total", &[("state", &state_label)])
-        .add(u64::try_from(final_spikes.len()).unwrap_or(u64::MAX));
+        .add(u64::try_from(spikes.len()).unwrap_or(u64::MAX));
 
-    // sift-lint: allow(no-panic) — the loop runs at least once (max_rounds >= 1 asserted above)
-    let mut timeline = mean.expect("at least one round ran");
+    // `spikes` and `mean` hold the last completed round's detection and
+    // running mean: round 1 always runs to completion or returns `Err`
+    // above, and the halt/convergence breaks leave both intact.
+    let mut timeline = mean;
     timeline.renormalize();
     let slots = frames_fetched + frames_degraded;
     let coverage = if slots == 0 {
@@ -378,7 +436,7 @@ fn averaged_timeline_impl(
     };
     Ok(RefetchOutcome {
         timeline,
-        spikes: final_spikes,
+        spikes,
         rounds,
         converged,
         similarity_trace,

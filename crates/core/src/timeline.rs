@@ -145,18 +145,46 @@ impl std::error::Error for StitchError {}
 /// them this way), cover each hour at least once, and each frame must
 /// overlap the series built so far.
 pub fn stitch(frames: &[&FrameResponse]) -> Result<Timeline, StitchError> {
-    let first = frames.first().ok_or(StitchError::NoFrames)?;
-    if frames.iter().any(|f| f.state != first.state) {
+    let first = *frames.first().ok_or(StitchError::NoFrames)?;
+    let mut out = Timeline {
+        state: first.state,
+        start: first.start,
+        values: Vec::new(),
+    };
+    stitch_core(frames, &mut out)?;
+    Ok(out)
+}
+
+/// [`stitch`] into a caller-owned timeline: `out.values` is cleared and
+/// refilled, keeping its capacity, so a loop stitching round after round
+/// (the refetch averaging loop) allocates nothing after the first round.
+/// Also takes the frames by value-slice, sparing callers the `Vec<&_>`
+/// the reference-slice API forces per call.
+pub fn stitch_into(frames: &[FrameResponse], out: &mut Timeline) -> Result<(), StitchError> {
+    stitch_core(frames, out)
+}
+
+fn stitch_core<T: std::borrow::Borrow<FrameResponse>>(
+    frames: &[T],
+    out: &mut Timeline,
+) -> Result<(), StitchError> {
+    let first = frames.first().ok_or(StitchError::NoFrames)?.borrow();
+    if frames.iter().any(|f| f.borrow().state != first.state) {
         return Err(StitchError::MixedStates);
     }
 
     let start = first.start;
-    let mut values: Vec<f64> = first.values.iter().map(|v| f64::from(*v)).collect();
+    out.state = first.state;
+    out.start = start;
+    let values = &mut out.values;
+    values.clear();
+    values.extend(first.values.iter().map(|v| f64::from(*v)));
     // The scale applied to the previous frame, inherited when an overlap
     // carries no signal.
     let mut prev_scale = 1.0f64;
 
     for frame in &frames[1..] {
+        let frame = frame.borrow();
         let covered_until = start + to_i64(values.len());
         if frame.start > covered_until {
             return Err(StitchError::Gap {
@@ -193,17 +221,12 @@ pub fn stitch(frames: &[&FrameResponse]) -> Result<Timeline, StitchError> {
         }
     }
 
-    let mut timeline = Timeline {
-        state: first.state,
-        start,
-        values,
-    };
-    timeline.renormalize();
+    out.renormalize();
     sift_obs::attr_add(
         "frames_stitched",
         u64::try_from(frames.len()).unwrap_or(u64::MAX),
     );
-    Ok(timeline)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! The incremental result cache (`target/sift-lint-cache.json`).
+//!
+//! Findings are a pure function of (file contents, policy, rule set), so
+//! they can be memoized: each file's admitted per-file findings are
+//! stored under an FNV-1a hash of its contents, and the workspace rules'
+//! findings under a hash of the whole file/hash listing. A fingerprint of
+//! the policy text plus the compiled-in rule registry guards the entire
+//! cache: change `Lint.toml` or the rules themselves and every entry is
+//! discarded at once.
+//!
+//! The reader is deliberately paranoid — any malformed field, unknown
+//! rule id or version skew makes [`load`] return `None` and the caller
+//! lints from scratch. A cache can only ever cost a rebuild, never a
+//! wrong answer.
+
+use crate::config::Severity;
+use crate::engine::Finding;
+use crate::json::Json;
+use crate::report::json_str;
+use crate::rules::registry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Bumped whenever the on-disk shape changes; old caches are discarded.
+pub const CACHE_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a: tiny, dependency-free, and plenty for change detection
+/// (a collision needs two different sources in the same workspace history
+/// hashing alike — the failure mode is a stale lint, caught by CI's cold
+/// run).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of everything that turns sources into findings besides the
+/// sources themselves: the policy text and the compiled-in registry
+/// (ids, defaults, scope flags — a rule edit that changes any of those
+/// invalidates the cache; one that only changes a checker's behavior is
+/// caught by the version bump discipline plus CI's cold run).
+pub fn policy_fingerprint(config_text: &str) -> u64 {
+    let mut key = String::new();
+    let _ = write!(key, "v{CACHE_VERSION};");
+    key.push_str(config_text);
+    for r in registry() {
+        let _ = write!(
+            key,
+            ";{}|{}|{}|{}|{}|{}",
+            r.id, r.default_severity, r.applies_in_tests, r.skips_bins, r.summary, r.rationale
+        );
+    }
+    fnv1a(key.as_bytes())
+}
+
+/// Per-file entry: content hash plus the admitted per-file-rule findings.
+#[derive(Clone, Debug)]
+pub struct CachedFile {
+    pub hash: u64,
+    pub findings: Vec<Finding>,
+}
+
+/// The whole cache file.
+#[derive(Clone, Debug, Default)]
+pub struct Cache {
+    pub fingerprint: u64,
+    pub files: BTreeMap<String, CachedFile>,
+    /// Hash of the full `(path, hash)` listing the workspace findings
+    /// were computed over.
+    pub workspace_hash: u64,
+    pub workspace: Vec<Finding>,
+}
+
+/// Serializes a cache to its JSON form.
+pub fn save(cache: &Cache) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"version\":{CACHE_VERSION},\"fingerprint\":\"{:016x}\",\"files\":[",
+        cache.fingerprint
+    );
+    for (i, (path, f)) in cache.files.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"path\":{},\"hash\":\"{:016x}\",\"findings\":[",
+            json_str(path),
+            f.hash
+        );
+        write_findings(&mut out, &f.findings);
+        out.push_str("]}");
+    }
+    let _ = write!(
+        out,
+        "],\"workspace\":{{\"hash\":\"{:016x}\",\"findings\":[",
+        cache.workspace_hash
+    );
+    write_findings(&mut out, &cache.workspace);
+    out.push_str("]}}\n");
+    out
+}
+
+fn write_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"path\":{},\"line\":{},\"col\":{},\"rule\":{},\"severity\":{},\"message\":{}}}",
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.severity.to_string()),
+            json_str(&f.message),
+        );
+    }
+}
+
+/// Parses a cache file; `None` on any version, shape or content problem.
+pub fn load(text: &str) -> Option<Cache> {
+    let doc = Json::parse(text)?;
+    if doc.get("version")?.as_u32()? != CACHE_VERSION {
+        return None;
+    }
+    let fingerprint = parse_hash(doc.get("fingerprint")?)?;
+    let mut files = BTreeMap::new();
+    for entry in doc.get("files")?.as_arr()? {
+        let path = entry.get("path")?.as_str()?.to_owned();
+        let hash = parse_hash(entry.get("hash")?)?;
+        let findings = parse_findings(entry.get("findings")?, Some(&path))?;
+        files.insert(path, CachedFile { hash, findings });
+    }
+    let ws = doc.get("workspace")?;
+    Some(Cache {
+        fingerprint,
+        files,
+        workspace_hash: parse_hash(ws.get("hash")?)?,
+        workspace: parse_findings(ws.get("findings")?, None)?,
+    })
+}
+
+fn parse_hash(v: &Json) -> Option<u64> {
+    u64::from_str_radix(v.as_str()?, 16).ok()
+}
+
+fn parse_findings(v: &Json, expect_path: Option<&str>) -> Option<Vec<Finding>> {
+    let rules = registry();
+    let mut out = Vec::new();
+    for f in v.as_arr()? {
+        let path = f.get("path")?.as_str()?;
+        if expect_path.is_some_and(|p| p != path) {
+            return None;
+        }
+        // Rule ids intern back to the registry's `'static` strings; an id
+        // the binary no longer knows invalidates the whole cache.
+        let rule_id = f.get("rule")?.as_str()?;
+        let rule = rules.iter().find(|r| r.id == rule_id)?.id;
+        out.push(Finding {
+            path: path.to_owned(),
+            line: f.get("line")?.as_u32()?,
+            col: f.get("col")?.as_u32()?,
+            rule,
+            severity: Severity::parse(f.get("severity")?.as_str()?)?,
+            message: f.get("message")?.as_str()?.to_owned(),
+        });
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32) -> Finding {
+        Finding {
+            path: path.to_owned(),
+            line,
+            col: 3,
+            rule: "no-panic",
+            severity: Severity::Deny,
+            message: "don't \"panic\"".to_owned(),
+        }
+    }
+
+    fn sample() -> Cache {
+        let mut files = BTreeMap::new();
+        files.insert(
+            "crates/x/src/lib.rs".to_owned(),
+            CachedFile {
+                hash: 0xdead_beef,
+                findings: vec![finding("crates/x/src/lib.rs", 7)],
+            },
+        );
+        Cache {
+            fingerprint: 42,
+            files,
+            workspace_hash: 0xfeed,
+            workspace: vec![finding("crates/y/src/lib.rs", 1)],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let cache = sample();
+        let loaded = load(&save(&cache)).expect("load");
+        assert_eq!(loaded.fingerprint, 42);
+        assert_eq!(loaded.workspace_hash, 0xfeed);
+        assert_eq!(loaded.files.len(), 1);
+        let f = &loaded.files["crates/x/src/lib.rs"];
+        assert_eq!(f.hash, 0xdead_beef);
+        assert_eq!(f.findings.len(), 1);
+        assert_eq!(f.findings[0].line, 7);
+        assert_eq!(f.findings[0].rule, "no-panic");
+        assert_eq!(loaded.workspace.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_or_version_discards() {
+        let text = save(&sample());
+        assert!(load(&text.replace("no-panic", "no-such-rule")).is_none());
+        assert!(load(&text.replace("\"version\":1", "\"version\":999")).is_none());
+        assert!(load("{not json").is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_policy_text() {
+        assert_ne!(policy_fingerprint("a = 1"), policy_fingerprint("a = 2"));
+        assert_eq!(policy_fingerprint("same"), policy_fingerprint("same"));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_spreads() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -22,7 +22,8 @@ pub enum Severity {
 }
 
 impl Severity {
-    fn parse(s: &str) -> Option<Severity> {
+    /// Parses the canonical lowercase form (the [`fmt::Display`] output).
+    pub fn parse(s: &str) -> Option<Severity> {
         match s {
             "deny" => Some(Severity::Deny),
             "warn" => Some(Severity::Warn),

@@ -2,7 +2,20 @@
 
 use crate::config::Config;
 use crate::lexer::{lex, TokKind, Token};
+use crate::scope::FileScopes;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// One inline `// sift-lint: allow(rule)` / `allow-file(rule)` directive,
+/// kept for the `--audit-allows` staleness report.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    pub rule: String,
+    /// Line of the comment carrying the directive.
+    pub line: u32,
+    pub file_wide: bool,
+    /// Lines the directive suppresses (empty for file-wide).
+    pub covered: BTreeSet<u32>,
+}
 
 /// A lexed file plus everything rules need to decide applicability.
 pub struct FileCtx {
@@ -10,10 +23,15 @@ pub struct FileCtx {
     pub path: String,
     /// Code tokens (comments stripped).
     pub code: Vec<Token>,
+    /// The scope pass over `code`: token tree, fn items, impls, loops,
+    /// lock declarations.
+    pub scopes: FileScopes,
     /// Whole file is test context (under `tests/`, `benches/`, …).
     pub is_test_file: bool,
     /// Whole file is binary/tool context (under `src/bin/`, …).
     pub is_bin_file: bool,
+    /// Every inline allow directive, for `--audit-allows`.
+    pub directives: Vec<AllowDirective>,
     /// Inclusive line ranges under `#[cfg(test)]` / `#[test]` items.
     test_regions: Vec<(u32, u32)>,
     /// rule id → lines where it is suppressed inline.
@@ -37,16 +55,26 @@ impl FileCtx {
         let code_lines: BTreeSet<u32> = code.iter().map(|t| t.line).collect();
         let mut suppressed: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
         let mut file_suppressed = BTreeSet::new();
+        let mut directives = Vec::new();
         for t in &comments {
-            collect_suppressions(t, &code_lines, &mut suppressed, &mut file_suppressed);
+            collect_suppressions(
+                t,
+                &code_lines,
+                &mut suppressed,
+                &mut file_suppressed,
+                &mut directives,
+            );
         }
         let test_regions = find_test_regions(&code);
+        let scopes = FileScopes::analyze(&code);
 
         FileCtx {
             path: path.to_owned(),
             code,
+            scopes,
             is_test_file: cfg.is_test_path(path),
             is_bin_file: cfg.is_bin_path(path),
+            directives,
             test_regions,
             suppressed,
             file_suppressed,
@@ -90,7 +118,16 @@ fn collect_suppressions(
     code_lines: &BTreeSet<u32>,
     suppressed: &mut BTreeMap<String, BTreeSet<u32>>,
     file_suppressed: &mut BTreeSet<String>,
+    directives: &mut Vec<AllowDirective>,
 ) {
+    // Doc comments (`///`, `//!`, `/**`, `/*!`) *describe* the directive
+    // syntax — rustdoc prose never suppresses anything.
+    if ["///", "//!", "/**", "/*!"]
+        .iter()
+        .any(|d| comment.text.starts_with(d))
+    {
+        return;
+    }
     let Some(rest) = comment.text.split("sift-lint:").nth(1) else {
         return;
     };
@@ -101,19 +138,33 @@ fn collect_suppressions(
         for rule in args.split(',').map(str::trim).filter(|r| !r.is_empty()) {
             if file_wide {
                 file_suppressed.insert(rule.to_owned());
+                directives.push(AllowDirective {
+                    rule: rule.to_owned(),
+                    line: comment.line,
+                    file_wide: true,
+                    covered: BTreeSet::new(),
+                });
             } else {
                 let lines = suppressed.entry(rule.to_owned()).or_default();
+                let mut covered = BTreeSet::new();
                 // Cover the comment's own extent (block comments span).
                 let span = u32::try_from(comment.text.matches('\n').count()).unwrap_or(u32::MAX);
                 let end_line = comment.line.saturating_add(span);
                 for l in comment.line..=end_line {
-                    lines.insert(l);
+                    covered.insert(l);
                 }
                 // Standalone comments (no code token where the comment
                 // ends) suppress the line that follows them.
                 if !code_lines.contains(&end_line) {
-                    lines.insert(end_line + 1);
+                    covered.insert(end_line + 1);
                 }
+                lines.extend(covered.iter().copied());
+                directives.push(AllowDirective {
+                    rule: rule.to_owned(),
+                    line: comment.line,
+                    file_wide: false,
+                    covered,
+                });
             }
         }
     }
@@ -290,6 +341,17 @@ mod tests {
         assert!(c.is_suppressed("float-eq", 5));
         assert!(c.is_suppressed("lossy-cast", 5));
         assert!(!c.is_suppressed("float-eq", 2));
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_directives() {
+        let c = ctx(
+            "/// `x // sift-lint: allow(no-panic)` excuses one line\nfn f() {\n  x();\n}\n//! // sift-lint: allow-file(no-print)\n",
+        );
+        assert!(!c.is_suppressed("no-panic", 1));
+        assert!(!c.is_suppressed("no-panic", 2));
+        assert!(!c.is_suppressed("no-print", 3));
+        assert!(c.directives.is_empty());
     }
 
     #[test]

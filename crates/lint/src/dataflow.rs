@@ -1,0 +1,892 @@
+//! Stage 3 of the semantic engine: intra-function dataflow walks.
+//!
+//! Fed by the token forest ([`crate::tree`]) and the scope pass
+//! ([`crate::scope`]), this module answers the flow-sensitive questions
+//! the semantic rule family asks: which locks are *live* when another is
+//! acquired (guard lifetimes modelled by scope — bound guards live to the
+//! end of their block, unbound temporaries to the end of their statement,
+//! `let _ =` drops immediately, `drop(g)` ends a guard early); which
+//! callees are entered while a guard is held; and where the pattern-level
+//! sites (allocations, egress calls, discarded `Result`s) sit.
+
+use crate::lexer::{TokKind, Token};
+use crate::scope::{FileScopes, FnItem};
+use crate::tree::{Delim, Group, Tree};
+use std::collections::BTreeSet;
+
+/// One lock acquisition observed while other guards were live, or a
+/// re-acquisition of a lock already held (`held == acquired`).
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    /// Binding name of the lock already held.
+    pub held: String,
+    /// Binding name of the lock being acquired.
+    pub acquired: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A call made while at least one guard is live.
+#[derive(Clone, Debug)]
+pub struct HeldCall {
+    /// Binding names of the locks held at the call.
+    pub held: Vec<String>,
+    pub callee: String,
+    /// `A` in `A::callee(…)`.
+    pub qualifier: Option<String>,
+    /// `x` in `x.callee(…)`.
+    pub receiver: Option<String>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Lock behaviour of one function body.
+#[derive(Clone, Debug, Default)]
+pub struct LockFacts {
+    /// Every lock this fn acquires directly, by binding name.
+    pub acquires: BTreeSet<String>,
+    /// Nested acquisitions: `held` was live when `acquired` was taken.
+    pub edges: Vec<LockEdge>,
+    /// Calls made with guards live (for cross-function propagation).
+    pub calls_holding: Vec<HeldCall>,
+}
+
+/// A guard on the walker's liveness stack.
+struct Live {
+    lock: String,
+    binding: Option<String>,
+    /// Unbound temporaries die at the end of their statement.
+    temp: bool,
+}
+
+/// Computes [`LockFacts`] for the fn body `f`, treating `lock_names` as
+/// the set of known lock bindings.
+pub fn lock_facts(
+    code: &[Token],
+    scopes: &FileScopes,
+    f: &FnItem,
+    lock_names: &BTreeSet<String>,
+) -> LockFacts {
+    let mut facts = LockFacts::default();
+    let Some(body) = body_group(&scopes.trees, f.body.0) else {
+        return facts;
+    };
+    let mut live: Vec<Live> = Vec::new();
+    walk_block(
+        code,
+        &body.children,
+        lock_names,
+        &mut live,
+        true,
+        &mut facts,
+    );
+    facts
+}
+
+/// Finds the brace group whose opening token is `open_idx`.
+fn body_group(trees: &[Tree], open_idx: usize) -> Option<&Group> {
+    for t in trees {
+        if let Tree::Group(g) = t {
+            if g.delim == Delim::Brace && g.open == open_idx {
+                return Some(g);
+            }
+            if let Some(found) = body_group(&g.children, open_idx) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+/// Walks one children list. `binding_allowed` is true at statement level
+/// (a `let` pattern can bind an acquisition made here) and false inside
+/// nested paren/bracket groups (those produce temporaries of the
+/// enclosing statement).
+fn walk_block(
+    code: &[Token],
+    children: &[Tree],
+    lock_names: &BTreeSet<String>,
+    live: &mut Vec<Live>,
+    statement_level: bool,
+    facts: &mut LockFacts,
+) {
+    let base = live.len();
+    let mut stmt_mark = live.len();
+    // `Some(None)`: `let` seen, pattern name not yet; `Some(Some(n))`:
+    // bound to `n`; the special name `_` means "dropped immediately".
+    let mut pending_let: Option<Option<String>> = None;
+    let mut k = 0usize;
+    while k < children.len() {
+        match &children[k] {
+            Tree::Leaf(i) => {
+                let t = &code[*i];
+                if t.kind == TokKind::Punct && t.text == ";" {
+                    end_statement(live, &mut stmt_mark);
+                    pending_let = None;
+                } else if t.kind == TokKind::Ident && t.text == "let" && statement_level {
+                    pending_let = Some(None);
+                } else if t.kind == TokKind::Ident
+                    && pending_let == Some(None)
+                    && !matches!(t.text.as_str(), "mut" | "ref")
+                {
+                    pending_let = Some(Some(t.text.clone()));
+                } else if t.kind == TokKind::Ident && t.text == "drop" {
+                    // `drop(g)`: end the named guard early.
+                    if let Some(Tree::Group(g)) = children.get(k + 1) {
+                        if g.delim == Delim::Paren && g.children.len() == 1 {
+                            if let Tree::Leaf(j) = g.children[0] {
+                                let name = &code[j].text;
+                                if let Some(pos) = live
+                                    .iter()
+                                    .rposition(|l| l.binding.as_deref() == Some(name))
+                                {
+                                    live.remove(pos);
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(lock) = acquisition_at(code, *i, lock_names) {
+                    for held in live.iter() {
+                        facts.edges.push(LockEdge {
+                            held: held.lock.clone(),
+                            acquired: lock.clone(),
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                    facts.acquires.insert(lock.clone());
+                    // `pool.lock().pop()` binds the popped value, not the
+                    // guard: a consumed guard is a statement temporary no
+                    // matter what the `let` pattern says.
+                    let binding = if statement_level && !guard_consumed(code, *i) {
+                        pending_let.clone().flatten()
+                    } else {
+                        None
+                    };
+                    match binding.as_deref() {
+                        Some("_") => {} // dropped at once, never live
+                        Some(_) => live.push(Live {
+                            lock,
+                            binding,
+                            temp: false,
+                        }),
+                        None => live.push(Live {
+                            lock,
+                            binding: None,
+                            temp: true,
+                        }),
+                    }
+                } else if let Some(callee) = call_at(code, *i) {
+                    if !live.is_empty() && !matches!(callee, "drop" | "lock" | "read" | "write") {
+                        let prev_ident = |sep: &str| {
+                            (*i >= 2
+                                && code[*i - 1].text == sep
+                                && code[*i - 2].kind == TokKind::Ident)
+                                .then(|| code[*i - 2].text.clone())
+                        };
+                        facts.calls_holding.push(HeldCall {
+                            held: live.iter().map(|l| l.lock.clone()).collect(),
+                            callee: callee.to_owned(),
+                            qualifier: prev_ident("::"),
+                            receiver: prev_ident("."),
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+            }
+            Tree::Group(g) => {
+                match g.delim {
+                    Delim::Brace => {
+                        // The nested walk pops its own scoped guards.
+                        walk_block(code, &g.children, lock_names, live, true, facts);
+                        // Condition/scrutinee temporaries live through the
+                        // whole `if`/`match` statement — including an
+                        // attached `else` — then die.
+                        let else_next = matches!(
+                            children.get(k + 1),
+                            Some(Tree::Leaf(j)) if code[*j].text == "else"
+                        );
+                        if !else_next {
+                            end_statement(live, &mut stmt_mark);
+                            pending_let = None;
+                        }
+                    }
+                    Delim::Paren | Delim::Bracket => {
+                        walk_block(code, &g.children, lock_names, live, false, facts);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    // Leaving the block: everything pushed here goes out of scope.
+    live.truncate(base);
+}
+
+/// Kills this statement's temporaries; bound guards survive to block end.
+fn end_statement(live: &mut Vec<Live>, stmt_mark: &mut usize) {
+    let mark = *stmt_mark;
+    let mut idx = 0usize;
+    live.retain(|l| {
+        let keep = idx < mark || !l.temp;
+        idx += 1;
+        keep
+    });
+    *stmt_mark = live.len();
+}
+
+/// True when the guard produced by the acquisition at `i` is consumed by
+/// a further method call in the same expression (`pool.lock().pop()`):
+/// the chained value, not the guard, is what a `let` would bind, so the
+/// guard itself dies with the statement. `.unwrap()` / `.expect(…)` only
+/// unwrap a poisoned-lock `Result` and still yield the guard.
+fn guard_consumed(code: &[Token], i: usize) -> bool {
+    // `i..` is `name . lock (`; step past the call's argument list.
+    let mut j = match matching_close(code, i + 3) {
+        Some(close) => close + 1,
+        None => return false,
+    };
+    loop {
+        if !code.get(j).is_some_and(|t| t.text == ".") {
+            return false;
+        }
+        match code.get(j + 1) {
+            Some(m)
+                if m.kind == TokKind::Ident && matches!(m.text.as_str(), "unwrap" | "expect") => {}
+            Some(m) if m.kind == TokKind::Ident => return true,
+            _ => return false,
+        }
+        match code.get(j + 2) {
+            Some(p) if p.text == "(" => match matching_close(code, j + 2) {
+                Some(close) => j = close + 1,
+                None => return false,
+            },
+            _ => return true,
+        }
+    }
+}
+
+/// Index of the delimiter closing the one opening at `open`.
+fn matching_close(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// `name.lock()` / `name.read()` / `name.write()` where `name` is a known
+/// lock binding: returns the lock name.
+fn acquisition_at(code: &[Token], i: usize, lock_names: &BTreeSet<String>) -> Option<String> {
+    let t = &code[i];
+    if t.kind != TokKind::Ident || !lock_names.contains(&t.text) {
+        return None;
+    }
+    if code.get(i + 1)?.text != "." {
+        return None;
+    }
+    let method = code.get(i + 2)?;
+    if method.kind != TokKind::Ident || !matches!(method.text.as_str(), "lock" | "read" | "write") {
+        return None;
+    }
+    if code.get(i + 3)?.text != "(" {
+        return None;
+    }
+    Some(t.text.clone())
+}
+
+/// `name(` where `name` is not a definition: returns the callee name.
+/// Matches both free calls and method calls (the `.` before is fine).
+fn call_at(code: &[Token], i: usize) -> Option<&str> {
+    let t = &code[i];
+    if t.kind != TokKind::Ident
+        || matches!(
+            t.text.as_str(),
+            "if" | "while" | "for" | "match" | "return" | "loop" | "fn"
+        )
+    {
+        return None;
+    }
+    if !code.get(i + 1).is_some_and(|n| n.text == "(") {
+        return None;
+    }
+    if i > 0 && code[i - 1].kind == TokKind::Ident && code[i - 1].text == "fn" {
+        return None;
+    }
+    Some(&t.text)
+}
+
+/// One call site, with enough lexical context to resolve the callee.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    pub callee: String,
+    /// `A` in `A::callee(…)` — a type or module path segment.
+    pub qualifier: Option<String>,
+    /// `x` in `x.callee(…)` — notably `self`.
+    pub receiver: Option<String>,
+    pub idx: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Every call site in a file.
+pub fn call_sites(code: &[Token]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let Some(callee) = call_at(code, i) else {
+            continue;
+        };
+        let prev_ident = |sep: &str| {
+            (i >= 2 && code[i - 1].text == sep && code[i - 2].kind == TokKind::Ident)
+                .then(|| code[i - 2].text.clone())
+        };
+        out.push(CallSite {
+            callee: callee.to_owned(),
+            qualifier: prev_ident("::"),
+            receiver: prev_ident("."),
+            idx: i,
+            line: code[i].line,
+            col: code[i].col,
+        });
+    }
+    out
+}
+
+/// A fn the resolver can target: its name and impl self type.
+#[derive(Clone, Debug)]
+pub struct FnTarget {
+    pub name: String,
+    pub self_type: Option<String>,
+}
+
+/// CHA-lite call resolution over workspace fn targets: returns the target
+/// indices a call may reach. Qualified calls (`Type::m`, `Self::m`,
+/// `self.m`) resolve by `(self type, name)`; everything else resolves by
+/// bare name only when that name is defined exactly once — an ambiguous
+/// common name (`len`, `state`, `new`) deliberately resolves to nothing,
+/// trading recall for a usable signal-to-noise ratio.
+pub fn resolve_call(
+    call: &CallSite,
+    caller_self_type: Option<&str>,
+    targets: &[FnTarget],
+) -> Vec<usize> {
+    let by_type = |ty: &str| -> Vec<usize> {
+        targets
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.name == call.callee && t.self_type.as_deref() == Some(ty))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    if let Some(q) = &call.qualifier {
+        let ty = if q == "Self" {
+            caller_self_type
+        } else {
+            Some(q.as_str())
+        };
+        if let Some(ty) = ty {
+            let hits = by_type(ty);
+            if !hits.is_empty() {
+                return hits;
+            }
+        }
+        // A capitalized qualifier is a type: `Vec::new` must not resolve
+        // to some workspace `fn new`. Lowercase qualifiers are module
+        // paths (`queue::run`) and fall through to bare-name resolution.
+        if q.chars().next().is_some_and(char::is_uppercase) {
+            return Vec::new();
+        }
+    }
+    if call.receiver.as_deref() == Some("self") {
+        if let Some(ty) = caller_self_type {
+            let hits = by_type(ty);
+            if !hits.is_empty() {
+                return hits;
+            }
+        }
+    }
+    let hits: Vec<usize> = targets
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.name == call.callee)
+        .map(|(i, _)| i)
+        .collect();
+    if hits.len() == 1 {
+        return hits;
+    }
+    // A free call (`helper(…)`) among several same-named defs can still
+    // mean the unique *free* fn; a method call cannot be narrowed.
+    if call.qualifier.is_none() && call.receiver.is_none() {
+        let free: Vec<usize> = hits
+            .into_iter()
+            .filter(|&i| targets[i].self_type.is_none())
+            .collect();
+        if free.len() == 1 {
+            return free;
+        }
+    }
+    Vec::new()
+}
+
+/// A heap-allocation site by token pattern.
+#[derive(Clone, Debug)]
+pub struct AllocSite {
+    pub idx: usize,
+    pub line: u32,
+    pub col: u32,
+    /// What allocated, for the message (`Vec::new`, `.collect()`, …).
+    pub what: String,
+}
+
+/// Constructor idents whose `Type::method(` form allocates.
+const ALLOC_TYPES: &[(&str, &[&str])] = &[
+    ("Vec", &["new", "with_capacity", "from"]),
+    ("String", &["new", "with_capacity", "from"]),
+    ("Box", &["new"]),
+    ("VecDeque", &["new", "with_capacity"]),
+    ("HashMap", &["new", "with_capacity"]),
+    ("BTreeMap", &["new"]),
+];
+
+/// Method idents whose `.method(` form allocates.
+const ALLOC_METHODS: &[&str] = &[
+    "collect",
+    "clone",
+    "cloned",
+    "to_vec",
+    "to_owned",
+    "to_string",
+];
+
+/// Macro idents whose `name!` form allocates.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Every allocation site in a file, by token pattern.
+pub fn alloc_sites(code: &[Token]) -> Vec<AllocSite> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let site = |what: String| AllocSite {
+            idx: i,
+            line: t.line,
+            col: t.col,
+            what,
+        };
+        // `Type::ctor(`
+        if let Some((_, ctors)) = ALLOC_TYPES.iter().find(|(ty, _)| *ty == t.text) {
+            if code.get(i + 1).is_some_and(|n| n.text == "::") {
+                if let Some(m) = code.get(i + 2) {
+                    if ctors.contains(&m.text.as_str())
+                        && code.get(i + 3).is_some_and(|n| n.text == "(")
+                    {
+                        out.push(site(format!("{}::{}", t.text, m.text)));
+                        continue;
+                    }
+                }
+            }
+        }
+        // `name!` macros
+        if ALLOC_MACROS.contains(&t.text.as_str()) && code.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            out.push(site(format!("{}!", t.text)));
+            continue;
+        }
+        // `.method(` / `.method::<…>(`
+        if ALLOC_METHODS.contains(&t.text.as_str())
+            && i > 0
+            && code[i - 1].text == "."
+            && code
+                .get(i + 1)
+                .is_some_and(|n| n.text == "(" || n.text == "::")
+        {
+            out.push(site(format!(".{}()", t.text)));
+        }
+    }
+    out
+}
+
+/// Method names that move a request (or fetch) toward the wire.
+const EGRESS_METHODS: &[&str] = &[
+    "send",
+    "send_with_retry",
+    "post_json",
+    "fetch_frame",
+    "fetch_rising",
+];
+
+/// An egress call site (`.send(…)`, `.fetch_frame(…)`, …).
+#[derive(Clone, Debug)]
+pub struct EgressSite {
+    pub idx: usize,
+    pub line: u32,
+    pub col: u32,
+    pub method: String,
+}
+
+/// Every egress call in a file. Channel handoffs are excluded: a `.send(`
+/// on a receiver named `tx` / `…_tx` / `sender` is an in-process queue,
+/// not wire egress.
+pub fn egress_sites(code: &[Token]) -> Vec<EgressSite> {
+    let mut out = Vec::new();
+    for i in 1..code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident
+            || !EGRESS_METHODS.contains(&t.text.as_str())
+            || code[i - 1].text != "."
+            || !code.get(i + 1).is_some_and(|n| n.text == "(")
+        {
+            continue;
+        }
+        if t.text == "send" && i >= 2 {
+            let recv = &code[i - 2];
+            if recv.kind == TokKind::Ident
+                && (recv.text == "tx" || recv.text.ends_with("_tx") || recv.text == "sender")
+            {
+                continue;
+            }
+        }
+        out.push(EgressSite {
+            idx: i,
+            line: t.line,
+            col: t.col,
+            method: t.text.clone(),
+        });
+    }
+    out
+}
+
+/// A discarded-`Result` site.
+#[derive(Clone, Debug)]
+pub struct DiscardSite {
+    pub line: u32,
+    pub col: u32,
+    /// `let _ =` or `.ok()`.
+    pub kind: &'static str,
+}
+
+/// Finds `let _ = <call…>;` discards and statement-position `.ok();`
+/// discards. `let _ =` over a bare ident (`let _ = x;`) is a lint-free
+/// "mark used" idiom and is not flagged; `let _ = write!(…)` /
+/// `writeln!(…)` is excluded because the in-library sinks are `String`
+/// formatters whose `fmt::Result` cannot fail.
+pub fn discard_sites(code: &[Token]) -> Vec<DiscardSite> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = &code[i];
+        // `let _ = …;`
+        if t.kind == TokKind::Ident && t.text == "let" {
+            if i > 0 && matches!(code[i - 1].text.as_str(), "while" | "if") {
+                continue;
+            }
+            if !(code
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text == "_")
+                && code.get(i + 2).is_some_and(|n| n.text == "="))
+            {
+                continue;
+            }
+            let head = code.get(i + 3);
+            let head_is_infallible_write = head
+                .is_some_and(|h| h.text == "write" || h.text == "writeln")
+                && code.get(i + 4).is_some_and(|n| n.text == "!");
+            if head_is_infallible_write {
+                continue;
+            }
+            // Scan to the terminating `;`; a `(` in between means the
+            // discarded value came out of a call. A top-level `?` means
+            // the error already propagated — `let _ = f()?;` drops only
+            // the success value, which is a deliberate non-finding.
+            let mut depth = 0i32;
+            let mut has_call = false;
+            let mut propagates = false;
+            for tj in &code[(i + 3)..] {
+                if tj.kind != TokKind::Punct {
+                    continue;
+                }
+                match tj.text.as_str() {
+                    "(" | "[" | "{" => {
+                        if tj.text == "(" {
+                            has_call = true;
+                        }
+                        depth += 1;
+                    }
+                    ")" | "]" | "}" => depth -= 1,
+                    "?" if depth == 0 => propagates = true,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            if has_call && !propagates {
+                out.push(DiscardSite {
+                    line: t.line,
+                    col: t.col,
+                    kind: "let _ =",
+                });
+            }
+        }
+        // `….ok();` in statement position.
+        if t.kind == TokKind::Punct
+            && t.text == "."
+            && code.get(i + 1).is_some_and(|n| n.text == "ok")
+            && code.get(i + 2).is_some_and(|n| n.text == "(")
+            && code.get(i + 3).is_some_and(|n| n.text == ")")
+            && code.get(i + 4).is_some_and(|n| n.text == ";")
+            && statement_discards(code, i)
+        {
+            out.push(DiscardSite {
+                line: t.line,
+                col: t.col,
+                kind: ".ok()",
+            });
+        }
+    }
+    out
+}
+
+/// Walks backwards from the `.` of a trailing `.ok();` to its statement
+/// start; the value is discarded unless the statement binds or assigns it
+/// (`let v = …`, `x = …`, `return …`).
+fn statement_discards(code: &[Token], dot: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &code[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                ")" | "]" | "}" if t.text == "}" && depth == 0 => return true,
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    if depth == 0 {
+                        return true; // statement starts at block open
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => return true,
+                _ if depth == 0
+                    && t.text.ends_with('=')
+                    && t.text != "=="
+                    && t.text != "!="
+                    && t.text != "<="
+                    && t.text != ">="
+                    && t.text != "=>" =>
+                {
+                    return false; // assigned somewhere
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident
+            && depth == 0
+            && matches!(t.text.as_str(), "let" | "return" | "else")
+        {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::FileScopes;
+
+    fn facts(src: &str) -> LockFacts {
+        let code: Vec<Token> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let scopes = FileScopes::analyze(&code);
+        let lock_names: BTreeSet<String> = ["a", "b"].iter().map(|s| (*s).to_owned()).collect();
+        let f = scopes
+            .fns
+            .iter()
+            .find(|f| f.name == "f")
+            .expect("fn f in fixture");
+        lock_facts(&code, &scopes, f, &lock_names)
+    }
+
+    fn edge_pairs(facts: &LockFacts) -> Vec<(String, String)> {
+        facts
+            .edges
+            .iter()
+            .map(|e| (e.held.clone(), e.acquired.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_acquisition_makes_an_edge() {
+        let f = facts("fn f() { let g = a.lock(); let h = b.lock(); }");
+        assert_eq!(edge_pairs(&f), [("a".to_owned(), "b".to_owned())]);
+    }
+
+    #[test]
+    fn scoped_guard_drops_before_second_lock() {
+        let f = facts("fn f() { { let g = a.lock(); use_it(&g); } let h = b.lock(); }");
+        assert!(edge_pairs(&f).is_empty(), "{f:?}");
+        assert_eq!(f.acquires.len(), 2);
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_guard() {
+        let f = facts("fn f() { let g = a.lock(); drop(g); let h = b.lock(); }");
+        assert!(edge_pairs(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn let_underscore_guard_never_lives() {
+        let f = facts("fn f() { let _ = a.lock(); let h = b.lock(); }");
+        assert!(edge_pairs(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn temporary_lives_to_end_of_statement_only() {
+        let f = facts("fn f() { use_it(a.lock().len()); let h = b.lock(); }");
+        assert!(edge_pairs(&f).is_empty(), "{f:?}");
+        let f = facts("fn f() { use_both(a.lock().len(), b.lock().len()); }");
+        assert_eq!(edge_pairs(&f), [("a".to_owned(), "b".to_owned())]);
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_lives_through_the_body() {
+        let f = facts("fn f() { if a.lock().is_empty() { let h = b.lock(); } }");
+        assert_eq!(edge_pairs(&f), [("a".to_owned(), "b".to_owned())]);
+        // …and through the else branch too.
+        let f = facts("fn f() { if a.lock().is_empty() { x(); } else { let h = b.lock(); } }");
+        assert_eq!(edge_pairs(&f), [("a".to_owned(), "b".to_owned())]);
+        // …but not past the statement.
+        let f = facts("fn f() { if a.lock().is_empty() { x(); } let h = b.lock(); }");
+        assert!(edge_pairs(&f).is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn consumed_guard_is_a_statement_temporary() {
+        // `pool.lock().pop()` binds the popped value; the guard dies at `;`.
+        let f = facts("fn f() { let v = a.lock().pop(); let h = b.lock(); }");
+        assert!(edge_pairs(&f).is_empty(), "{f:?}");
+        // `.unwrap()` still yields the guard, which stays bound.
+        let f = facts("fn f() { let g = a.lock().unwrap(); let h = b.lock(); }");
+        assert_eq!(edge_pairs(&f), [("a".to_owned(), "b".to_owned())]);
+    }
+
+    #[test]
+    fn resolve_call_prefers_type_then_unambiguous_name() {
+        let t = |name: &str, ty: Option<&str>| FnTarget {
+            name: name.to_owned(),
+            self_type: ty.map(str::to_owned),
+        };
+        let targets = vec![
+            t("state", Some("Breaker")),
+            t("state", Some("Histogram")),
+            t("transition", Some("Breaker")),
+            t("helper", None),
+        ];
+        let call = |callee: &str, qual: Option<&str>, recv: Option<&str>| CallSite {
+            callee: callee.to_owned(),
+            qualifier: qual.map(str::to_owned),
+            receiver: recv.map(str::to_owned),
+            idx: 0,
+            line: 1,
+            col: 1,
+        };
+        // An ambiguous method name resolves to nothing.
+        assert!(resolve_call(&call("state", None, Some("h")), None, &targets).is_empty());
+        // `self.` narrows by the caller's type.
+        assert_eq!(
+            resolve_call(
+                &call("state", None, Some("self")),
+                Some("Breaker"),
+                &targets
+            ),
+            [0]
+        );
+        // Unique names resolve from any receiver.
+        assert_eq!(
+            resolve_call(&call("transition", None, Some("x")), None, &targets),
+            [2]
+        );
+        // A capitalized qualifier is a type, never a bare-name fallback.
+        assert!(resolve_call(&call("helper", Some("Vec"), None), None, &targets).is_empty());
+        assert_eq!(
+            resolve_call(&call("helper", None, None), None, &targets),
+            [3]
+        );
+    }
+
+    #[test]
+    fn double_acquire_is_a_self_edge() {
+        let f = facts("fn f() { let g = a.lock(); let h = a.lock(); }");
+        assert_eq!(edge_pairs(&f), [("a".to_owned(), "a".to_owned())]);
+    }
+
+    #[test]
+    fn calls_while_holding_are_recorded() {
+        let f = facts("fn f() { let g = a.lock(); helper(1); }");
+        assert_eq!(f.calls_holding.len(), 1);
+        assert_eq!(f.calls_holding[0].callee, "helper");
+        assert_eq!(f.calls_holding[0].held, ["a".to_owned()]);
+    }
+
+    #[test]
+    fn alloc_sites_match_the_paper_list() {
+        let code: Vec<Token> = lex(
+            "fn f() { let v = Vec::new(); let s = x.iter().collect::<Vec<_>>(); \
+             let c = y.clone(); let t = z.to_vec(); let m = format!(\"x\"); \
+             let w = vec![1]; push(v); }",
+        )
+        .into_iter()
+        .filter(|t| !t.is_comment())
+        .collect();
+        let whats: Vec<String> = alloc_sites(&code).into_iter().map(|a| a.what).collect();
+        assert_eq!(
+            whats,
+            [
+                "Vec::new",
+                ".collect()",
+                ".clone()",
+                ".to_vec()",
+                "format!",
+                "vec!"
+            ]
+        );
+    }
+
+    #[test]
+    fn egress_sites_skip_channel_sends() {
+        let code: Vec<Token> = lex(
+            "fn f() { client.send(&req); tx.send(x); out_tx.send(y); c.post_json(\"/p\", b); \
+             u.fetch_frame(r); }",
+        )
+        .into_iter()
+        .filter(|t| !t.is_comment())
+        .collect();
+        let methods: Vec<String> = egress_sites(&code).into_iter().map(|e| e.method).collect();
+        assert_eq!(methods, ["send", "post_json", "fetch_frame"]);
+    }
+
+    #[test]
+    fn discard_sites_flag_calls_not_idents_or_writes() {
+        let code: Vec<Token> = lex(
+            "fn f() { let _ = g(); let _ = model; let _ = write!(s, \"x\"); \
+             h().ok(); let v = i().ok(); let _ = j()?; }",
+        )
+        .into_iter()
+        .filter(|t| !t.is_comment())
+        .collect();
+        let kinds: Vec<&str> = discard_sites(&code).iter().map(|d| d.kind).collect();
+        assert_eq!(kinds, ["let _ =", ".ok()"]);
+    }
+}

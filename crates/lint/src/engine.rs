@@ -1,11 +1,23 @@
 //! Walks the workspace, runs every rule, applies policy and suppressions.
+//!
+//! The engine runs in three stages: per-file context construction
+//! (lex → token tree → scope pass), the per-file rules, and the
+//! workspace rules. The first two stages are embarrassingly parallel and
+//! fan out across worker threads with an atomic work-stealing cursor;
+//! the workspace rules need every [`FileCtx`] at once and run serially.
+//! Findings are sorted by position at the end, so parallel and serial
+//! runs produce byte-identical reports.
 
+use crate::cache::{self, fnv1a, Cache, CachedFile};
 use crate::config::{Config, Severity};
 use crate::context::FileCtx;
 use crate::rules::{registry, RawFinding, Rule, RuleKind};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// A finished, policy-applied finding.
 #[derive(Clone, Debug)]
@@ -18,43 +30,257 @@ pub struct Finding {
     pub message: String,
 }
 
+/// Engine knobs the CLI exposes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LintOptions {
+    /// Worker threads for the parallel stages (`0` = one per core).
+    pub threads: usize,
+    /// Collect per-rule and per-file wall time.
+    pub timing: bool,
+}
+
+/// Wall-time accounting for `--timing`.
+#[derive(Clone, Debug, Default)]
+pub struct TimingReport {
+    /// Rule id → total time across all files, reporting order.
+    pub per_rule: Vec<(&'static str, Duration)>,
+    /// Path → context build + per-file rule time.
+    pub per_file: Vec<(String, Duration)>,
+    pub total: Duration,
+    /// Files served from the incremental cache (cached runs only).
+    pub files_reused: usize,
+}
+
+/// Findings plus optional accounting.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub timing: Option<TimingReport>,
+    /// A cache that could not be written back (the lint itself is fine).
+    pub cache_write_error: Option<String>,
+}
+
 /// Lints in-memory sources (used by fixture tests and by
 /// [`lint_workspace`] after reading files).
 pub fn lint_sources(sources: &[(String, String)], cfg: &Config) -> Vec<Finding> {
-    let contexts: Vec<FileCtx> = sources
-        .iter()
-        .map(|(path, text)| FileCtx::new(path, text, cfg))
-        .collect();
+    lint_sources_opts(sources, cfg, LintOptions::default()).findings
+}
 
+/// [`lint_sources`] with explicit engine options.
+pub fn lint_sources_opts(
+    sources: &[(String, String)],
+    cfg: &Config,
+    opts: LintOptions,
+) -> LintReport {
+    let started = Instant::now();
+    let threads = worker_count(opts.threads, sources.len());
+    let (contexts, mut file_time) = build_contexts(sources, cfg, threads);
+
+    let mut rule_time: BTreeMap<&'static str, Duration> = BTreeMap::new();
+    let want: Vec<bool> = vec![true; contexts.len()];
+    let per_file = per_file_pass(
+        &contexts,
+        cfg,
+        threads,
+        &want,
+        &mut rule_time,
+        &mut file_time,
+    );
+
+    let mut findings: Vec<Finding> = per_file.into_iter().flatten().collect();
+    findings.extend(workspace_pass(&contexts, cfg, &mut rule_time));
+    sort_findings(&mut findings);
+
+    LintReport {
+        findings,
+        timing: opts
+            .timing
+            .then(|| timing_report(rule_time, file_time, started.elapsed(), 0)),
+        cache_write_error: None,
+    }
+}
+
+fn worker_count(requested: usize, jobs: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let n = if requested == 0 { auto } else { requested };
+    n.min(jobs).max(1)
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.path, b.line, b.col, b.rule, &b.message))
+    });
+}
+
+fn timing_report(
+    rule_time: BTreeMap<&'static str, Duration>,
+    file_time: Vec<(String, Duration)>,
+    total: Duration,
+    files_reused: usize,
+) -> TimingReport {
+    // Report rules in registry order so the output is stable.
+    let per_rule = registry()
+        .iter()
+        .filter_map(|r| rule_time.get(r.id).map(|d| (r.id, *d)))
+        .collect();
+    TimingReport {
+        per_rule,
+        per_file: file_time,
+        total,
+        files_reused,
+    }
+}
+
+/// Builds every [`FileCtx`] across `threads` workers; returns contexts in
+/// source order plus per-file build time.
+fn build_contexts(
+    sources: &[(String, String)],
+    cfg: &Config,
+    threads: usize,
+) -> (Vec<FileCtx>, Vec<(String, Duration)>) {
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<(usize, FileCtx, Duration)> = Vec::with_capacity(sources.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((path, text)) = sources.get(i) else {
+                            break local;
+                        };
+                        let built = Instant::now();
+                        let ctx = FileCtx::new(path, text, cfg);
+                        local.push((i, ctx, built.elapsed()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => parts.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    parts.sort_by_key(|&(i, _, _)| i);
+    let mut contexts = Vec::with_capacity(parts.len());
+    let mut times = Vec::with_capacity(parts.len());
+    for (_, ctx, took) in parts {
+        times.push((ctx.path.clone(), took));
+        contexts.push(ctx);
+    }
+    (contexts, times)
+}
+
+/// Runs every per-file rule over the contexts selected by `want`, in
+/// parallel. Returns findings grouped by context index (empty groups for
+/// unselected files); accumulates per-rule and per-file wall time.
+fn per_file_pass(
+    contexts: &[FileCtx],
+    cfg: &Config,
+    threads: usize,
+    want: &[bool],
+    rule_time: &mut BTreeMap<&'static str, Duration>,
+    file_time: &mut [(String, Duration)],
+) -> Vec<Vec<Finding>> {
+    struct Part {
+        idx: usize,
+        findings: Vec<Finding>,
+        rule_time: Vec<(&'static str, Duration)>,
+        took: Duration,
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Part> = Vec::with_capacity(contexts.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let rules = registry();
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(ctx) = contexts.get(idx) else {
+                            break local;
+                        };
+                        if !want[idx] {
+                            continue;
+                        }
+                        let file_started = Instant::now();
+                        let mut findings = Vec::new();
+                        let mut times = Vec::new();
+                        for rule in &rules {
+                            let RuleKind::PerFile(check) = &rule.kind else {
+                                continue;
+                            };
+                            let severity = cfg.severity(rule.id, rule.default_severity);
+                            if severity == Severity::Allow || !rule_applies_to(rule, ctx, cfg) {
+                                continue;
+                            }
+                            let rule_started = Instant::now();
+                            let mut raw = Vec::new();
+                            check(ctx, cfg, &mut raw);
+                            admit(rule, severity, ctx, raw, true, &mut findings);
+                            times.push((rule.id, rule_started.elapsed()));
+                        }
+                        local.push(Part {
+                            idx,
+                            findings,
+                            rule_time: times,
+                            took: file_started.elapsed(),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => parts.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut grouped: Vec<Vec<Finding>> = Vec::new();
+    grouped.resize_with(contexts.len(), Vec::new);
+    for part in parts {
+        for (id, d) in part.rule_time {
+            *rule_time.entry(id).or_default() += d;
+        }
+        if let Some(slot) = file_time.get_mut(part.idx) {
+            slot.1 += part.took;
+        }
+        grouped[part.idx] = part.findings;
+    }
+    grouped
+}
+
+/// Runs the workspace rules (serial: they need every context at once).
+fn workspace_pass(
+    contexts: &[FileCtx],
+    cfg: &Config,
+    rule_time: &mut BTreeMap<&'static str, Duration>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for rule in registry() {
+        let RuleKind::Workspace(check) = &rule.kind else {
+            continue;
+        };
+        let check = *check;
         let severity = cfg.severity(rule.id, rule.default_severity);
         if severity == Severity::Allow {
             continue;
         }
-        match rule.kind {
-            RuleKind::PerFile(check) => {
-                for ctx in &contexts {
-                    if !rule_applies_to(&rule, ctx, cfg) {
-                        continue;
-                    }
-                    let mut raw = Vec::new();
-                    check(ctx, cfg, &mut raw);
-                    admit(&rule, severity, ctx, raw, &mut findings);
-                }
-            }
-            RuleKind::Workspace(check) => {
-                for (path, f) in check(&contexts, cfg) {
-                    let Some(ctx) = contexts.iter().find(|c| c.path == path) else {
-                        continue;
-                    };
-                    admit(&rule, severity, ctx, vec![f], &mut findings);
-                }
-            }
+        let rule_started = Instant::now();
+        for (path, f) in check(contexts, cfg) {
+            let Some(ctx) = contexts.iter().find(|c| c.path == path) else {
+                continue;
+            };
+            admit(&rule, severity, ctx, vec![f], true, &mut findings);
         }
+        *rule_time.entry(rule.id).or_default() += rule_started.elapsed();
     }
-    findings
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     findings
 }
 
@@ -68,19 +294,21 @@ fn rule_applies_to(rule: &Rule, ctx: &FileCtx, cfg: &Config) -> bool {
     !cfg.path_allowed(rule.id, &ctx.path)
 }
 
-/// Applies test-context and inline-suppression filters, then records.
+/// Applies test-context and (optionally) inline-suppression filters, then
+/// records.
 fn admit(
     rule: &Rule,
     severity: Severity,
     ctx: &FileCtx,
     raw: Vec<RawFinding>,
+    honor_suppressions: bool,
     out: &mut Vec<Finding>,
 ) {
     for f in raw {
         if !rule.applies_in_tests && ctx.in_test(f.line) {
             continue;
         }
-        if ctx.is_suppressed(rule.id, f.line) {
+        if honor_suppressions && ctx.is_suppressed(rule.id, f.line) {
             continue;
         }
         out.push(Finding {
@@ -96,16 +324,255 @@ fn admit(
 
 /// Lints every `.rs` file selected by the config under `root`.
 pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Finding>> {
+    Ok(lint_sources(&read_workspace(root, cfg)?, cfg))
+}
+
+/// [`lint_workspace`] with engine options (threads, timing).
+pub fn lint_workspace_opts(root: &Path, cfg: &Config, opts: LintOptions) -> io::Result<LintReport> {
+    Ok(lint_sources_opts(&read_workspace(root, cfg)?, cfg, opts))
+}
+
+/// [`lint_workspace`] through the incremental cache at `cache_path`.
+///
+/// Unchanged files (by content hash, under an unchanged policy
+/// fingerprint) reuse their per-file findings without re-running rules;
+/// a fully unchanged workspace reuses the workspace-rule findings too and
+/// skips parsing entirely. The refreshed cache is written back
+/// best-effort — a write failure is reported on the side, never as a
+/// lint failure.
+pub fn lint_workspace_cached(
+    root: &Path,
+    cfg: &Config,
+    fingerprint: u64,
+    cache_path: &Path,
+    opts: LintOptions,
+) -> io::Result<LintReport> {
+    let started = Instant::now();
+    let sources = read_workspace(root, cfg)?;
+    let hashes: Vec<u64> = sources.iter().map(|(_, t)| fnv1a(t.as_bytes())).collect();
+    let workspace_hash = {
+        use std::fmt::Write as _;
+        let mut listing = String::new();
+        for ((path, _), h) in sources.iter().zip(&hashes) {
+            listing.push_str(path);
+            let _ = write!(listing, "\u{0}{h:016x}\u{0}");
+        }
+        fnv1a(listing.as_bytes())
+    };
+
+    let cached: Cache = fs::read_to_string(cache_path)
+        .ok()
+        .and_then(|t| cache::load(&t))
+        .filter(|c| c.fingerprint == fingerprint)
+        .unwrap_or_default();
+
+    // Fast path: nothing changed at all — the workspace hash covers the
+    // exact file set and every content hash.
+    if cached.workspace_hash == workspace_hash && !cached.files.is_empty() {
+        let mut findings: Vec<Finding> = cached
+            .files
+            .values()
+            .flat_map(|f| f.findings.iter().cloned())
+            .collect();
+        findings.extend(cached.workspace.iter().cloned());
+        sort_findings(&mut findings);
+        return Ok(LintReport {
+            findings,
+            timing: opts.timing.then(|| {
+                timing_report(
+                    BTreeMap::new(),
+                    Vec::new(),
+                    started.elapsed(),
+                    sources.len(),
+                )
+            }),
+            cache_write_error: None,
+        });
+    }
+
+    let threads = worker_count(opts.threads, sources.len());
+    let (contexts, mut file_time) = build_contexts(&sources, cfg, threads);
+
+    // A file is reusable when its content hash matches the cached entry.
+    let want: Vec<bool> = sources
+        .iter()
+        .zip(&hashes)
+        .map(|((path, _), h)| cached.files.get(path).map_or(true, |f| f.hash != *h))
+        .collect();
+    let reused = want.iter().filter(|w| !**w).count();
+
+    let mut rule_time: BTreeMap<&'static str, Duration> = BTreeMap::new();
+    let mut per_file = per_file_pass(
+        &contexts,
+        cfg,
+        threads,
+        &want,
+        &mut rule_time,
+        &mut file_time,
+    );
+    for (idx, (path, _)) in sources.iter().enumerate() {
+        if !want[idx] {
+            if let Some(entry) = cached.files.get(path) {
+                per_file[idx] = entry.findings.clone();
+            }
+        }
+    }
+    let workspace = workspace_pass(&contexts, cfg, &mut rule_time);
+
+    let mut next = Cache {
+        fingerprint,
+        files: BTreeMap::new(),
+        workspace_hash,
+        workspace: workspace.clone(),
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    for ((idx, (path, _)), hash) in sources.iter().enumerate().zip(&hashes) {
+        next.files.insert(
+            path.clone(),
+            CachedFile {
+                hash: *hash,
+                findings: per_file[idx].clone(),
+            },
+        );
+        findings.append(&mut per_file[idx]);
+    }
+    findings.extend(workspace);
+    sort_findings(&mut findings);
+
+    let cache_write_error = write_cache(cache_path, &cache::save(&next))
+        .err()
+        .map(|e| format!("{}: {e}", cache_path.display()));
+    Ok(LintReport {
+        findings,
+        timing: opts
+            .timing
+            .then(|| timing_report(rule_time, file_time, started.elapsed(), reused)),
+        cache_write_error,
+    })
+}
+
+fn write_cache(path: &Path, text: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, text)
+}
+
+/// One inline allow directive that no longer earns its keep.
+#[derive(Clone, Debug)]
+pub struct StaleAllow {
+    pub path: String,
+    /// Line of the comment carrying the directive.
+    pub line: u32,
+    pub rule: String,
+    /// Why it is stale.
+    pub reason: StaleReason,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaleReason {
+    /// The rule id does not exist in this binary's registry.
+    UnknownRule,
+    /// No finding of that rule lands on any line the directive covers.
+    NothingSuppressed,
+}
+
+/// Audits every inline `sift-lint: allow(...)` in the sources: re-runs
+/// the rules with suppressions disabled (and configured severities
+/// ignored, so an allow documenting an exception under a currently
+/// `allow`-severity rule is not reported) and flags directives that no
+/// longer cover any would-be finding. Stale allows are how outdated
+/// exceptions outlive their justification — this keeps the set honest.
+pub fn audit_allows(sources: &[(String, String)], cfg: &Config) -> Vec<StaleAllow> {
+    let threads = worker_count(0, sources.len());
+    let (contexts, _) = build_contexts(sources, cfg, threads);
+
+    // (path, rule) → lines a finding would land on without suppression.
+    let mut would: BTreeMap<(String, &'static str), BTreeSet<u32>> = BTreeMap::new();
+    let mut record = |f: &Finding| {
+        would
+            .entry((f.path.clone(), f.rule))
+            .or_default()
+            .insert(f.line);
+    };
+    for rule in registry() {
+        match rule.kind {
+            RuleKind::PerFile(check) => {
+                for ctx in &contexts {
+                    if !rule_applies_to(&rule, ctx, cfg) {
+                        continue;
+                    }
+                    let mut raw = Vec::new();
+                    check(ctx, cfg, &mut raw);
+                    let mut out = Vec::new();
+                    admit(&rule, rule.default_severity, ctx, raw, false, &mut out);
+                    out.iter().for_each(&mut record);
+                }
+            }
+            RuleKind::Workspace(check) => {
+                for (path, f) in check(&contexts, cfg) {
+                    let Some(ctx) = contexts.iter().find(|c| c.path == path) else {
+                        continue;
+                    };
+                    let mut out = Vec::new();
+                    admit(&rule, rule.default_severity, ctx, vec![f], false, &mut out);
+                    out.iter().for_each(&mut record);
+                }
+            }
+        }
+    }
+
+    let known: Vec<&str> = registry().iter().map(|r| r.id).collect();
+    let mut stale = Vec::new();
+    for ctx in &contexts {
+        for d in &ctx.directives {
+            if !known.contains(&d.rule.as_str()) {
+                stale.push(StaleAllow {
+                    path: ctx.path.clone(),
+                    line: d.line,
+                    rule: d.rule.clone(),
+                    reason: StaleReason::UnknownRule,
+                });
+                continue;
+            }
+            let lines = would
+                .iter()
+                .find(|((p, r), _)| *p == ctx.path && *r == d.rule)
+                .map(|(_, l)| l);
+            let earns = match lines {
+                Some(lines) if d.file_wide => !lines.is_empty(),
+                Some(lines) => d.covered.iter().any(|l| lines.contains(l)),
+                None => false,
+            };
+            if !earns {
+                stale.push(StaleAllow {
+                    path: ctx.path.clone(),
+                    line: d.line,
+                    rule: d.rule.clone(),
+                    reason: StaleReason::NothingSuppressed,
+                });
+            }
+        }
+    }
+    stale.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    stale
+}
+
+/// [`audit_allows`] over the files under `root`.
+pub fn audit_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<StaleAllow>> {
+    Ok(audit_allows(&read_workspace(root, cfg)?, cfg))
+}
+
+fn read_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, cfg, &mut files)?;
     files.sort();
-
     let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let text = fs::read_to_string(root.join(&path))?;
         sources.push((path, text));
     }
-    Ok(lint_sources(&sources, cfg))
+    Ok(sources)
 }
 
 /// Directory names never descended into, regardless of config (build
@@ -191,5 +658,141 @@ mod tests {
         let out = lint_one("crates/x/src/lib.rs", src, &Config::default());
         assert_eq!(out.len(), 2);
         assert!(out[0].line < out[1].line);
+    }
+
+    fn many_sources() -> Vec<(String, String)> {
+        (0..24)
+            .map(|i| {
+                (
+                    format!("crates/x/src/m{i:02}.rs"),
+                    format!("fn f{i}() {{ a.unwrap(); let x: f64 = y; if x == {i}.0 {{}} }}"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_byte_identical() {
+        let cfg = Config::default();
+        let sources = many_sources();
+        let serial = lint_sources_opts(
+            &sources,
+            &cfg,
+            LintOptions {
+                threads: 1,
+                timing: false,
+            },
+        );
+        let parallel = lint_sources_opts(
+            &sources,
+            &cfg,
+            LintOptions {
+                threads: 8,
+                timing: false,
+            },
+        );
+        assert_eq!(
+            crate::report::render_json(&serial.findings),
+            crate::report::render_json(&parallel.findings),
+        );
+        assert!(!serial.findings.is_empty());
+    }
+
+    #[test]
+    fn timing_covers_rules_and_files() {
+        let report = lint_sources_opts(
+            &many_sources(),
+            &Config::default(),
+            LintOptions {
+                threads: 4,
+                timing: true,
+            },
+        );
+        let timing = report.timing.expect("timing requested");
+        assert_eq!(timing.per_file.len(), 24);
+        assert!(timing.per_rule.iter().any(|(id, _)| *id == "no-panic"));
+    }
+
+    #[test]
+    fn audit_flags_unknown_and_unused_allows() {
+        let src = "fn f() {\n\
+                   a.unwrap(); // sift-lint: allow(no-panic) — earns its keep\n\
+                   let x = 1; // sift-lint: allow(no-panic) — nothing here\n\
+                   let y = 2; // sift-lint: allow(no-such-rule) — typo\n\
+                   }\n";
+        let stale = audit_allows(
+            &[("crates/x/src/lib.rs".to_owned(), src.to_owned())],
+            &Config::default(),
+        );
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert_eq!(stale[0].line, 3);
+        assert_eq!(stale[0].reason, StaleReason::NothingSuppressed);
+        assert_eq!(stale[1].line, 4);
+        assert_eq!(stale[1].reason, StaleReason::UnknownRule);
+    }
+
+    #[test]
+    fn audit_respects_allow_severity_exceptions() {
+        // A directive under a rule the config currently allows still
+        // covers a real would-be finding — not stale.
+        let mut cfg = Config::default();
+        cfg.rules.entry("no-panic".into()).or_default().severity = Some(Severity::Allow);
+        let src = "fn f() {\n  a.unwrap(); // sift-lint: allow(no-panic) — documented\n}\n";
+        let stale = audit_allows(&[("crates/x/src/lib.rs".to_owned(), src.to_owned())], &cfg);
+        assert!(stale.is_empty(), "{stale:?}");
+    }
+
+    #[test]
+    fn cached_run_is_identical_and_reuses_files() {
+        let dir = std::env::temp_dir().join(format!("sift-lint-cache-test-{}", std::process::id()));
+        let src_dir = dir.join("crates/x/src");
+        std::fs::create_dir_all(&src_dir).expect("mkdir");
+        std::fs::write(src_dir.join("lib.rs"), "fn f() { a.unwrap(); }\n").expect("write");
+        std::fs::write(
+            src_dir.join("other.rs"),
+            "fn g(x: f64) { if x == 1.0 {} }\n",
+        )
+        .expect("write");
+        let cfg = Config::default();
+        let cache_path = dir.join("target/sift-lint-cache.json");
+        let opts = LintOptions {
+            threads: 2,
+            timing: true,
+        };
+
+        let cold = lint_workspace_cached(&dir, &cfg, 7, &cache_path, opts).expect("cold");
+        assert!(cache_path.is_file(), "cache written");
+        assert_eq!(cold.timing.as_ref().expect("timing").files_reused, 0);
+
+        let warm = lint_workspace_cached(&dir, &cfg, 7, &cache_path, opts).expect("warm");
+        assert_eq!(
+            crate::report::render_json(&cold.findings),
+            crate::report::render_json(&warm.findings),
+        );
+        assert_eq!(warm.timing.as_ref().expect("timing").files_reused, 2);
+
+        // Editing one file invalidates that file (and the workspace pass)
+        // but keeps the untouched file's entry.
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "fn f() { a.unwrap(); b.unwrap(); }\n",
+        )
+        .expect("write");
+        let edited = lint_workspace_cached(&dir, &cfg, 7, &cache_path, opts).expect("edited");
+        assert_eq!(
+            edited
+                .findings
+                .iter()
+                .filter(|f| f.rule == "no-panic")
+                .count(),
+            2
+        );
+        assert_eq!(edited.timing.as_ref().expect("timing").files_reused, 1);
+
+        // A fingerprint change (policy edit) discards everything.
+        let refreshed = lint_workspace_cached(&dir, &cfg, 8, &cache_path, opts).expect("refresh");
+        assert_eq!(refreshed.timing.as_ref().expect("timing").files_reused, 0);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

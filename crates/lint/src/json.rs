@@ -1,0 +1,255 @@
+//! A minimal JSON reader for the linter's own artifacts.
+//!
+//! The incremental cache and the findings baseline are JSON files the
+//! linter writes itself ([`crate::report::render_json`]-style); this
+//! parser reads them back. It is a strict recursive-descent parser over
+//! the full JSON grammar — strings with escapes, numbers, nesting — but
+//! with lint-tool error handling: any malformed input returns `None` and
+//! the caller regenerates the artifact from scratch.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key order preserved as written.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Object field access by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            // sift-lint: allow(float-eq) — exactness test, not a tolerance test: fract() of an integral f64 is exactly 0.0
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= f64::from(u32::MAX) => {
+                // In-range integral f64 → u32 is exact.
+                Some(*n as u32) // sift-lint: allow(lossy-cast) — range-checked above
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while b.get(*pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match b.get(*pos)? {
+        b'n' => eat(b, pos, "null").map(|()| Json::Null),
+        b't' => eat(b, pos, "true").map(|()| Json::Bool(true)),
+        b'f' => eat(b, pos, "false").map(|()| Json::Bool(false)),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                eat(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy one UTF-8 scalar (multi-byte sequences intact).
+                let start = *pos;
+                *pos += 1;
+                while b.get(*pos).is_some_and(|c| c & 0xc0 == 0x80) {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).ok()?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<Json> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Json::Num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_findings_report() {
+        let text = r#"{"findings":[{"path":"a.rs","line":3,"col":7,"rule":"no-panic","severity":"deny","message":"a \"quoted\" message"}],"total":1,"deny":1,"warn":0}"#;
+        let v = Json::parse(text).expect("parses");
+        let findings = v.get("findings").and_then(Json::as_arr).expect("arr");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("line").and_then(Json::as_u32), Some(3));
+        assert_eq!(
+            findings[0].get("message").and_then(Json::as_str),
+            Some("a \"quoted\" message")
+        );
+        assert_eq!(v.get("deny").and_then(Json::as_u32), Some(1));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::parse(r#""tab\t nl\n unié slash\/""#).expect("parses");
+        assert_eq!(v.as_str(), Some("tab\t nl\n uni\u{e9} slash/"));
+        let v = Json::parse("\"caf\u{e9}\"").expect("raw utf8");
+        assert_eq!(v.as_str(), Some("caf\u{e9}"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "[1,", "{\"a\"}", "tru", "\"unterminated", "1 2", ""] {
+            assert!(Json::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Json::parse(r#"{"files":{"a.rs":{"hash":"deadbeef","findings":[]}},"n":-1.5}"#)
+            .expect("parses");
+        let hash = v
+            .get("files")
+            .and_then(|f| f.get("a.rs"))
+            .and_then(|f| f.get("hash"))
+            .and_then(Json::as_str);
+        assert_eq!(hash, Some("deadbeef"));
+        assert_eq!(v.get("n"), Some(&Json::Num(-1.5)));
+    }
+}

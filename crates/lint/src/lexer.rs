@@ -162,6 +162,18 @@ pub fn lex(src: &str) -> Vec<Token> {
             continue;
         }
 
+        // Byte-char literals: `b'x'`, `b'\''`. Recognised before the
+        // identifier branch so the `b` prefix cannot leak out as its own
+        // ident (and before the quote branch so `'` is not misread as a
+        // lifetime when the previous token ends in `b`, as in `&'a b'x'`).
+        if b == b'b' && c.peek(1) == Some(b'\'') {
+            c.bump(); // b
+            c.bump(); // opening quote
+            lex_quoted(&mut c, b'\'');
+            out.push(tok(TokKind::Char, &c, start));
+            continue;
+        }
+
         // Plain strings.
         if b == b'"' {
             c.bump();
@@ -227,35 +239,64 @@ pub fn lex(src: &str) -> Vec<Token> {
     out
 }
 
-/// Length in bytes of a raw/byte/C string opener at the cursor, if one
-/// starts here: the whole literal is measured and returned.
-fn raw_or_prefixed_string(c: &Cursor) -> Option<usize> {
-    let rest = &c.src[c.pos..];
-    let mut i = 0usize;
-    // Optional b/c prefix, optional r, then # fence or quote.
-    if rest.first().copied() == Some(b'b') || rest.first().copied() == Some(b'c') {
-        i += 1;
+/// A recognised raw/prefixed string opener: how many bytes of prefix
+/// (`b`/`c`/`r` run) precede the fence, how many `#`s fence the literal,
+/// and whether the body is raw (no escapes).
+struct StrOpener {
+    /// Bytes before the fence: the `b`/`c`/`c r`/`b r` prefix run.
+    prefix: usize,
+    /// `#` count; the closer must repeat exactly this many.
+    hashes: usize,
+    /// Raw literals take no escapes and close only on `"` + fence.
+    raw: bool,
+}
+
+/// Parses the opener of a raw/byte/C string at the start of `rest`:
+/// optional one-byte `b`/`c` prefix, optional `r`, then a uniform `#`
+/// fence of any length (so `br"…"`, `br#"…"#` and `br###"…"###` all
+/// resolve the same way), then the opening quote. Returns `None` when no
+/// prefixed/raw string starts here (plain `"…"` is the caller's case).
+fn raw_opener_len(rest: &[u8]) -> Option<StrOpener> {
+    let mut prefix = 0usize;
+    if matches!(rest.first(), Some(b'b' | b'c')) {
+        prefix += 1;
     }
-    let raw = rest.get(i).copied() == Some(b'r');
+    let raw = rest.get(prefix).copied() == Some(b'r');
     if raw {
-        i += 1;
+        prefix += 1;
     }
     let mut hashes = 0usize;
-    while rest.get(i + hashes).copied() == Some(b'#') {
+    while rest.get(prefix + hashes).copied() == Some(b'#') {
         hashes += 1;
     }
     if !raw && hashes > 0 {
         return None; // b#… is not a string
     }
-    if rest.get(i + hashes).copied() != Some(b'"') {
+    if rest.get(prefix + hashes).copied() != Some(b'"') {
         return None;
     }
-    if i == 0 && hashes == 0 {
+    if prefix == 0 && hashes == 0 {
         return None; // plain `"` handled by the caller
     }
-    if !raw && i > 0 && hashes == 0 {
+    Some(StrOpener {
+        prefix,
+        hashes,
+        raw,
+    })
+}
+
+/// Length in bytes of a raw/byte/C string at the cursor, if one starts
+/// here: the whole literal is measured and returned.
+fn raw_or_prefixed_string(c: &Cursor) -> Option<usize> {
+    let rest = &c.src[c.pos..];
+    let StrOpener {
+        prefix,
+        hashes,
+        raw,
+    } = raw_opener_len(rest)?;
+    if !raw {
         // b"…" / c"…": escaped string with a one-byte prefix.
-        let mut j = i + 1;
+        let mut j = prefix + 1;
         while j < rest.len() {
             match rest[j] {
                 b'\\' => j += 2,
@@ -266,7 +307,7 @@ fn raw_or_prefixed_string(c: &Cursor) -> Option<usize> {
         return Some(rest.len());
     }
     // Raw string: scan for `"` followed by `hashes` hashes, no escapes.
-    let mut j = i + hashes + 1;
+    let mut j = prefix + hashes + 1;
     while j < rest.len() {
         if rest[j] == b'"' {
             let close = &rest[j + 1..];
@@ -421,6 +462,52 @@ mod tests {
         assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
         // The float-looking bytes inside b"127.0.0.1" must not leak out.
         assert!(!toks.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn byte_char_is_one_token() {
+        let toks = kinds("b'x'");
+        assert_eq!(toks, vec![(TokKind::Char, "b'x'".to_owned())]);
+        // The escaped-quote and escaped-backslash bodies close correctly.
+        assert_eq!(kinds(r"b'\''"), vec![(TokKind::Char, r"b'\''".to_owned())]);
+        assert_eq!(kinds(r"b'\\'"), vec![(TokKind::Char, r"b'\\'".to_owned())]);
+        assert_eq!(kinds(r"b'\n'"), vec![(TokKind::Char, r"b'\n'".to_owned())]);
+    }
+
+    #[test]
+    fn byte_char_adjacent_to_lifetime_tick() {
+        // `&'a b'x'` must lex as lifetime + byte char: the `b` prefix may
+        // not leak out as an identifier, and the tick after `b` may not be
+        // misread as opening another lifetime.
+        let toks = kinds("&'a b'x'");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes, [&(TokKind::Lifetime, "'a".to_owned())]);
+        assert_eq!(chars, [&(TokKind::Char, "b'x'".to_owned())]);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "b"));
+    }
+
+    #[test]
+    fn byte_raw_strings_with_multi_hash_fences() {
+        // The fence length is uniform across prefixes: `br`, `cr` and `r`
+        // all take any number of `#`s, and an inner `"#` must not close a
+        // `##` fence early.
+        for src in [
+            r###"br##"has "# inside"##"###,
+            r###"cr##"has "# inside"##"###,
+            r###"r##"has "# inside"##"###,
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src} must be one token: {toks:?}");
+            assert_eq!(toks[0].0, TokKind::Str);
+            assert_eq!(toks[0].1, src);
+        }
+        let toks = kinds(r####"br###"x"###y"####);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "y".to_owned()));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! deadline-propagation: every egress call must be deadline-bounded.
+//!
+//! The fetch fleet budgets each frame against the run's deadline; an
+//! egress call (`.send`, `.send_with_retry`, `.post_json`,
+//! `.fetch_frame`, `.fetch_rising`) reached from a path that never
+//! touches a deadline waits as long as the peer lets it, and one stuck
+//! frame stalls a whole round. In files under the rule's `strict_paths`,
+//! an egress call is compliant when the enclosing fn mentions a deadline
+//! (parameter, field access, budget computation), or — for methods on a
+//! type configured once at construction — when any `impl` block for the
+//! same self type in the file does. Channel handoffs (`tx.send(…)`) are
+//! in-process and exempt; anything else carries an inline allow naming
+//! why it is unbounded on purpose.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::dataflow;
+use crate::lexer::TokKind;
+use crate::rules::RawFinding;
+
+/// True when any ident in `code[lo..=hi]` mentions a deadline.
+fn mentions_deadline(ctx: &FileCtx, lo: usize, hi: usize) -> bool {
+    ctx.code[lo..=hi.min(ctx.code.len() - 1)]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("deadline"))
+}
+
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<RawFinding>) {
+    if !cfg.path_strict("deadline-propagation", &ctx.path) {
+        return;
+    }
+    for e in dataflow::egress_sites(&ctx.code) {
+        let Some(f) = ctx.scopes.enclosing_fn(e.idx) else {
+            continue;
+        };
+        // The fn's whole extent, signature included: a `deadline`
+        // parameter counts even if the body only forwards it.
+        let sig_lo = f.fn_idx;
+        if mentions_deadline(ctx, sig_lo, f.body.1) {
+            continue;
+        }
+        // Type-level compliance: the deadline was bound at construction
+        // (e.g. a client built `with_deadline(…)`), visible in another
+        // impl block of the same type in this file.
+        let type_ok = f.self_type.as_deref().is_some_and(|ty| {
+            ctx.scopes
+                .impls
+                .iter()
+                .filter(|im| im.self_type == ty)
+                .any(|im| mentions_deadline(ctx, im.body.0, im.body.1))
+        });
+        if type_ok {
+            continue;
+        }
+        out.push(RawFinding::new(
+            e.line,
+            e.col,
+            format!(
+                "`.{}()` egress in `{}` with no deadline in scope — forward the \
+                 caller's deadline (or bind one at construction); if the wait is \
+                 unbounded on purpose, say why in an inline allow",
+                e.method, f.name
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn cfg() -> Config {
+        let mut cfg = Config::default();
+        cfg.rules
+            .entry("deadline-propagation".to_owned())
+            .or_default()
+            .strict_paths = vec!["crates/net/src/**".to_owned()];
+        cfg
+    }
+
+    fn findings(path: &str, src: &str) -> Vec<RawFinding> {
+        let cfg = cfg();
+        let ctx = FileCtx::new(path, src, &cfg);
+        let mut out = Vec::new();
+        check(&ctx, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn egress_without_deadline_is_flagged_in_strict_paths_only() {
+        let src = "fn relay(c: &Client, r: Request) { c.send(&r); }";
+        assert_eq!(findings("crates/net/src/client.rs", src).len(), 1);
+        assert!(findings("crates/tools/src/probe.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deadline_parameter_or_body_use_complies() {
+        let with_param = "fn relay(c: &Client, r: Request, deadline: SimInstant) { c.send(&r); }";
+        assert!(findings("crates/net/src/client.rs", with_param).is_empty());
+        let in_body = "fn relay(c: &Client, r: Request) { \
+                       let left = self.run_deadline - now(); c.send_with_retry(&r, left); }";
+        assert!(findings("crates/net/src/client.rs", in_body).is_empty());
+    }
+
+    #[test]
+    fn impl_level_deadline_binding_complies() {
+        let src = "impl Client { fn with_deadline(mut self, d: SimInstant) -> Client { \
+                   self.deadline = d; self } }\n\
+                   impl TrendsClient for Client { fn fetch(&self, r: &Req) -> Out { \
+                   self.http.post_json(\"/q\", r) } }\n";
+        assert!(findings("crates/net/src/client.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_types_impls_do_not_excuse() {
+        let src = "impl Other { fn with_deadline(mut self, d: SimInstant) -> Other { \
+                   self.deadline = d; self } }\n\
+                   impl Client { fn fetch(&self, r: &Req) -> Out { \
+                   self.http.post_json(\"/q\", r) } }\n";
+        assert_eq!(findings("crates/net/src/client.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn channel_sends_are_exempt() {
+        let src = "fn pump(tx: &Sender<u32>, out_tx: &Sender<u32>) { \
+                   tx.send(1); out_tx.send(2); }";
+        assert!(findings("crates/net/src/client.rs", src).is_empty());
+    }
+}

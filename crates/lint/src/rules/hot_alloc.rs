@@ -1,0 +1,234 @@
+//! hot-alloc: no per-iteration heap allocation in strict perf paths.
+//!
+//! The stitch/detect/refetch loop is the paper's per-frame inner loop; an
+//! allocation there runs once per frame per round and dominates the
+//! profile. Two kinds of sites are denied in files listed under the
+//! rule's `strict_paths`:
+//!
+//! * an allocation lexically inside a loop body, and
+//! * an allocation anywhere in a *hot* fn — one called (transitively)
+//!   from a loop in a strict file.
+//!
+//! Hotness propagates by bare-name call resolution across the strict
+//! files only, computed to a fixed point; test regions neither seed nor
+//! receive hotness. Allocation sites are the token patterns in
+//! [`crate::dataflow::alloc_sites`] (`Vec::new`, `.collect()`,
+//! `.clone()`, `.to_vec()`, `format!`, …) — `clone_from`, `extend` and
+//! friends reuse existing capacity and are deliberately not on the list:
+//! they are the fix, not the finding.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::dataflow;
+use crate::rules::RawFinding;
+use std::collections::BTreeMap;
+
+pub fn check(ctxs: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
+    let strict: Vec<usize> = (0..ctxs.len())
+        .filter(|&i| cfg.path_strict("hot-alloc", &ctxs[i].path))
+        .collect();
+    if strict.is_empty() {
+        return Vec::new();
+    }
+
+    // Production fns defined in strict files; `targets` is the resolver's
+    // universe, index-aligned with `defs`.
+    struct FnDef {
+        file: usize,
+        body: (usize, usize),
+        name: String,
+    }
+    let mut defs: Vec<FnDef> = Vec::new();
+    let mut targets: Vec<dataflow::FnTarget> = Vec::new();
+    for &fi in &strict {
+        let ctx = &ctxs[fi];
+        for f in &ctx.scopes.fns {
+            if ctx.in_test(ctx.code[f.body.0].line) {
+                continue;
+            }
+            defs.push(FnDef {
+                file: fi,
+                body: f.body,
+                name: f.name.clone(),
+            });
+            targets.push(dataflow::FnTarget {
+                name: f.name.clone(),
+                self_type: f.self_type.clone(),
+            });
+        }
+    }
+
+    // hot: def index → why it is hot (the seeding call site).
+    let mut hot: BTreeMap<usize, String> = BTreeMap::new();
+    let calls: Vec<Vec<dataflow::CallSite>> = ctxs
+        .iter()
+        .enumerate()
+        .map(|(i, ctx)| {
+            if strict.contains(&i) {
+                dataflow::call_sites(&ctx.code)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+
+    // Seed: calls made from inside a loop body in a strict file.
+    for &fi in &strict {
+        let ctx = &ctxs[fi];
+        for c in &calls[fi] {
+            if !ctx.scopes.in_loop(c.idx) || ctx.in_test(c.line) {
+                continue;
+            }
+            let caller_self = ctx
+                .scopes
+                .enclosing_fn(c.idx)
+                .and_then(|f| f.self_type.as_deref());
+            for d in dataflow::resolve_call(c, caller_self, &targets) {
+                let line = c.line;
+                hot.entry(d)
+                    .or_insert_with(|| format!("called from a loop at {}:{line}", ctx.path));
+            }
+        }
+    }
+
+    // Propagate: everything a hot fn calls is hot too.
+    loop {
+        let mut newly: Vec<(usize, String)> = Vec::new();
+        for &d in hot.keys() {
+            let def = &defs[d];
+            let ctx = &ctxs[def.file];
+            for c in &calls[def.file] {
+                if !(def.body.0..=def.body.1).contains(&c.idx) || ctx.in_test(c.line) {
+                    continue;
+                }
+                for t in dataflow::resolve_call(c, targets[d].self_type.as_deref(), &targets) {
+                    if t != d && !hot.contains_key(&t) {
+                        newly.push((
+                            t,
+                            format!(
+                                "called from hot fn `{}` at {}:{}",
+                                def.name, ctx.path, c.line
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        for (t, cause) in newly {
+            hot.entry(t).or_insert(cause);
+        }
+    }
+
+    // Findings: allocations in loops, or anywhere inside a hot fn body.
+    let mut out: Vec<(String, RawFinding)> = Vec::new();
+    for &fi in &strict {
+        let ctx = &ctxs[fi];
+        for a in dataflow::alloc_sites(&ctx.code) {
+            if ctx.in_test(a.line) {
+                continue;
+            }
+            let message = if ctx.scopes.in_loop(a.idx) {
+                format!(
+                    "`{}` allocates inside a loop in a strict perf path — hoist the \
+                     buffer out of the loop or reuse a caller-provided scratch",
+                    a.what
+                )
+            } else if let Some((def, cause)) = defs
+                .iter()
+                .enumerate()
+                .filter(|(d, def)| {
+                    def.file == fi
+                        && (def.body.0..=def.body.1).contains(&a.idx)
+                        && hot.contains_key(d)
+                })
+                // Innermost enclosing hot fn gives the sharpest message.
+                .min_by_key(|(_, def)| def.body.1 - def.body.0)
+                .map(|(d, def)| (def, hot[&d].clone()))
+            {
+                format!(
+                    "`{}` allocates in `{}`, which runs per-iteration ({cause}) — \
+                     hoist the buffer to the caller or take a scratch parameter",
+                    a.what, def.name
+                )
+            } else {
+                continue;
+            };
+            out.push((ctx.path.clone(), RawFinding::new(a.line, a.col, message)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn strict_cfg(paths: &[&str]) -> Config {
+        let mut cfg = Config::default();
+        cfg.rules
+            .entry("hot-alloc".to_owned())
+            .or_default()
+            .strict_paths = paths.iter().map(|p| (*p).to_owned()).collect();
+        cfg
+    }
+
+    fn findings(cfg: &Config, sources: &[(&str, &str)]) -> Vec<(String, RawFinding)> {
+        let ctxs: Vec<FileCtx> = sources
+            .iter()
+            .map(|(p, s)| FileCtx::new(p, s, cfg))
+            .collect();
+        check(&ctxs, cfg)
+    }
+
+    #[test]
+    fn alloc_in_loop_is_flagged_only_in_strict_paths() {
+        let src = "fn f(xs: &[u32]) { for x in xs { let v = Vec::new(); use_it(v, x); } }";
+        let cfg = strict_cfg(&["crates/x/src/hot.rs"]);
+        assert_eq!(findings(&cfg, &[("crates/x/src/hot.rs", src)]).len(), 1);
+        assert!(findings(&cfg, &[("crates/x/src/cold.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn alloc_outside_any_loop_or_hot_fn_is_clean() {
+        let src = "fn setup() -> Vec<u32> { let mut v = Vec::new(); v.push(1); v }";
+        let cfg = strict_cfg(&["crates/x/src/hot.rs"]);
+        assert!(findings(&cfg, &[("crates/x/src/hot.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn hotness_propagates_through_calls() {
+        let src = "fn leaf() -> Vec<u32> { xs.iter().collect() }\n\
+                   fn mid() { let v = leaf(); use_it(v); }\n\
+                   fn drive(xs: &[u32]) { for _x in xs { mid(); } }\n";
+        let cfg = strict_cfg(&["crates/x/src/hot.rs"]);
+        let out = findings(&cfg, &[("crates/x/src/hot.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("`leaf`"), "{out:?}");
+        assert!(out[0].1.message.contains("hot fn `mid`"), "{out:?}");
+    }
+
+    #[test]
+    fn test_loops_do_not_seed_hotness() {
+        let src = "fn helper() -> Vec<u32> { xs.to_vec() }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { for _i in 0..3 { helper(); } }\n}\n";
+        let cfg = strict_cfg(&["crates/x/src/hot.rs"]);
+        assert!(findings(&cfg, &[("crates/x/src/hot.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn hotness_crosses_strict_files() {
+        let lib = "fn stitch() -> Vec<u32> { parts.iter().collect() }";
+        let drv = "fn run(rounds: &[u32]) { for _r in rounds { stitch(); } }";
+        let cfg = strict_cfg(&["crates/x/src/a.rs", "crates/x/src/b.rs"]);
+        let out = findings(
+            &cfg,
+            &[("crates/x/src/a.rs", lib), ("crates/x/src/b.rs", drv)],
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].0, "crates/x/src/a.rs");
+    }
+}

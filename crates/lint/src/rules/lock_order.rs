@@ -1,0 +1,342 @@
+//! lock-order: a global lock-acquisition DAG across the workspace.
+//!
+//! Every production lock (a binding whose declared type mentions `Mutex` /
+//! `RwLock`) is identified as `crate::name`. The per-fn dataflow walk
+//! ([`crate::dataflow::lock_facts`]) reports which locks are live when
+//! another is acquired; calls made while holding a guard propagate the
+//! callee's (transitive) acquisitions back to the caller through the
+//! CHA-lite resolver ([`crate::dataflow::resolve_call`]) — qualified and
+//! `self.` calls resolve by type, bare names only when unambiguous, so
+//! `h.state()` on a histogram never borrows `Breaker::state`'s lock. Any
+//! pair of locks acquired in both orders anywhere — the classic ABBA
+//! shape — is denied at every edge that participates, and a
+//! re-acquisition of a lock already held is denied as a self-deadlock.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::dataflow::{self, CallSite, FnTarget};
+use crate::rules::RawFinding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One qualified acquisition edge: `held` was live when `acquired` was
+/// taken, at `path:line:col`, possibly via a call to `via`.
+struct Edge {
+    held: String,
+    acquired: String,
+    path: String,
+    line: u32,
+    col: u32,
+    via: Option<String>,
+}
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(c)) => c,
+        _ => "root",
+    }
+}
+
+fn qualify(krate: &str, lock: &str) -> String {
+    format!("{krate}::{lock}")
+}
+
+pub fn check(ctxs: &[FileCtx], _cfg: &Config) -> Vec<(String, RawFinding)> {
+    // One entry per production fn in the workspace; `targets` is the
+    // resolver's universe (indices shared with the per-def vectors).
+    let mut targets: Vec<FnTarget> = Vec::new();
+    let mut direct: Vec<BTreeSet<String>> = Vec::new();
+    let mut calls_of: Vec<Vec<CallSite>> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    struct Holding {
+        held: Vec<String>,
+        call: CallSite,
+        caller_self: Option<String>,
+        path: String,
+    }
+    let mut holding: Vec<Holding> = Vec::new();
+
+    for ctx in ctxs {
+        let krate = crate_of(&ctx.path);
+        // Test-scaffolding locks (declared inside `#[cfg(test)]`) never
+        // contend with production code; keep them out of the graph.
+        let prod_locks: BTreeSet<String> = ctx
+            .scopes
+            .lock_decls
+            .iter()
+            .filter(|(_, line)| !ctx.in_test(*line))
+            .map(|(name, _)| name.clone())
+            .collect();
+        let calls = dataflow::call_sites(&ctx.code);
+        for f in &ctx.scopes.fns {
+            if ctx.in_test(ctx.code[f.body.0].line) {
+                continue;
+            }
+            let own: Vec<CallSite> = calls
+                .iter()
+                .filter(|c| (f.body.0..=f.body.1).contains(&c.idx))
+                .cloned()
+                .collect();
+            let mut acquires = BTreeSet::new();
+            if !prod_locks.is_empty() {
+                let facts = dataflow::lock_facts(&ctx.code, &ctx.scopes, f, &prod_locks);
+                acquires = facts.acquires.iter().map(|l| qualify(krate, l)).collect();
+                for e in &facts.edges {
+                    edges.push(Edge {
+                        held: qualify(krate, &e.held),
+                        acquired: qualify(krate, &e.acquired),
+                        path: ctx.path.clone(),
+                        line: e.line,
+                        col: e.col,
+                        via: None,
+                    });
+                }
+                for c in facts.calls_holding {
+                    holding.push(Holding {
+                        held: c.held.iter().map(|h| qualify(krate, h)).collect(),
+                        call: CallSite {
+                            callee: c.callee,
+                            qualifier: c.qualifier,
+                            receiver: c.receiver,
+                            idx: 0,
+                            line: c.line,
+                            col: c.col,
+                        },
+                        caller_self: f.self_type.clone(),
+                        path: ctx.path.clone(),
+                    });
+                }
+            }
+            targets.push(FnTarget {
+                name: f.name.clone(),
+                self_type: f.self_type.clone(),
+            });
+            direct.push(acquires);
+            calls_of.push(own);
+        }
+    }
+
+    // Transitive closure: a fn may acquire whatever its callees may.
+    let mut may = direct;
+    loop {
+        let mut changed = false;
+        for d in 0..targets.len() {
+            let mut add: Vec<String> = Vec::new();
+            for c in &calls_of[d] {
+                for t in dataflow::resolve_call(c, targets[d].self_type.as_deref(), &targets) {
+                    if t != d {
+                        add.extend(may[t].iter().filter(|l| !may[d].contains(*l)).cloned());
+                    }
+                }
+            }
+            for lock in add {
+                if may[d].insert(lock) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Expand held calls into edges through the callee's acquisitions.
+    for h in &holding {
+        let reach = dataflow::resolve_call(&h.call, h.caller_self.as_deref(), &targets);
+        let acquired: BTreeSet<&String> = reach.iter().flat_map(|&t| may[t].iter()).collect();
+        for held in &h.held {
+            for acq in &acquired {
+                edges.push(Edge {
+                    held: held.clone(),
+                    acquired: (*acq).clone(),
+                    path: h.path.clone(),
+                    line: h.call.line,
+                    col: h.call.col,
+                    via: Some(h.call.callee.clone()),
+                });
+            }
+        }
+    }
+
+    // Build the order graph and flag every edge on an inverted pair.
+    let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        graph.entry(&e.held).or_default().insert(&e.acquired);
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if let Some(next) = graph.get(n) {
+                for m in next {
+                    if seen.insert(m) {
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        false
+    };
+
+    let mut out: Vec<(String, RawFinding)> = Vec::new();
+    let mut reported: BTreeSet<(String, u32, u32, String, String)> = BTreeSet::new();
+    for e in &edges {
+        let message = if e.held == e.acquired {
+            match &e.via {
+                Some(via) => format!(
+                    "lock `{}` is already held here and `{via}` re-acquires it — \
+                     self-deadlock on a non-reentrant lock",
+                    e.held
+                ),
+                None => format!(
+                    "lock `{}` re-acquired while already held — self-deadlock on a \
+                     non-reentrant lock",
+                    e.held
+                ),
+            }
+        } else if reaches(&e.acquired, &e.held) {
+            let how = match &e.via {
+                Some(via) => format!("via the call to `{via}`"),
+                None => "here".to_owned(),
+            };
+            format!(
+                "lock-order inversion: `{}` is acquired {how} while `{}` is held, \
+                 but the opposite order also occurs in the workspace — an ABBA \
+                 deadlock needs only two threads",
+                e.acquired, e.held
+            )
+        } else {
+            continue;
+        };
+        if reported.insert((
+            e.path.clone(),
+            e.line,
+            e.col,
+            e.held.clone(),
+            e.acquired.clone(),
+        )) {
+            out.push((e.path.clone(), RawFinding::new(e.line, e.col, message)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn findings(sources: &[(&str, &str)]) -> Vec<(String, RawFinding)> {
+        let cfg = Config::default();
+        let ctxs: Vec<FileCtx> = sources
+            .iter()
+            .map(|(p, s)| FileCtx::new(p, s, &cfg))
+            .collect();
+        check(&ctxs, &cfg)
+    }
+
+    const DECLS: &str = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{DECLS}fn f() {{ let g = a.lock(); let h = b.lock(); }}\n\
+             fn g() {{ let g = a.lock(); let h = b.lock(); }}\n"
+        );
+        assert!(findings(&[("crates/x/src/lib.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn abba_within_one_file_flags_both_edges() {
+        let src = format!(
+            "{DECLS}fn f() {{ let g = a.lock(); let h = b.lock(); }}\n\
+             fn g() {{ let g = b.lock(); let h = a.lock(); }}\n"
+        );
+        let out = findings(&[("crates/x/src/lib.rs", &src)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].1.message.contains("lock-order inversion"));
+    }
+
+    #[test]
+    fn abba_across_files_in_one_crate_is_found() {
+        let f1 = format!("{DECLS}fn f() {{ let g = a.lock(); let h = b.lock(); }}\n");
+        let f2 = format!("{DECLS}fn g() {{ let g = b.lock(); let h = a.lock(); }}\n");
+        let out = findings(&[("crates/x/src/one.rs", &f1), ("crates/x/src/two.rs", &f2)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn inversion_through_a_call_is_found() {
+        let src = format!(
+            "{DECLS}fn helper() {{ let h = b.lock(); }}\n\
+             fn f() {{ let g = a.lock(); helper(); }}\n\
+             fn g() {{ let g = b.lock(); let h = a.lock(); }}\n"
+        );
+        let out = findings(&[("crates/x/src/lib.rs", &src)]);
+        assert!(
+            out.iter()
+                .any(|(_, f)| f.message.contains("via the call to `helper`")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn self_deadlock_through_a_call_is_found() {
+        let src = format!(
+            "{DECLS}fn helper() {{ let h = a.lock(); }}\n\
+             fn f() {{ let g = a.lock(); helper(); }}\n"
+        );
+        let out = findings(&[("crates/x/src/lib.rs", &src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn ambiguous_method_names_do_not_propagate() {
+        // Two unrelated `state` methods; the held call `h.state()` must
+        // not borrow `Breaker::state`'s acquisition.
+        let src = format!(
+            "{DECLS}struct Breaker;\nstruct Histo;\n\
+             impl Breaker {{ fn state(&self) -> u32 {{ let g = a.lock(); 1 }} }}\n\
+             impl Histo {{ fn state(&self) -> u32 {{ 2 }} }}\n\
+             fn f(h: &Histo) {{ let g = a.lock(); h.state(); }}\n"
+        );
+        assert!(findings(&[("crates/x/src/lib.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn self_calls_resolve_by_type_and_are_checked() {
+        let src = format!(
+            "{DECLS}struct R;\nstruct Other;\n\
+             impl R {{\n  fn tick(&self) {{ let g = a.lock(); self.bump(); }}\n\
+             fn bump(&self) {{ let g = a.lock(); }}\n}}\n\
+             impl Other {{ fn bump(&self) {{ }} }}\n"
+        );
+        let out = findings(&[("crates/x/src/lib.rs", &src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("`bump` re-acquires"));
+    }
+
+    #[test]
+    fn test_scaffolding_locks_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n  struct T { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   fn f() { let g = a.lock(); let h = b.lock(); }\n\
+                   fn g() { let g = b.lock(); let h = a.lock(); }\n}\n";
+        assert!(findings(&[("crates/x/src/lib.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn same_names_in_different_crates_do_not_collide() {
+        let f1 = format!("{DECLS}fn f() {{ let g = a.lock(); let h = b.lock(); }}\n");
+        let f2 = format!("{DECLS}fn g() {{ let g = b.lock(); let h = a.lock(); }}\n");
+        let out = findings(&[("crates/x/src/lib.rs", &f1), ("crates/y/src/lib.rs", &f2)]);
+        assert!(
+            out.is_empty(),
+            "x::a/x::b vs y::b/y::a never contend: {out:?}"
+        );
+    }
+}

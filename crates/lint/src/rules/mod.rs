@@ -8,13 +8,17 @@ use crate::config::{Config, Severity};
 use crate::context::FileCtx;
 
 pub mod breaker_obs;
+pub mod deadline_propagation;
 pub mod durable_write;
 pub mod fault_obs;
 pub mod float_eq;
+pub mod hot_alloc;
+pub mod lock_order;
 pub mod lossy_cast;
 pub mod no_panic;
 pub mod no_print;
 pub mod route_obs;
+pub mod swallowed_result;
 pub mod trace_span;
 pub mod wall_clock;
 
@@ -147,6 +151,63 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: true,
             kind: RuleKind::PerFile(trace_span::check),
+        },
+        Rule {
+            id: "lock-order",
+            summary: "no pair of locks acquired in both orders anywhere in the \
+                      workspace (and no re-acquisition while held)",
+            rationale: "The fetch queue, obs registry, trace store and server \
+                        all hold locks across calls into each other; an ABBA \
+                        pair only deadlocks under contention, exactly when an \
+                        outage makes every thread busy — so the acquisition \
+                        DAG is checked globally at lint time.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::Workspace(lock_order::check),
+        },
+        Rule {
+            id: "hot-alloc",
+            summary: "no per-iteration heap allocation (`Vec::new`, \
+                      `.collect()`, `.clone()`, `.to_vec()`, `format!`, …) \
+                      in strict perf paths",
+            rationale: "Stitching and spike detection run once per frame per \
+                        refetch round over two years of series; an allocation \
+                        inside that loop — or in any fn the loop calls — \
+                        multiplies by the whole campaign, so hot paths must \
+                        hoist or reuse scratch buffers.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::Workspace(hot_alloc::check),
+        },
+        Rule {
+            id: "deadline-propagation",
+            summary: "egress calls in net/fetcher (`strict_paths`) must have a \
+                      deadline in scope (fn or constructing impl)",
+            rationale: "Frame budgets come from the run deadline; an egress \
+                        call reached without one waits as long as the peer \
+                        lets it, and a single stuck fetch stalls the round — \
+                        every send/fetch chain must forward the deadline or \
+                        carry an inline allow saying why not.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::PerFile(deadline_propagation::check),
+        },
+        Rule {
+            id: "swallowed-result",
+            summary: "no `let _ =` over a fallible call and no statement-position \
+                      `.ok()` in library crates",
+            rationale: "Degradation is measured, not assumed: an error \
+                        discarded at the call site never reaches the run \
+                        summary or /metrics, so the paper's refusal/timeout \
+                        accounting silently undercounts. Handle it, count it, \
+                        or justify the discard inline.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::PerFile(swallowed_result::check),
         },
         Rule {
             id: "route-obs",

@@ -1,0 +1,59 @@
+//! swallowed-result: no silently discarded `Result`s in library crates.
+//!
+//! The collection run degrades deliberately — refusals, timeouts and
+//! faults are all counted — so an error that vanishes at the call site
+//! is an error the run summary lies about. Two discard shapes are
+//! denied: `let _ = fallible(…);` and a statement-position `….ok();`.
+//! `let _ = ident;` (mark-used) passes, as does `let _ = write!(…)` into
+//! a `String` (its `fmt::Result` cannot fail). A discard that is right
+//! on purpose carries an inline allow naming why.
+
+use crate::config::Config;
+use crate::context::FileCtx;
+use crate::dataflow;
+use crate::rules::RawFinding;
+
+pub fn check(ctx: &FileCtx, _cfg: &Config, out: &mut Vec<RawFinding>) {
+    for d in dataflow::discard_sites(&ctx.code) {
+        out.push(RawFinding::new(
+            d.line,
+            d.col,
+            format!(
+                "`{}` discards a possible error — handle it, count it through \
+                 obs, or add an inline allow saying why the failure is ignorable",
+                d.kind
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let cfg = Config::default();
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src, &cfg);
+        let mut out = Vec::new();
+        check(&ctx, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn let_underscore_call_and_trailing_ok_are_flagged() {
+        let out = findings("fn f() { let _ = fallible(); cleanup().ok(); }");
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("let _ ="));
+        assert!(out[1].message.contains(".ok()"));
+    }
+
+    #[test]
+    fn mark_used_and_bound_ok_pass() {
+        let out = findings(
+            "fn f() { let _ = witness; let v = parse().ok(); use_it(v); \
+             let _ = write!(s, \"x{}\", 1); }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

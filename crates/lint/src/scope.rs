@@ -1,0 +1,316 @@
+//! Stage 2 of the semantic engine: a lightweight symbol/scope pass.
+//!
+//! Over the token forest from [`crate::tree`], this pass resolves the
+//! structure rules need to reason semantically: every `fn` item with its
+//! body extent and (when inside an `impl`) its self type, every `impl`
+//! block, every declared lock (a binding whose type annotation mentions
+//! `Mutex` / `RwLock`), and the loop-body ranges. It is a symbol pass, not
+//! type inference: names are resolved by suffix, which is exact enough for
+//! a workspace that the lint itself keeps honest.
+
+use crate::lexer::{TokKind, Token};
+use crate::tree::{self, Delim, Group, Tree};
+use std::collections::BTreeSet;
+
+/// One `fn` item: its name, body extent, and enclosing impl self type.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token-index range of the body braces `(open, close)`; trait method
+    /// declarations without a body are not recorded.
+    pub body: (usize, usize),
+    /// The `impl` self type this method belongs to, if any.
+    pub self_type: Option<String>,
+}
+
+impl FnItem {
+    /// True when token index `i` falls inside this fn's body.
+    pub fn contains(&self, i: usize) -> bool {
+        (self.body.0..=self.body.1).contains(&i)
+    }
+}
+
+/// One `impl` block: the self type name and its body extent.
+#[derive(Clone, Debug)]
+pub struct ImplBlock {
+    pub self_type: String,
+    pub body: (usize, usize),
+}
+
+/// Everything the scope pass learned about one file.
+pub struct FileScopes {
+    pub fns: Vec<FnItem>,
+    pub impls: Vec<ImplBlock>,
+    /// Token-index ranges of loop bodies (from the token tree).
+    pub loops: Vec<(usize, usize)>,
+    /// Binding names declared with a `Mutex`/`RwLock` type annotation
+    /// (struct fields, statics, annotated lets).
+    pub lock_names: BTreeSet<String>,
+    /// The same lock declarations with their source lines, for rules that
+    /// need to tell production locks from test-scaffolding locks.
+    pub lock_decls: Vec<(String, u32)>,
+    /// The parsed token forest, for rules that walk structure themselves.
+    pub trees: Vec<Tree>,
+}
+
+impl FileScopes {
+    /// Runs the scope pass over a file's code tokens.
+    pub fn analyze(code: &[Token]) -> FileScopes {
+        let trees = tree::parse(code);
+        let loops = tree::loop_body_ranges(code, &trees);
+        let mut fns = Vec::new();
+        let mut impls = Vec::new();
+        collect_items(code, &trees, None, &mut fns, &mut impls);
+        let decls = lock_decls(code);
+        FileScopes {
+            fns,
+            impls,
+            loops,
+            lock_names: decls.iter().map(|(n, _)| n.clone()).collect(),
+            lock_decls: decls,
+            trees,
+        }
+    }
+
+    /// The innermost fn item whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.contains(i))
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// True when token index `i` is inside a loop body.
+    pub fn in_loop(&self, i: usize) -> bool {
+        self.loops.iter().any(|&(lo, hi)| (lo..=hi).contains(&i))
+    }
+}
+
+/// Walks the forest collecting `fn` items and `impl` blocks. `self_type`
+/// carries the enclosing impl's type down the recursion.
+fn collect_items(
+    code: &[Token],
+    children: &[Tree],
+    self_type: Option<&str>,
+    fns: &mut Vec<FnItem>,
+    impls: &mut Vec<ImplBlock>,
+) {
+    let mut k = 0usize;
+    while k < children.len() {
+        match &children[k] {
+            Tree::Leaf(i) if is_kw(code, *i, "fn") => {
+                // `fn` + name idents, then siblings up to the body brace
+                // (or a `;` for bodiless trait methods).
+                let name = children.get(k + 1).and_then(|t| match t {
+                    Tree::Leaf(j) if code[*j].kind == TokKind::Ident => Some(code[*j].text.clone()),
+                    _ => None,
+                });
+                let (body, next_k) = sibling_brace(code, children, k + 1);
+                if let (Some(name), Some(body)) = (name, body) {
+                    fns.push(FnItem {
+                        name,
+                        fn_idx: *i,
+                        body: (body.open, body.close),
+                        self_type: self_type.map(str::to_owned),
+                    });
+                    // Nested items (closures don't declare `fn`; inner fns
+                    // and test mods do) keep the same self type: an inner
+                    // fn is still lexically part of the method.
+                    collect_items(code, &body.children, self_type, fns, impls);
+                }
+                k = next_k;
+            }
+            Tree::Leaf(i) if is_kw(code, *i, "impl") => {
+                let header: Vec<&Tree> = children[k + 1..]
+                    .iter()
+                    .take_while(|t| !matches!(t, Tree::Group(g) if g.delim == Delim::Brace))
+                    .collect();
+                let ty = impl_self_type(code, &header);
+                let (body, next_k) = sibling_brace(code, children, k + 1);
+                if let Some(body) = body {
+                    if let Some(ty) = &ty {
+                        impls.push(ImplBlock {
+                            self_type: ty.clone(),
+                            body: (body.open, body.close),
+                        });
+                    }
+                    collect_items(code, &body.children, ty.as_deref(), fns, impls);
+                }
+                k = next_k;
+            }
+            Tree::Group(g) => {
+                collect_items(code, &g.children, self_type, fns, impls);
+                k += 1;
+            }
+            Tree::Leaf(_) => k += 1,
+        }
+    }
+}
+
+fn is_kw(code: &[Token], i: usize, kw: &str) -> bool {
+    code[i].kind == TokKind::Ident && code[i].text == kw
+}
+
+/// Finds the next sibling brace group from `from`, skipping non-brace
+/// siblings (parameter lists, return types, where clauses). Stops at a
+/// top-level `;` (bodiless item). Returns the group and the child index
+/// just past it.
+fn sibling_brace<'t>(
+    code: &[Token],
+    children: &'t [Tree],
+    from: usize,
+) -> (Option<&'t Group>, usize) {
+    for (k, t) in children.iter().enumerate().skip(from) {
+        match t {
+            Tree::Group(g) if g.delim == Delim::Brace => return (Some(g), k + 1),
+            Tree::Leaf(i) if code[*i].kind == TokKind::Punct && code[*i].text == ";" => {
+                return (None, k + 1)
+            }
+            _ => {}
+        }
+    }
+    (None, children.len())
+}
+
+/// The self type of an `impl` header: the last path segment of the type
+/// after `for` (trait impls) or of the first type (inherent impls), with
+/// generic arguments and `where` clauses ignored.
+fn impl_self_type(code: &[Token], header: &[&Tree]) -> Option<String> {
+    // Work on the header's leaf idents at angle-depth 0, cut at `where`.
+    let mut depth = 0i32;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut after_for = None;
+    for t in header {
+        let Tree::Leaf(i) = t else { continue };
+        let tok = &code[*i];
+        match (tok.kind, tok.text.as_str()) {
+            (TokKind::Punct, "<") => depth += 1,
+            (TokKind::Punct, ">") => depth -= 1,
+            (TokKind::Punct, ">>") => depth -= 2,
+            (TokKind::Punct, "<<") => depth += 2,
+            (TokKind::Ident, "where") if depth == 0 => break,
+            (TokKind::Ident, "for") if depth == 0 => after_for = Some(idents.len()),
+            (TokKind::Ident, name) if depth == 0 => idents.push(name),
+            _ => {}
+        }
+    }
+    let slice = match after_for {
+        Some(mark) => &idents[mark..],
+        None => &idents[..],
+    };
+    slice.last().map(|s| (*s).to_owned())
+}
+
+/// Binding names whose type annotation mentions `Mutex` / `RwLock`: the
+/// pattern `name : … Mutex< …` within a bounded lookahead, covering struct
+/// fields, statics and annotated lets. Guard types (`MutexGuard`) are not
+/// locks and do not count.
+fn lock_decls(code: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if code[i].kind != TokKind::Ident {
+            continue;
+        }
+        if !code.get(i + 1).is_some_and(|t| t.text == ":") {
+            continue;
+        }
+        // `::` paths lex as one token, so a bare `:` really is an
+        // annotation (or a struct literal field — those never name a
+        // Mutex type, so the over-approximation is safe).
+        for j in (i + 2)..code.len().min(i + 16) {
+            let t = &code[j];
+            if t.kind == TokKind::Punct
+                && matches!(t.text.as_str(), ";" | "=" | "{" | ")" | "}" | ",")
+            {
+                break;
+            }
+            if t.kind == TokKind::Ident
+                && (t.text == "RwLock" || t.text.ends_with("Mutex"))
+                && code.get(j + 1).is_some_and(|n| n.text == "<")
+            {
+                out.push((code[i].text.clone(), code[i].line));
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes(src: &str) -> (Vec<Token>, FileScopes) {
+        let code: Vec<Token> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let s = FileScopes::analyze(&code);
+        (code, s)
+    }
+
+    #[test]
+    fn fn_items_with_bodies_and_self_types() {
+        let (_, s) = scopes(
+            "fn free() { a(); }\n\
+             struct Foo;\n\
+             impl Foo { fn method(&self) -> u32 { 1 } }\n\
+             impl Clone for Foo { fn clone(&self) -> Foo { Foo } }\n\
+             trait T { fn decl(&self); fn provided(&self) {} }",
+        );
+        let names: Vec<(&str, Option<&str>)> = s
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("free", None),
+                ("method", Some("Foo")),
+                ("clone", Some("Foo")),
+                ("provided", None),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_self_type_handles_paths_generics_where() {
+        let (_, s) = scopes(
+            "impl<T> fmt::Display for queue::Run<T> where T: Clone { fn f(&self) {} }\n\
+             impl Plain { fn g(&self) {} }",
+        );
+        let types: Vec<&str> = s.impls.iter().map(|i| i.self_type.as_str()).collect();
+        assert_eq!(types, ["Run", "Plain"]);
+        assert_eq!(s.fns[0].self_type.as_deref(), Some("Run"));
+        assert_eq!(s.fns[1].self_type.as_deref(), Some("Plain"));
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let (code, s) = scopes("fn outer() { fn inner() { target(); } }");
+        let target = code.iter().position(|t| t.text == "target").expect("tok");
+        assert_eq!(s.enclosing_fn(target).expect("fn").name, "inner");
+    }
+
+    #[test]
+    fn lock_decls_from_fields_statics_and_lets() {
+        let (_, s) = scopes(
+            "struct Store { active: Mutex<u32>, recent: std::sync::Mutex<u8>, data: Vec<u8> }\n\
+             static RUN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());\n\
+             struct S { series: RwLock<u8>, gate: StdMutex<bool> }\n\
+             fn f() { let guard: MutexGuard<u32> = x; }",
+        );
+        let names: Vec<&str> = s.lock_names.iter().map(String::as_str).collect();
+        assert_eq!(names, ["RUN_LOCK", "active", "gate", "recent", "series"]);
+    }
+
+    #[test]
+    fn in_loop_tracks_loop_bodies_only() {
+        let (code, s) = scopes("fn f() { before(); for x in xs { inside(); } after(); }");
+        let at = |name: &str| code.iter().position(|t| t.text == name).expect("tok");
+        assert!(!s.in_loop(at("before")));
+        assert!(s.in_loop(at("inside")));
+        assert!(!s.in_loop(at("after")));
+    }
+}

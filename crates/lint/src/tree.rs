@@ -1,0 +1,260 @@
+//! Stage 1 of the semantic engine: a brace-aware token-tree parser.
+//!
+//! The flat token stream from [`crate::lexer`] is grouped into a forest of
+//! delimiter-matched trees — every `{…}`, `(…)` and `[…]` becomes a
+//! [`Group`] whose children are the nested trees, everything else a
+//! [`Tree::Leaf`] holding its index into the original token slice. This is
+//! deliberately *not* a Rust parse: rules pattern-match token runs exactly
+//! as before, but can now ask structural questions (is this token inside a
+//! loop body? which `fn` item encloses it? where does this block end?)
+//! that a flat stream cannot answer.
+//!
+//! The parser is total, like the lexer: a stray close delimiter becomes a
+//! leaf, and EOF closes every open group, so a half-written file still
+//! produces a usable forest.
+
+use crate::lexer::{TokKind, Token};
+
+/// Which delimiter pair a [`Group`] carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `{ … }` — blocks, item bodies, match bodies, struct literals.
+    Brace,
+    /// `( … )` — call arguments, tuples, conditions.
+    Paren,
+    /// `[ … ]` — indexing, array literals, attributes.
+    Bracket,
+}
+
+impl Delim {
+    fn open(text: &str) -> Option<Delim> {
+        match text {
+            "{" => Some(Delim::Brace),
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            _ => None,
+        }
+    }
+
+    fn closes(self, text: &str) -> bool {
+        matches!(
+            (self, text),
+            (Delim::Brace, "}") | (Delim::Paren, ")") | (Delim::Bracket, "]")
+        )
+    }
+}
+
+/// A delimited group: the token indices of its delimiters and the nested
+/// forest between them. `close` is the index of the closing delimiter, or
+/// the index just past the last token when EOF closed the group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    pub delim: Delim,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter (or `tokens.len()` at EOF).
+    pub close: usize,
+    pub children: Vec<Tree>,
+}
+
+/// One node of the token forest.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A non-delimiter token, by index into the lexed code tokens.
+    Leaf(usize),
+    Group(Group),
+}
+
+impl Tree {
+    /// The token index where this node starts.
+    pub fn start(&self) -> usize {
+        match self {
+            Tree::Leaf(i) => *i,
+            Tree::Group(g) => g.open,
+        }
+    }
+}
+
+/// Parses the code-token slice into a forest.
+pub fn parse(code: &[Token]) -> Vec<Tree> {
+    let mut i = 0usize;
+    parse_children(code, &mut i, None)
+}
+
+fn parse_children(code: &[Token], i: &mut usize, enclosing: Option<Delim>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *i < code.len() {
+        let t = &code[*i];
+        if t.kind == TokKind::Punct {
+            if let Some(delim) = Delim::open(&t.text) {
+                let open = *i;
+                *i += 1;
+                let children = parse_children(code, i, Some(delim));
+                let close = if *i < code.len() { *i } else { code.len() };
+                if *i < code.len() {
+                    *i += 1; // consume the close delimiter
+                }
+                out.push(Tree::Group(Group {
+                    delim,
+                    open,
+                    close,
+                    children,
+                }));
+                continue;
+            }
+            if let Some(d) = enclosing {
+                if d.closes(&t.text) {
+                    return out; // caller consumes the close token
+                }
+            }
+            // A close delimiter with no matching open (or closing a
+            // different group): tolerate it as a leaf.
+        }
+        out.push(Tree::Leaf(*i));
+        *i += 1;
+    }
+    out
+}
+
+/// Calls `f` on every group in the forest, pre-order.
+pub fn walk_groups(trees: &[Tree], f: &mut impl FnMut(&Group)) {
+    for t in trees {
+        if let Tree::Group(g) = t {
+            f(g);
+            walk_groups(&g.children, f);
+        }
+    }
+}
+
+/// Token-index ranges `(open, close)` of every loop body in the forest: a
+/// `for` / `while` / `loop` keyword followed by its first sibling brace
+/// group. Rust keeps struct literals out of loop headers (they need
+/// parentheses), so the first brace sibling after the keyword is the body.
+pub fn loop_body_ranges(code: &[Token], trees: &[Tree]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    collect_loops(code, trees, &mut out);
+    out
+}
+
+fn collect_loops(code: &[Token], children: &[Tree], out: &mut Vec<(usize, usize)>) {
+    let mut pending_loop = false;
+    // `for` is not a loop after `impl` (`impl Trait for T {`) or before `<`
+    // (higher-ranked bounds, `for<'a> Fn(…)`).
+    let mut impl_header = false;
+    for t in children {
+        match t {
+            Tree::Leaf(i) => {
+                let tok = &code[*i];
+                if tok.kind == TokKind::Ident {
+                    match tok.text.as_str() {
+                        "impl" => impl_header = true,
+                        "while" | "loop" => pending_loop = true,
+                        "for" => {
+                            let hrtb = code.get(*i + 1).is_some_and(|n| n.text == "<");
+                            if !impl_header && !hrtb {
+                                pending_loop = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                } else if tok.kind == TokKind::Punct && tok.text == ";" {
+                    pending_loop = false;
+                    impl_header = false;
+                }
+            }
+            Tree::Group(g) => {
+                if g.delim == Delim::Brace {
+                    if pending_loop {
+                        out.push((g.open, g.close));
+                    }
+                    pending_loop = false;
+                    impl_header = false;
+                }
+                collect_loops(code, &g.children, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code(src: &str) -> Vec<Token> {
+        lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+    }
+
+    #[test]
+    fn groups_nest_and_match() {
+        let toks = code("fn f() { let v = [1, (2)]; }");
+        let forest = parse(&toks);
+        let mut delims = Vec::new();
+        walk_groups(&forest, &mut |g| delims.push(g.delim));
+        assert_eq!(
+            delims,
+            [Delim::Paren, Delim::Brace, Delim::Bracket, Delim::Paren]
+        );
+        // Every group's close token really is its delimiter's partner.
+        walk_groups(&forest, &mut |g| {
+            let close = &toks[g.close];
+            assert!(g.delim.closes(&close.text), "{close:?}");
+        });
+    }
+
+    #[test]
+    fn tolerates_unbalanced_input() {
+        // A stray `}` leafs out; an unterminated `{` closes at EOF.
+        let toks = code("} fn f() { open(");
+        let forest = parse(&toks);
+        assert!(matches!(forest[0], Tree::Leaf(0)));
+        let mut groups = 0;
+        walk_groups(&forest, &mut |_| groups += 1);
+        assert_eq!(groups, 3); // (), {, (
+    }
+
+    #[test]
+    fn loop_bodies_found_for_all_three_forms() {
+        let toks = code(
+            "fn f() { for x in xs { a(); } while let Some(y) = it.next() { b(); } loop { c(); } }",
+        );
+        let forest = parse(&toks);
+        let loops = loop_body_ranges(&toks, &forest);
+        assert_eq!(loops.len(), 3);
+        // Each range must contain its marker call and not the others'.
+        let ident_at = |i: usize| toks[i].text.clone();
+        let inside =
+            |range: (usize, usize), name: &str| (range.0..range.1).any(|i| ident_at(i) == name);
+        assert!(inside(loops[0], "a") && !inside(loops[0], "b"));
+        assert!(inside(loops[1], "b") && !inside(loops[1], "c"));
+        assert!(inside(loops[2], "c") && !inside(loops[2], "a"));
+    }
+
+    #[test]
+    fn non_loop_braces_are_not_loop_bodies() {
+        let toks = code("fn f() { if x { a(); } match y { _ => {} } }");
+        let forest = parse(&toks);
+        assert!(loop_body_ranges(&toks, &forest).is_empty());
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_are_not_loops() {
+        let toks = code(
+            "impl Display for Foo { fn fmt(&self) {} }\n\
+             fn takes<F>(f: F) where F: for<'a> Fn(&'a str) { f(\"x\"); }",
+        );
+        let forest = parse(&toks);
+        assert!(loop_body_ranges(&toks, &forest).is_empty());
+    }
+
+    #[test]
+    fn statement_boundary_cancels_a_pending_loop_keyword() {
+        // `loop` as an ident in other positions must not claim the next
+        // brace group (e.g. a stray `break 'outer;` style sequence).
+        let toks = code("fn f() { let is_loop = loop_count(); { body(); } }");
+        let forest = parse(&toks);
+        // `loop_count` is a single ident, not the `loop` keyword; nothing
+        // matches.
+        assert!(loop_body_ranges(&toks, &forest).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! deadline-propagation fixture: unbounded egress, deadline-bounded
+//! egress, type-level binding, channel handoffs, and a justified allow.
+
+fn relay(client: &Client, request: &Request) {
+    client.send(request); //~strict deadline-propagation
+}
+
+fn bounded(client: &Client, request: &Request, deadline: SimInstant) {
+    client.send_with_retry(request, deadline);
+}
+
+impl Courier {
+    fn with_deadline(mut self, deadline: SimInstant) -> Courier {
+        self.deadline = deadline;
+        self
+    }
+}
+
+impl Courier {
+    fn dispatch(&self, request: &Request) -> Outcome {
+        self.http.post_json("/q", request)
+    }
+}
+
+fn pump(work_tx: &Sender<Job>, job: Job) {
+    work_tx.send(job);
+}
+
+fn probe(client: &Client, request: &Request) {
+    // sift-lint: allow(deadline-propagation) — probe tool: waiting forever IS the measurement
+    client.fetch_frame(request);
+}

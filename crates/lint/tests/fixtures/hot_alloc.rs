@@ -1,0 +1,34 @@
+//! hot-alloc fixture: per-iteration allocation, hotness through a call,
+//! and the scratch-buffer shapes that are the fix rather than the finding.
+
+fn stitch(frames: &[Frame], out: &mut Vec<u32>) {
+    out.clear();
+    for frame in frames {
+        let scaled = frame.values.to_vec(); //~strict hot-alloc
+        out.extend_from_slice(&scaled);
+    }
+}
+
+fn leaf(values: &[u32]) -> Vec<u32> {
+    values.iter().map(double).collect() //~strict hot-alloc
+}
+
+fn drive(rounds: &[Round], out: &mut Vec<u32>) {
+    for round in rounds {
+        absorb(out, leaf(&round.values));
+    }
+}
+
+fn reuse(rounds: &[Round], scratch: &mut Vec<u32>) {
+    for round in rounds {
+        scratch.clear();
+        scratch.extend_from_slice(&round.values);
+        absorb_slice(scratch);
+    }
+}
+
+fn setup() -> Vec<u32> {
+    let mut v = Vec::with_capacity(8);
+    v.push(1);
+    v
+}

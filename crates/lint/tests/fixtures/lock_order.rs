@@ -1,0 +1,32 @@
+//! lock-order fixture: the classic ABBA inversion, a self-deadlock, and
+//! a pair that is only ever taken in one order.
+
+struct Shared {
+    roster: Mutex<u32>,
+    stats: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+fn forward(s: &Shared) {
+    let roster = s.roster.lock();
+    let stats = s.stats.lock(); //~ lock-order
+    combine(roster, stats);
+}
+
+fn backward(s: &Shared) {
+    let stats = s.stats.lock();
+    let roster = s.roster.lock(); //~ lock-order
+    combine(roster, stats);
+}
+
+fn reentrant(s: &Shared) {
+    let first = s.journal.lock();
+    let second = s.journal.lock(); //~ lock-order
+    combine(first, second);
+}
+
+fn ordered(s: &Shared) {
+    let roster = s.roster.lock();
+    let journal = s.journal.lock();
+    combine(roster, journal);
+}

@@ -1,0 +1,29 @@
+//! swallowed-result fixture: discarded `Result`s versus legal discards.
+
+fn flush(sink: &mut Sink) -> Result<(), Error> {
+    sink.flush_all()
+}
+
+fn discards(sink: &mut Sink) {
+    let _ = flush(sink); //~ swallowed-result
+    flush(sink).ok(); //~ swallowed-result
+    match flush(sink) {
+        Ok(()) => {}
+        Err(e) => record(e),
+    }
+}
+
+fn legal(sink: &mut Sink, witness: Guard) -> Result<(), Error> {
+    let _ = witness;
+    let _ = open_handle(sink)?;
+    let kept = flush(sink).ok();
+    consume(kept);
+    let mut s = String::new();
+    let _ = write!(s, "n={}", 1);
+    consume_str(s);
+}
+
+fn excused(sink: &mut Sink) {
+    // sift-lint: allow(swallowed-result) — crash staging: the process exits either way
+    let _ = flush(sink);
+}

@@ -128,6 +128,7 @@ impl Server {
                     .spawn(move || {
                         while let Ok((stream, accepted_at)) = rx.recv() {
                             ctx.admission.dequeued();
+                            // sift-lint: allow(swallowed-result) — a torn connection must not kill the worker; the route/shed counters already account for the request
                             let _ = serve_connection(stream, accepted_at, &ctx);
                         }
                     })?,
@@ -260,6 +261,7 @@ impl ServerHandle {
         // The acceptor polls the flag every few milliseconds; workers
         // exit once it drops the channel sender.
         for t in self.threads.drain(..) {
+            // sift-lint: allow(swallowed-result) — shutdown must reap every worker even if one panicked; the panic itself was already reported on its thread
             let _ = t.join();
         }
     }
@@ -301,12 +303,12 @@ fn shed_at_accept(
 ) {
     let wire = serialize_response(&admission.shed_response(reason));
     let lingering_close = move || {
-        let _ = stream.set_write_timeout(Some(write_timeout));
+        let _ = stream.set_write_timeout(Some(write_timeout)); // sift-lint: allow(swallowed-result) — best-effort shed: a vanished client loses nothing (see fn docs)
         if stream.write_all(&wire).is_err() {
             return;
         }
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.shutdown(std::net::Shutdown::Write); // sift-lint: allow(swallowed-result) — best-effort shed: a vanished client loses nothing (see fn docs)
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500))); // sift-lint: allow(swallowed-result) — best-effort shed: a vanished client loses nothing (see fn docs)
         let mut sink = [0u8; 4096];
         while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
     };

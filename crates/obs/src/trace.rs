@@ -343,7 +343,7 @@ impl CriticalPath {
 /// `u64 → f64` for ratios of microsecond totals; exact below 2⁵³ µs
 /// (≈ 285 years), far beyond any run.
 fn to_f64(us: u64) -> f64 {
-    us as f64 // sift-lint: allow(lossy-cast) — µs totals sit far below 2^53, conversion exact
+    us as f64
 }
 
 impl fmt::Display for CriticalPath {
