@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Output is organised per experiment id (fig1..fig6, tab1..tab3, stats,
-//! truth, ant, lag, ablation); EXPERIMENTS.md records paper-vs-measured
-//! for each.
+//! truth, ant, lag, ablation, cluster); EXPERIMENTS.md records
+//! paper-vs-measured for each.
 
 use sift_core::context::AnnotatedSpike;
 use sift_core::detect::Spike;
@@ -162,6 +162,9 @@ fn main() {
     }
     if wants("ablation") {
         exp_ablation(&service);
+    }
+    if wants("cluster") {
+        exp_cluster(&args);
     }
     eprintln!("# total {:.1?}", total_span.elapsed());
 }
@@ -794,6 +797,100 @@ fn exp_ablation(service: &TrendsService) {
             outcome.spikes.len()
         );
     }
+}
+
+/// Sharded coordinator/worker crawl (PR 8): a coordinator plus four
+/// worker threads over real sockets must reproduce the single-process
+/// `run_study` bit-for-bit on the same parameters, and the section
+/// reports the wall-time and shard-distribution cost of the extra hop.
+/// The window is a prefix of the study range so the default full run
+/// stays affordable; the world is the same seeded scenario either way.
+fn exp_cluster(args: &Args) {
+    section("cluster", "sharded crawl vs single-process run_study");
+    use sift_cluster::{cluster_router, spawn_worker, ClusterConfig, Coordinator, WorkerConfig};
+    use sift_fetcher::{trends_router, HttpTrendsClient};
+    use sift_net::Server;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let scenario = Scenario::generate(ScenarioParams {
+        background_scale: args.scale,
+        ..ScenarioParams::default()
+    });
+    let service = Arc::new(TrendsService::new(scenario, ServiceConfig::default()));
+    let trends = Server::new(trends_router(Arc::clone(&service)))
+        .with_workers(8)
+        .bind("127.0.0.1:0")
+        .expect("bind trends service");
+    let params = StudyParams {
+        range: HourRange::new(Hour(0), Hour(2_000)),
+        threads: 2,
+        daily_rising: args.daily_rising,
+        ..StudyParams::default()
+    };
+
+    let t0 = Instant::now();
+    let client = HttpTrendsClient::new(trends.addr(), "127.0.0.5");
+    let reference = run_study(&client, &params).expect("single-process study");
+    let single = t0.elapsed();
+
+    const WORKERS: usize = 4;
+    let coord = Arc::new(Coordinator::new(params.clone(), ClusterConfig::default()));
+    let coord_server = Server::new(cluster_router(&coord))
+        .with_workers(8)
+        .bind("127.0.0.1:0")
+        .expect("bind coordinator");
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            spawn_worker(
+                format!("bench-worker-{i}"),
+                coord_server.addr(),
+                trends.addr(),
+                params.clone(),
+                WorkerConfig::default(),
+            )
+        })
+        .collect();
+    let sharded = coord
+        .wait_result(Duration::from_secs(600))
+        .expect("sharded study");
+    let elapsed = t0.elapsed();
+    let shares: Vec<String> = workers
+        .into_iter()
+        .map(|w| {
+            let id = w.id().to_owned();
+            format!("{id}:{}", w.join().shards_done)
+        })
+        .collect();
+    coord_server.shutdown();
+    trends.shutdown();
+
+    let identical = sharded.timelines == reference.timelines
+        && sharded.heavy_hitters == reference.heavy_hitters
+        && sharded.spikes.len() == reference.spikes.len()
+        && sharded
+            .spikes
+            .iter()
+            .zip(reference.spikes.iter())
+            .all(|(a, b)| a.spike == b.spike && a.annotations == b.annotations)
+        && sharded.stats.frames_requested == reference.stats.frames_requested
+        && sharded.stats.rising_requested == reference.stats.rising_requested;
+    assert!(identical, "sharded result diverged from run_study");
+    println!(
+        "  {} regions over {WORKERS} workers: bit-identical to run_study \
+         ({} spikes, {} frames)",
+        params.regions.len(),
+        sharded.spikes.len(),
+        sharded.stats.frames_requested
+    );
+    println!(
+        "  wall time: single-process {:.1?}, sharded {:.1?} ({:+.0}%)",
+        single,
+        elapsed,
+        (elapsed.as_secs_f64() / single.as_secs_f64() - 1.0) * 100.0
+    );
+    println!("  shard distribution: {}", shares.join(" "));
 }
 
 fn labels(a: &AnnotatedSpike) -> String {

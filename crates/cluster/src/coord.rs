@@ -1,0 +1,688 @@
+//! The crawl coordinator: shard table, leases, heartbeats, reroutes.
+//!
+//! One [`Coordinator`] owns one study: it partitions `params.regions`
+//! into shards, assigns each shard to a worker by consistent hashing over
+//! the live worker set, and tracks progress through lease epochs. A
+//! worker that misses its heartbeat deadline is declared dead; its shards
+//! go back to pending, the ring (now excluding the dead worker) routes
+//! them to survivors, and an attempt budget bounds how often a shard may
+//! bounce before the run is declared failed — the same
+//! bounce-then-shed shape the fetcher queue applies to individual
+//! requests.
+//!
+//! Once every shard has an accepted [`RegionOutcome`], the coordinator
+//! folds them through [`sift_core::assemble_study`] — the *same* global
+//! phase the in-process driver runs — which is what makes the sharded
+//! result bit-identical to single-process [`sift_core::run_study`].
+
+use crate::proto::{
+    HeartbeatReply, HeartbeatRequest, JoinReply, JoinRequest, LeaseReply, LeaseRequest,
+    ResultReply, ResultUpload, ShardJob, StatusReply,
+};
+use crate::ring::HashRing;
+use parking_lot::Mutex;
+use sift_core::{assemble_study, RegionOutcome, StudyParams, StudyResult};
+use sift_geo::State;
+use sift_net::{Method, Request, Response, Router, StatusCode};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a shard was taken from its worker and rerouted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RerouteReason {
+    /// The lease holder missed its heartbeat deadline — the worker is
+    /// presumed dead and benched for the rest of the run.
+    HeartbeatMissed,
+    /// The holder handed the lease back voluntarily (graceful shutdown or
+    /// a failed crawl attempt it could not complete).
+    WorkerLeft,
+}
+
+impl RerouteReason {
+    /// Every reason, in declaration order.
+    pub const ALL: [RerouteReason; 2] = [RerouteReason::HeartbeatMissed, RerouteReason::WorkerLeft];
+
+    /// The metric label this reason is counted under in
+    /// `sift_cluster_reroute_total{reason=…}`.
+    pub fn label(self) -> &'static str {
+        match self {
+            RerouteReason::HeartbeatMissed => "heartbeat_missed",
+            RerouteReason::WorkerLeft => "worker_left",
+        }
+    }
+}
+
+impl std::fmt::Display for RerouteReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Coordinator tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// A lease not renewed within this window is expired and its worker
+    /// declared dead.
+    pub heartbeat_timeout: Duration,
+    /// The wait hint handed to workers with nothing to do.
+    pub poll_ms: u64,
+    /// Times a shard may be (re)issued before the run fails. Mirrors the
+    /// fetcher queue's per-item attempt budget.
+    pub attempt_budget: u32,
+    /// Virtual points per worker on the consistent-hash ring.
+    pub vnodes: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            heartbeat_timeout: Duration::from_secs(1),
+            poll_ms: 25,
+            attempt_budget: 3,
+            vnodes: 40,
+        }
+    }
+}
+
+/// How a sharded run can fail.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Not every shard completed within the caller's wait budget.
+    Timeout {
+        /// Shards with an accepted result.
+        done: usize,
+        /// Total shards.
+        total: usize,
+    },
+    /// A shard exhausted its attempt budget.
+    ShardFailed {
+        /// The region that could not be completed.
+        state: State,
+        /// Lease attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Timeout { done, total } => {
+                write!(f, "cluster run timed out with {done}/{total} shards done")
+            }
+            ClusterError::ShardFailed { state, attempts } => {
+                write!(f, "shard {state} failed after {attempts} lease attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+enum ShardStatus {
+    Pending,
+    Leased {
+        worker: String,
+        epoch: u64,
+        hb_deadline_ms: u64,
+    },
+    Done {
+        outcome: Box<RegionOutcome>,
+    },
+    Failed,
+}
+
+struct Shard {
+    state: State,
+    attempts: u32,
+    status: ShardStatus,
+}
+
+#[derive(Default)]
+struct CoordState {
+    shards: Vec<Shard>,
+    workers: Vec<String>,
+    dead: BTreeSet<String>,
+    next_epoch: u64,
+    rerouted: u64,
+}
+
+/// The coordinator role: owns the shard table for one study.
+pub struct Coordinator {
+    params: StudyParams,
+    config: ClusterConfig,
+    /// Monotonic clock anchor; all protocol timing is milliseconds since
+    /// this instant, never wall-clock time-of-day.
+    epoch: Instant,
+    /// The trace context workers parent their spans onto.
+    trace_root: Option<sift_obs::SpanContext>,
+    baseline: sift_obs::SpanBaseline,
+    inner: Mutex<CoordState>,
+}
+
+impl Coordinator {
+    /// A coordinator for `params`, one shard per region. The span active
+    /// at construction time (if any) becomes the run's trace root,
+    /// propagated to workers at join.
+    pub fn new(params: StudyParams, config: ClusterConfig) -> Coordinator {
+        let shards = params
+            .regions
+            .iter()
+            .map(|&state| Shard {
+                state,
+                attempts: 0,
+                status: ShardStatus::Pending,
+            })
+            .collect();
+        sift_obs::gauge("sift_cluster_shards_pending", &[])
+            .set(i64::try_from(params.regions.len()).unwrap_or(i64::MAX));
+        Coordinator {
+            params,
+            config,
+            epoch: Instant::now(),
+            trace_root: sift_obs::SpanContext::current(),
+            baseline: sift_obs::SpanBaseline::capture(),
+            inner: Mutex::new(CoordState {
+                shards,
+                ..CoordState::default()
+            }),
+        }
+    }
+
+    /// The study parameters this run shards over.
+    pub fn params(&self) -> &StudyParams {
+        &self.params
+    }
+
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn timeout_ms(&self) -> u64 {
+        u64::try_from(self.config.heartbeat_timeout.as_millis()).unwrap_or(u64::MAX)
+    }
+
+    fn count_reroute(&self, reason: RerouteReason, state: State, worker: &str) {
+        sift_obs::counter("sift_cluster_reroute_total", &[("reason", reason.label())]).inc();
+        sift_obs::event(
+            sift_obs::Level::Warn,
+            "cluster.coord",
+            "shard rerouted",
+            &[
+                ("reason", serde_json::Value::Str(reason.label().into())),
+                ("state", serde_json::Value::Str(state.abbrev().into())),
+                ("worker", serde_json::Value::Str(worker.into())),
+            ],
+        );
+    }
+
+    /// Expires stale leases: holders past their heartbeat deadline are
+    /// declared dead and their shards rerouted (or failed once the
+    /// attempt budget is spent). Called from every protocol handler and
+    /// from the wait loop, so detection does not depend on traffic from
+    /// the dead worker itself.
+    fn expire(&self, s: &mut CoordState, now_ms: u64) {
+        let budget = self.config.attempt_budget;
+        let mut newly_dead: Vec<String> = Vec::new();
+        let mut reroutes: Vec<(State, String)> = Vec::new();
+        let mut failures = 0usize;
+        for shard in &mut s.shards {
+            if let ShardStatus::Leased {
+                worker,
+                hb_deadline_ms,
+                ..
+            } = &shard.status
+            {
+                if now_ms > *hb_deadline_ms {
+                    let worker = worker.clone();
+                    newly_dead.push(worker.clone());
+                    shard.attempts += 1;
+                    if shard.attempts >= budget {
+                        shard.status = ShardStatus::Failed;
+                        failures += 1;
+                        sift_obs::counter("sift_cluster_shards_failed_total", &[]).inc();
+                    } else {
+                        shard.status = ShardStatus::Pending;
+                        reroutes.push((shard.state, worker.clone()));
+                    }
+                    self.count_reroute(RerouteReason::HeartbeatMissed, shard.state, &worker);
+                }
+            }
+        }
+        s.rerouted += reroutes.len() as u64;
+        let _ = failures;
+        for w in newly_dead {
+            s.dead.insert(w);
+        }
+    }
+
+    fn join(&self, req: &JoinRequest) -> JoinReply {
+        let mut s = self.inner.lock();
+        if !s.workers.iter().any(|w| w == &req.worker) {
+            s.workers.push(req.worker.clone());
+        }
+        sift_obs::gauge("sift_cluster_workers", &[])
+            .set(i64::try_from(s.workers.len()).unwrap_or(i64::MAX));
+        JoinReply {
+            accepted: !s.dead.contains(&req.worker),
+            trace: self.trace_root.map(|c| c.to_header()),
+            shards: s.shards.len(),
+        }
+    }
+
+    fn lease(&self, req: &LeaseRequest) -> LeaseReply {
+        let now = self.now_ms();
+        let mut s = self.inner.lock();
+        self.expire(&mut s, now);
+        // Tolerate a lease before (or instead of) an explicit join.
+        if !s.workers.iter().any(|w| w == &req.worker) {
+            s.workers.push(req.worker.clone());
+        }
+        let finished = s
+            .shards
+            .iter()
+            .all(|sh| matches!(sh.status, ShardStatus::Done { .. } | ShardStatus::Failed));
+        if finished {
+            return LeaseReply::Done;
+        }
+        if s.dead.contains(&req.worker) {
+            // Benched: a presumed-dead worker gets no new work; its old
+            // epochs are already fenced off.
+            return LeaseReply::Wait {
+                poll_ms: self.config.poll_ms,
+            };
+        }
+        let live: Vec<String> = s
+            .workers
+            .iter()
+            .filter(|w| !s.dead.contains(*w))
+            .cloned()
+            .collect();
+        let ring = HashRing::new(&live, self.config.vnodes);
+        let picked = s.shards.iter().position(|sh| {
+            matches!(sh.status, ShardStatus::Pending)
+                && ring.assign(sh.state.abbrev()) == Some(req.worker.as_str())
+        });
+        let Some(idx) = picked else {
+            return LeaseReply::Wait {
+                poll_ms: self.config.poll_ms,
+            };
+        };
+        let epoch = s.next_epoch;
+        s.next_epoch += 1;
+        let shard = &mut s.shards[idx];
+        shard.status = ShardStatus::Leased {
+            worker: req.worker.clone(),
+            epoch,
+            hb_deadline_ms: now.saturating_add(self.timeout_ms()),
+        };
+        sift_obs::counter("sift_cluster_lease_total", &[]).inc();
+        LeaseReply::Job(ShardJob {
+            state: shard.state,
+            epoch,
+        })
+    }
+
+    fn heartbeat(&self, req: &HeartbeatRequest) -> HeartbeatReply {
+        let now = self.now_ms();
+        let mut s = self.inner.lock();
+        self.expire(&mut s, now);
+        let timeout = self.timeout_ms();
+        let mut release: Option<(State, String)> = None;
+        let mut keep = false;
+        if let Some(shard) = s.shards.iter_mut().find(|sh| sh.state == req.state) {
+            if let ShardStatus::Leased {
+                worker,
+                epoch,
+                hb_deadline_ms,
+            } = &mut shard.status
+            {
+                if *worker == req.worker && *epoch == req.epoch {
+                    if req.releasing {
+                        // Voluntary handback: reroute immediately, and —
+                        // unlike an expiry — without burning an attempt
+                        // or benching the worker.
+                        release = Some((shard.state, worker.clone()));
+                        shard.status = ShardStatus::Pending;
+                    } else {
+                        *hb_deadline_ms = now.saturating_add(timeout);
+                        keep = true;
+                    }
+                }
+            }
+        }
+        sift_obs::counter("sift_cluster_heartbeat_total", &[]).inc();
+        if let Some((state, worker)) = release {
+            s.rerouted += 1;
+            self.count_reroute(RerouteReason::WorkerLeft, state, &worker);
+        }
+        HeartbeatReply { keep }
+    }
+
+    fn result(&self, up: ResultUpload) -> ResultReply {
+        let now = self.now_ms();
+        let mut s = self.inner.lock();
+        self.expire(&mut s, now);
+        let state = up.outcome.state;
+        let mut accepted = false;
+        if let Some(shard) = s.shards.iter_mut().find(|sh| sh.state == state) {
+            if let ShardStatus::Leased { worker, epoch, .. } = &shard.status {
+                // Epoch fencing: only the current holder's upload counts.
+                // A zombie that lost its lease (and whose shard was
+                // re-issued under a newer epoch) is rejected here even if
+                // it finished the crawl.
+                if *worker == up.worker && *epoch == up.epoch {
+                    shard.status = ShardStatus::Done {
+                        outcome: Box::new(up.outcome),
+                    };
+                    accepted = true;
+                }
+            }
+        }
+        sift_obs::counter(
+            "sift_cluster_result_total",
+            &[("accepted", bool_label(accepted))],
+        )
+        .inc();
+        let done = s
+            .shards
+            .iter()
+            .filter(|sh| matches!(sh.status, ShardStatus::Done { .. }))
+            .count();
+        sift_obs::gauge("sift_cluster_shards_done", &[])
+            .set(i64::try_from(done).unwrap_or(i64::MAX));
+        ResultReply { accepted }
+    }
+
+    /// A progress snapshot (the `GET /cluster/status` payload).
+    pub fn status(&self) -> StatusReply {
+        let now = self.now_ms();
+        let mut s = self.inner.lock();
+        self.expire(&mut s, now);
+        let mut reply = StatusReply {
+            total: s.shards.len(),
+            rerouted: s.rerouted,
+            workers: s.workers.clone(),
+            dead: s.dead.iter().cloned().collect(),
+            ..StatusReply::default()
+        };
+        for sh in &s.shards {
+            match &sh.status {
+                ShardStatus::Done { .. } => reply.done += 1,
+                ShardStatus::Failed => reply.failed += 1,
+                ShardStatus::Leased { worker, .. } => {
+                    reply.leases.push((worker.clone(), sh.state));
+                }
+                ShardStatus::Pending => {}
+            }
+        }
+        reply
+    }
+
+    /// Blocks until every shard has an accepted outcome, then assembles
+    /// the final [`StudyResult`] exactly as single-process
+    /// [`sift_core::run_study`] would. The wait loop also drives lease
+    /// expiry, so worker death is detected even with no surviving
+    /// protocol traffic.
+    pub fn wait_result(&self, timeout: Duration) -> Result<StudyResult, ClusterError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let now = self.now_ms();
+                let mut s = self.inner.lock();
+                self.expire(&mut s, now);
+                if let Some(sh) = s
+                    .shards
+                    .iter()
+                    .find(|sh| matches!(sh.status, ShardStatus::Failed))
+                {
+                    return Err(ClusterError::ShardFailed {
+                        state: sh.state,
+                        attempts: sh.attempts,
+                    });
+                }
+                let outcomes: Vec<RegionOutcome> = s
+                    .shards
+                    .iter()
+                    .filter_map(|sh| match &sh.status {
+                        ShardStatus::Done { outcome } => Some((**outcome).clone()),
+                        _ => None,
+                    })
+                    .collect();
+                if outcomes.len() == s.shards.len() {
+                    drop(s);
+                    let mut result = assemble_study(&self.params, outcomes, false);
+                    result.stats.telemetry = sift_obs::TelemetrySnapshot::since(&self.baseline);
+                    sift_obs::event(
+                        sift_obs::Level::Info,
+                        "cluster.coord",
+                        "sharded study assembled",
+                        &[(
+                            "frames_requested",
+                            serde_json::Value::UInt(result.stats.frames_requested),
+                        )],
+                    );
+                    return Ok(result);
+                }
+                let done = outcomes.len();
+                if Instant::now() >= deadline {
+                    return Err(ClusterError::Timeout {
+                        done,
+                        total: s.shards.len(),
+                    });
+                }
+            }
+            std::thread::sleep(Duration::from_millis(self.config.poll_ms.clamp(1, 100)));
+        }
+    }
+}
+
+fn bool_label(b: bool) -> &'static str {
+    if b {
+        "true"
+    } else {
+        "false"
+    }
+}
+
+/// The coordinator's HTTP surface: the five `/cluster/*` routes plus the
+/// standard observability mounts. Serve it with [`sift_net::Server`].
+pub fn cluster_router(coord: &Arc<Coordinator>) -> Router {
+    let join_c = Arc::clone(coord);
+    let lease_c = Arc::clone(coord);
+    let hb_c = Arc::clone(coord);
+    let result_c = Arc::clone(coord);
+    let status_c = Arc::clone(coord);
+
+    sift_net::mount_observability(Router::new())
+        .route(Method::Post, "/cluster/join", move |req: &Request| {
+            sift_obs::counter("sift_cluster_join_total", &[]).inc();
+            match req.json::<JoinRequest>() {
+                Ok(body) => json_reply(&join_c.join(&body)),
+                Err(e) => Response::text(StatusCode::BAD_REQUEST, format!("bad join: {e}")),
+            }
+        })
+        .route(
+            Method::Post,
+            "/cluster/lease",
+            move |req: &Request| match req.json::<LeaseRequest>() {
+                Ok(body) => json_reply(&lease_c.lease(&body)),
+                Err(e) => Response::text(StatusCode::BAD_REQUEST, format!("bad lease: {e}")),
+            },
+        )
+        .route(
+            Method::Post,
+            "/cluster/heartbeat",
+            move |req: &Request| match req.json::<HeartbeatRequest>() {
+                Ok(body) => json_reply(&hb_c.heartbeat(&body)),
+                Err(e) => Response::text(StatusCode::BAD_REQUEST, format!("bad heartbeat: {e}")),
+            },
+        )
+        .route(
+            Method::Post,
+            "/cluster/result",
+            move |req: &Request| match req.json::<ResultUpload>() {
+                Ok(body) => json_reply(&result_c.result(body)),
+                Err(e) => Response::text(StatusCode::BAD_REQUEST, format!("bad result: {e}")),
+            },
+        )
+        .route(Method::Get, "/cluster/status", move |_req: &Request| {
+            sift_obs::counter("sift_cluster_status_total", &[]).inc();
+            json_reply(&status_c.status())
+        })
+}
+
+fn json_reply<T: serde::Serialize>(value: &T) -> Response {
+    Response::json(value)
+        .unwrap_or_else(|e| Response::text(StatusCode::INTERNAL_SERVER_ERROR, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_simtime::{Hour, HourRange};
+
+    fn params(regions: Vec<State>) -> StudyParams {
+        StudyParams {
+            range: HourRange::new(Hour(0), Hour(336)),
+            regions,
+            ..StudyParams::default()
+        }
+    }
+
+    fn config() -> ClusterConfig {
+        ClusterConfig {
+            heartbeat_timeout: Duration::from_millis(50),
+            poll_ms: 5,
+            attempt_budget: 3,
+            vnodes: 40,
+        }
+    }
+
+    fn lease(c: &Coordinator, worker: &str) -> LeaseReply {
+        c.lease(&LeaseRequest {
+            worker: worker.into(),
+        })
+    }
+
+    #[test]
+    fn reroute_reason_labels_cover_every_variant() {
+        let labels: Vec<_> = RerouteReason::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels, ["heartbeat_missed", "worker_left"]);
+    }
+
+    #[test]
+    fn leases_follow_the_ring_and_epochs_are_unique() {
+        let c = Coordinator::new(params(vec![State::CA, State::TX, State::NY]), config());
+        let mut epochs = Vec::new();
+        // One worker owns everything on a single-worker ring.
+        for _ in 0..3 {
+            match lease(&c, "w0") {
+                LeaseReply::Job(job) => epochs.push(job.epoch),
+                other => panic!("expected a job, got {other:?}"),
+            }
+        }
+        assert!(matches!(lease(&c, "w0"), LeaseReply::Wait { .. }));
+        epochs.sort_unstable();
+        epochs.dedup();
+        assert_eq!(epochs.len(), 3, "every lease gets a fresh epoch");
+    }
+
+    #[test]
+    fn missed_heartbeats_reroute_to_survivors_with_fencing() {
+        let c = Coordinator::new(params(vec![State::CA]), config());
+        c.join(&JoinRequest {
+            worker: "w0".into(),
+        });
+        c.join(&JoinRequest {
+            worker: "w1".into(),
+        });
+        // Whichever worker the ring prefers takes the shard.
+        let (holder, other, job) = match lease(&c, "w0") {
+            LeaseReply::Job(job) => ("w0", "w1", job),
+            _ => match lease(&c, "w1") {
+                LeaseReply::Job(job) => ("w1", "w0", job),
+                reply => panic!("neither worker got the shard, got {reply:?}"),
+            },
+        };
+        // Heartbeats renew the lease...
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            c.heartbeat(&HeartbeatRequest {
+                worker: holder.into(),
+                state: job.state,
+                epoch: job.epoch,
+                releasing: false,
+            })
+            .keep
+        );
+        // ...until the holder goes silent past the timeout.
+        std::thread::sleep(Duration::from_millis(80));
+        let status = c.status();
+        assert_eq!(status.rerouted, 1, "{status:?}");
+        assert_eq!(status.dead, vec![holder.to_string()]);
+        // The survivor now owns the shard (ring excludes the dead).
+        let rejob = match lease(&c, other) {
+            LeaseReply::Job(job) => job,
+            other => panic!("expected reroute job, got {other:?}"),
+        };
+        assert_eq!(rejob.state, job.state);
+        assert!(rejob.epoch > job.epoch, "reroute issues a fresh epoch");
+        // The dead worker is benched and its stale epoch fenced off.
+        assert!(matches!(lease(&c, holder), LeaseReply::Wait { .. }));
+        assert!(
+            !c.heartbeat(&HeartbeatRequest {
+                worker: holder.into(),
+                state: job.state,
+                epoch: job.epoch,
+                releasing: false,
+            })
+            .keep
+        );
+    }
+
+    #[test]
+    fn attempt_budget_fails_the_shard_eventually() {
+        let mut cfg = config();
+        cfg.heartbeat_timeout = Duration::from_millis(10);
+        cfg.attempt_budget = 2;
+        let c = Coordinator::new(params(vec![State::CA]), cfg);
+        for worker in ["w0", "w1", "w2"] {
+            if let LeaseReply::Job(_) = lease(&c, worker) {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+        let err = c.wait_result(Duration::from_millis(200)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClusterError::ShardFailed {
+                    state: State::CA,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn voluntary_release_reroutes_without_benching() {
+        let c = Coordinator::new(params(vec![State::CA]), config());
+        let job = match lease(&c, "w0") {
+            LeaseReply::Job(job) => job,
+            other => panic!("expected a job, got {other:?}"),
+        };
+        let reply = c.heartbeat(&HeartbeatRequest {
+            worker: "w0".into(),
+            state: job.state,
+            epoch: job.epoch,
+            releasing: true,
+        });
+        assert!(!reply.keep);
+        let status = c.status();
+        assert_eq!(status.rerouted, 1);
+        assert!(status.dead.is_empty(), "a graceful release is not a death");
+        // The same worker may take the shard right back.
+        assert!(matches!(lease(&c, "w0"), LeaseReply::Job(_)));
+    }
+}

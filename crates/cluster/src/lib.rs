@@ -1,0 +1,41 @@
+//! SIFT's sharded crawl: a coordinator/worker cluster over `sift-net`.
+//!
+//! The paper's crawl is embarrassingly parallel across regions — each of
+//! the 51 study regions is an independent frame workload — so the
+//! natural scale-out is to shard *regions* across worker processes. This
+//! crate promotes the old `examples/distributed_crawl.rs` sketch into an
+//! architecture:
+//!
+//! * [`ring`] — deterministic consistent-hash assignment of shards to
+//!   workers, with minimal movement when a worker dies,
+//! * [`proto`] — the compact JSON job protocol (join / lease /
+//!   heartbeat / result / status) spoken over the `sift-net` HTTP stack,
+//!   with trace context riding the existing `X-Sift-Trace` header,
+//! * [`coord`] — the [`Coordinator`]: shard table, lease epochs,
+//!   heartbeat-based death detection, bounded reroutes,
+//! * [`worker`] — the worker thread: lease → crawl via
+//!   [`sift_core::run_region_study`] → upload, with optional per-worker
+//!   response journaling.
+//!
+//! The design invariant is **bit-identical assembly**: workers run the
+//! same deterministic per-region pipeline the in-process driver runs,
+//! and the coordinator folds their outcomes through
+//! [`sift_core::assemble_study`] — so a sharded run (even one that loses
+//! a worker mid-crawl and reroutes its shards) produces a `StudyResult`
+//! equal to single-process `run_study` on the same parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod proto;
+pub mod ring;
+pub mod worker;
+
+pub use coord::{cluster_router, ClusterConfig, ClusterError, Coordinator, RerouteReason};
+pub use proto::{
+    HeartbeatReply, HeartbeatRequest, JoinReply, JoinRequest, LeaseReply, LeaseRequest,
+    ResultReply, ResultUpload, ShardJob, StatusReply,
+};
+pub use ring::HashRing;
+pub use worker::{spawn_worker, WorkerConfig, WorkerHandle, WorkerSummary};

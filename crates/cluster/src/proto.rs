@@ -1,0 +1,132 @@
+//! Wire types of the compact coordinator/worker job protocol.
+//!
+//! Four POST routes and one GET, all JSON over the `sift-net` stack:
+//!
+//! * `POST /cluster/join` — a worker announces itself; the reply carries
+//!   the coordinator's trace root (the `X-Sift-Trace` value the worker
+//!   reopens so the whole sharded run assembles into one trace tree).
+//! * `POST /cluster/lease` — a worker asks for work; the reply is a shard
+//!   job with a fencing epoch, a wait hint, or "done, go home".
+//! * `POST /cluster/heartbeat` — lease renewal (or, with `releasing`, a
+//!   voluntary handback). A `keep: false` reply means the lease was
+//!   revoked: stop working on it and don't upload.
+//! * `POST /cluster/result` — the shard's [`RegionOutcome`] upload,
+//!   fenced by the lease epoch so a zombie's late upload is rejected.
+//! * `GET /cluster/status` — progress counters for drivers and tests.
+//!
+//! Transport concerns — retries, trace propagation, identity headers,
+//! deadlines — ride on the existing `sift-net` client/server machinery;
+//! nothing here reimplements them.
+
+use serde::{Deserialize, Serialize};
+use sift_core::RegionOutcome;
+use sift_geo::State;
+
+/// `POST /cluster/join` body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinRequest {
+    /// The worker's identity (stable for its lifetime).
+    pub worker: String,
+}
+
+/// `POST /cluster/join` reply.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinReply {
+    /// Whether the worker was admitted to the run.
+    pub accepted: bool,
+    /// The coordinator's trace root in `X-Sift-Trace` header format, if
+    /// the coordinator runs inside a trace.
+    pub trace: Option<String>,
+    /// Total shards in the run (progress denominator).
+    pub shards: usize,
+}
+
+/// `POST /cluster/lease` body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseRequest {
+    /// The requesting worker.
+    pub worker: String,
+}
+
+/// One leased shard: a region to crawl, fenced by `epoch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardJob {
+    /// The region to run [`sift_core::run_region_study`] for.
+    pub state: State,
+    /// Lease fencing token: heartbeats and the result upload must echo
+    /// it. A reroute issues a fresh epoch, invalidating the old holder.
+    pub epoch: u64,
+}
+
+/// `POST /cluster/lease` reply.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseReply {
+    /// A shard to work on.
+    Job(ShardJob),
+    /// Nothing assignable right now; poll again after `poll_ms`.
+    Wait {
+        /// Suggested delay before the next lease request, milliseconds.
+        poll_ms: u64,
+    },
+    /// The run is complete (or aborted); the worker should exit.
+    Done,
+}
+
+/// `POST /cluster/heartbeat` body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatRequest {
+    /// The renewing worker.
+    pub worker: String,
+    /// The leased shard.
+    pub state: State,
+    /// The lease epoch being renewed.
+    pub epoch: u64,
+    /// `true` hands the lease back voluntarily (graceful shutdown): the
+    /// shard reroutes immediately instead of waiting for expiry.
+    pub releasing: bool,
+}
+
+/// `POST /cluster/heartbeat` reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatReply {
+    /// `false` means the lease is gone (expired, rerouted, or released):
+    /// abandon the shard and do not upload its result.
+    pub keep: bool,
+}
+
+/// `POST /cluster/result` body.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResultUpload {
+    /// The uploading worker.
+    pub worker: String,
+    /// The lease epoch the shard was computed under.
+    pub epoch: u64,
+    /// The computed per-region outcome (identifies its region).
+    pub outcome: RegionOutcome,
+}
+
+/// `POST /cluster/result` reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultReply {
+    /// `false` means the upload was fenced off (stale epoch) or unknown.
+    pub accepted: bool,
+}
+
+/// `GET /cluster/status` reply.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusReply {
+    /// Total shards in the run.
+    pub total: usize,
+    /// Shards with an accepted result.
+    pub done: usize,
+    /// Shards abandoned after the reroute budget was exhausted.
+    pub failed: usize,
+    /// Reroutes performed so far (any reason).
+    pub rerouted: u64,
+    /// Currently live leases as `(worker, region)`.
+    pub leases: Vec<(String, State)>,
+    /// Every worker that ever joined, in join order.
+    pub workers: Vec<String>,
+    /// Workers flagged dead (missed heartbeats).
+    pub dead: Vec<String>,
+}

@@ -1,0 +1,145 @@
+//! Consistent-hash assignment of shards to workers.
+//!
+//! The coordinator places every worker on a hash ring at a fixed number
+//! of virtual points and assigns each shard key to the first worker point
+//! at or past the key's own hash. Two properties matter here:
+//!
+//! * **Determinism** — the ring is a pure function of the worker set, so
+//!   every participant (and every re-run) computes the same assignment.
+//! * **Minimal movement** — when a worker dies, only *its* shards move
+//!   (to the next point on the ring); every other shard keeps its owner.
+//!   This is what keeps a mid-run reroute cheap: the surviving workers'
+//!   in-progress leases are untouched.
+
+/// 64-bit FNV-1a with a SplitMix64 finalizer. Small, dependency-free and
+/// stable across platforms — the ring must hash identically on every
+/// worker and every run. Raw FNV-1a has weak high-bit avalanche on the
+/// short, shared-prefix keys used here (`"worker-0#17"`, `"CA"`): its
+/// points cluster into tight bands and one worker ends up owning nearly
+/// the whole ring. The finalizer's xor-shift-multiply rounds spread the
+/// low-byte differences across all 64 bits.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// A consistent-hash ring over a set of worker identities.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, worker index)`, sorted by point (ties break by index, so
+    /// equal hashes still order deterministically).
+    points: Vec<(u64, usize)>,
+    workers: Vec<String>,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` virtual points per worker. More points
+    /// smooth the load split (at ~40 the imbalance across 51 regions is
+    /// small); the cost is only `workers × vnodes` sort entries.
+    pub fn new(workers: &[String], vnodes: usize) -> HashRing {
+        let mut points = Vec::with_capacity(workers.len() * vnodes.max(1));
+        for (idx, worker) in workers.iter().enumerate() {
+            for v in 0..vnodes.max(1) {
+                points.push((fnv1a(format!("{worker}#{v}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            workers: workers.to_vec(),
+        }
+    }
+
+    /// Whether the ring has no workers at all.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The worker owning `key`: the first ring point clockwise from the
+    /// key's hash. `None` only on an empty ring.
+    pub fn assign(&self, key: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = fnv1a(key.as_bytes());
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let (_, idx) = self.points[i % self.points.len()];
+        Some(&self.workers[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_geo::State;
+
+    fn workers(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("worker-{i}")).collect()
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let a = HashRing::new(&workers(3), 40);
+        let b = HashRing::new(&workers(3), 40);
+        for state in State::ALL {
+            assert_eq!(a.assign(state.abbrev()), b.assign(state.abbrev()));
+        }
+    }
+
+    #[test]
+    fn every_worker_gets_a_reasonable_share() {
+        let ring = HashRing::new(&workers(3), 40);
+        let mut counts = [0usize; 3];
+        for state in State::ALL {
+            let owner = ring.assign(state.abbrev()).expect("non-empty ring");
+            let idx: usize = owner
+                .strip_prefix("worker-")
+                .and_then(|s| s.parse().ok())
+                .expect("worker name");
+            counts[idx] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), State::ALL.len());
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                *c >= State::ALL.len() / 10,
+                "worker-{i} got only {c} of {} shards: {counts:?}",
+                State::ALL.len()
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_worker_moves_only_its_shards() {
+        let all = workers(4);
+        let full = HashRing::new(&all, 40);
+        let survivors: Vec<String> = all.iter().filter(|w| *w != "worker-2").cloned().collect();
+        let reduced = HashRing::new(&survivors, 40);
+        let mut moved = 0usize;
+        for state in State::ALL {
+            let before = full.assign(state.abbrev()).expect("full ring");
+            let after = reduced.assign(state.abbrev()).expect("reduced ring");
+            if before == "worker-2" {
+                moved += 1;
+                assert_ne!(after, "worker-2");
+            } else {
+                assert_eq!(before, after, "{} moved off a live worker", state.abbrev());
+            }
+        }
+        assert!(moved > 0, "the removed worker owned nothing — weak test");
+    }
+
+    #[test]
+    fn empty_ring_assigns_nothing() {
+        let ring = HashRing::new(&[], 40);
+        assert!(ring.is_empty());
+        assert_eq!(ring.assign("CA"), None);
+    }
+}

@@ -1,0 +1,421 @@
+//! The worker role: lease shards, crawl them, upload outcomes.
+//!
+//! A worker is one OS thread (plus a heartbeat thread per active lease)
+//! speaking the `/cluster/*` protocol to the coordinator and the
+//! `/api/*` crawl protocol to the trends service. Each leased shard runs
+//! through the public [`sift_core::run_region_study`] with a locally
+//! computed [`sift_core::plan_frames`] plan — both deterministic
+//! functions of the study parameters, which is the worker-side half of
+//! the bit-identical guarantee.
+//!
+//! Fetched responses are optionally journaled to a per-worker
+//! [`DurableStore`] directory, so a driver can later audit the union of
+//! worker journals with [`sift_fetcher::merge_journal_dirs`].
+
+use crate::proto::{
+    HeartbeatReply, HeartbeatRequest, JoinReply, JoinRequest, LeaseReply, LeaseRequest,
+    ResultReply, ResultUpload,
+};
+use parking_lot::Mutex;
+use sift_core::{plan_frames, run_region_study, StudyParams};
+use sift_fetcher::{DurableStore, HttpTrendsClient, ResponseSink};
+use sift_net::{HttpClient, RetryPolicy};
+use sift_trends::{
+    FetchError, FrameRequest, FrameResponse, RisingRequest, RisingResponse, TrendsClient,
+};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker tuning.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerConfig {
+    /// Override for the lease poll interval (the coordinator's `poll_ms`
+    /// hint is used when `None`).
+    pub poll: Option<Duration>,
+    /// Heartbeat cadence while a shard is leased. Must comfortably beat
+    /// the coordinator's `heartbeat_timeout`.
+    pub heartbeat_every: Option<Duration>,
+    /// Source identity the fetch client crawls under (defaults to the
+    /// worker id).
+    pub fetch_identity: Option<String>,
+    /// When set, fetched responses are journaled to
+    /// `<durability_root>/<worker id>` for post-run merge audits.
+    pub durability_root: Option<PathBuf>,
+    /// Retry policy for the crawl client (the `sift-net` default applies
+    /// when `None`).
+    pub retry: Option<RetryPolicy>,
+}
+
+/// What a worker thread did, reported by [`WorkerHandle::join`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Shards whose results the coordinator accepted.
+    pub shards_done: usize,
+    /// Whether the worker exited via [`WorkerHandle::kill`].
+    pub killed: bool,
+}
+
+/// A handle on a spawned worker thread.
+pub struct WorkerHandle {
+    id: String,
+    stop: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<WorkerSummary>,
+}
+
+impl WorkerHandle {
+    /// The worker's identity.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Simulates abrupt worker death: the thread stops cold at its next
+    /// checkpoint — no release heartbeat, no result upload, no journal
+    /// sync. The coordinator only learns of it by missed heartbeats.
+    pub fn kill(&self) {
+        self.kill.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests a graceful stop: the current shard is handed back with a
+    /// `releasing` heartbeat and the journal is synced before exit.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the worker thread to exit.
+    pub fn join(self) -> WorkerSummary {
+        self.thread
+            .join()
+            .unwrap_or_else(|_| WorkerSummary::default())
+    }
+}
+
+/// A [`TrendsClient`] that tees every successful response into a
+/// per-worker [`DurableStore`] journal before returning it.
+struct JournalingClient {
+    inner: HttpTrendsClient,
+    store: Option<Mutex<DurableStore>>,
+}
+
+impl TrendsClient for JournalingClient {
+    fn fetch_frame(&self, req: &FrameRequest) -> Result<FrameResponse, FetchError> {
+        let resp = self.inner.fetch_frame(req)?;
+        if let Some(store) = &self.store {
+            store.lock().insert_frame(req.tag, resp.clone());
+        }
+        Ok(resp)
+    }
+
+    fn fetch_rising(&self, req: &RisingRequest) -> Result<RisingResponse, FetchError> {
+        let resp = self.inner.fetch_rising(req)?;
+        if let Some(store) = &self.store {
+            store.lock().insert_rising(req.len, resp.clone());
+        }
+        Ok(resp)
+    }
+
+    fn identity(&self) -> &str {
+        self.inner.identity()
+    }
+
+    fn healthy(&self) -> bool {
+        self.inner.healthy()
+    }
+}
+
+/// Spawns a worker thread that joins the coordinator at `coord_addr`,
+/// leases shards until the run completes, and crawls each shard against
+/// the trends service at `trends_addr`.
+///
+/// `params` must equal the coordinator's study parameters — the frame
+/// plan is recomputed locally from them, not shipped over the wire.
+pub fn spawn_worker(
+    id: impl Into<String>,
+    coord_addr: SocketAddr,
+    trends_addr: SocketAddr,
+    params: StudyParams,
+    config: WorkerConfig,
+) -> WorkerHandle {
+    let id = id.into();
+    let stop = Arc::new(AtomicBool::new(false));
+    let kill = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let id = id.clone();
+        let stop = Arc::clone(&stop);
+        let kill = Arc::clone(&kill);
+        std::thread::spawn(move || {
+            run_worker(
+                &id,
+                coord_addr,
+                trends_addr,
+                &params,
+                &config_or(config),
+                &stop,
+                &kill,
+            )
+        })
+    };
+    WorkerHandle {
+        id,
+        stop,
+        kill,
+        thread,
+    }
+}
+
+struct ResolvedConfig {
+    poll: Option<Duration>,
+    heartbeat_every: Duration,
+    fetch_identity: Option<String>,
+    durability_root: Option<PathBuf>,
+    retry: Option<RetryPolicy>,
+}
+
+fn config_or(config: WorkerConfig) -> ResolvedConfig {
+    ResolvedConfig {
+        poll: config.poll,
+        heartbeat_every: config.heartbeat_every.unwrap_or(Duration::from_millis(100)),
+        fetch_identity: config.fetch_identity,
+        durability_root: config.durability_root,
+        retry: config.retry,
+    }
+}
+
+fn run_worker(
+    id: &str,
+    coord_addr: SocketAddr,
+    trends_addr: SocketAddr,
+    params: &StudyParams,
+    config: &ResolvedConfig,
+    stop: &AtomicBool,
+    kill: &Arc<AtomicBool>,
+) -> WorkerSummary {
+    let coord = HttpClient::new(coord_addr).with_identity(id.to_string());
+    let mut summary = WorkerSummary::default();
+
+    // Join, and reopen the coordinator's trace root so every span this
+    // thread opens hangs off the run's single trace tree.
+    let join: Result<JoinReply, _> = coord.post_json(
+        "/cluster/join",
+        &JoinRequest {
+            worker: id.to_string(),
+        },
+    );
+    let trace = join
+        .ok()
+        .and_then(|j| j.trace)
+        .and_then(|h| sift_obs::SpanContext::from_header(&h));
+    let _worker_span = match trace {
+        Some(ctx) => sift_obs::span_in(ctx, "worker"),
+        None => sift_obs::span_root("worker"),
+    };
+
+    let identity = config
+        .fetch_identity
+        .clone()
+        .unwrap_or_else(|| id.to_string());
+    let mut fetch = HttpTrendsClient::new(trends_addr, identity);
+    if let Some(retry) = config.retry {
+        fetch = fetch.with_retry(retry);
+    }
+    let store = match &config.durability_root {
+        Some(root) => match DurableStore::open(&root.join(id)) {
+            Ok((store, _resume)) => Some(Mutex::new(store)),
+            Err(e) => {
+                sift_obs::event(
+                    sift_obs::Level::Warn,
+                    "cluster.worker",
+                    "worker journal unavailable; crawling without one",
+                    &[("error", serde_json::Value::Str(e.to_string()))],
+                );
+                None
+            }
+        },
+        None => None,
+    };
+    let client = JournalingClient {
+        inner: fetch,
+        store,
+    };
+
+    // The frame plan is a pure function of the study parameters, so
+    // every worker (and the single-process driver) computes the same one.
+    let plan = plan_frames(params.range, params.plan);
+
+    loop {
+        if kill.load(Ordering::SeqCst) {
+            summary.killed = true;
+            return summary;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let reply: LeaseReply = match coord.post_json(
+            "/cluster/lease",
+            &LeaseRequest {
+                worker: id.to_string(),
+            },
+        ) {
+            Ok(reply) => reply,
+            Err(_) => {
+                // Coordinator unreachable (shutting down, most likely).
+                break;
+            }
+        };
+        match reply {
+            LeaseReply::Done => break,
+            LeaseReply::Wait { poll_ms } => {
+                let wait = config.poll.unwrap_or(Duration::from_millis(poll_ms));
+                std::thread::sleep(
+                    wait.clamp(Duration::from_millis(1), Duration::from_millis(250)),
+                );
+            }
+            LeaseReply::Job(job) => {
+                let done = run_shard(
+                    id,
+                    &coord,
+                    coord_addr,
+                    &client,
+                    params,
+                    &plan.frames,
+                    job,
+                    config,
+                    kill,
+                );
+                if done {
+                    summary.shards_done += 1;
+                }
+                if kill.load(Ordering::SeqCst) {
+                    summary.killed = true;
+                    return summary;
+                }
+            }
+        }
+    }
+
+    // Graceful exit: make the journal durable.
+    if let Some(store) = &client.store {
+        if let Err(e) = store.lock().sync() {
+            sift_obs::event(
+                sift_obs::Level::Warn,
+                "cluster.worker",
+                "worker journal sync failed on exit",
+                &[("error", serde_json::Value::Str(e.to_string()))],
+            );
+        }
+    }
+    summary
+}
+
+/// Crawls one leased shard; returns whether its result was accepted.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    id: &str,
+    coord: &HttpClient,
+    coord_addr: SocketAddr,
+    client: &JournalingClient,
+    params: &StudyParams,
+    frames: &[sift_simtime::HourRange],
+    job: crate::proto::ShardJob,
+    config: &ResolvedConfig,
+    kill: &Arc<AtomicBool>,
+) -> bool {
+    // The heartbeat thread renews the lease while the crawl runs. It
+    // uses its own connection so a long fetch cannot starve renewals,
+    // and it watches the kill flag so a killed worker goes silent
+    // immediately — even while the crawl thread is still mid-fetch —
+    // which is what lets the coordinator detect the death mid-run.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let lost = Arc::new(AtomicBool::new(false));
+    let hb_thread = {
+        let hb_stop = Arc::clone(&hb_stop);
+        let lost = Arc::clone(&lost);
+        let kill = Arc::clone(kill);
+        let worker = id.to_string();
+        let every = config.heartbeat_every;
+        let ctx = sift_obs::SpanContext::current();
+        std::thread::spawn(move || {
+            let hb = HttpClient::new(coord_addr).with_identity(worker.clone());
+            let _span = ctx.map(|c| sift_obs::span_in(c, "heartbeat"));
+            while !hb_stop.load(Ordering::SeqCst) && !kill.load(Ordering::SeqCst) {
+                std::thread::sleep(every);
+                if hb_stop.load(Ordering::SeqCst) || kill.load(Ordering::SeqCst) {
+                    break;
+                }
+                let reply: Result<HeartbeatReply, _> = hb.post_json(
+                    "/cluster/heartbeat",
+                    &HeartbeatRequest {
+                        worker: worker.clone(),
+                        state: job.state,
+                        epoch: job.epoch,
+                        releasing: false,
+                    },
+                );
+                if let Ok(HeartbeatReply { keep: false }) = reply {
+                    // Lease revoked: flag the crawl as wasted work.
+                    lost.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        })
+    };
+
+    let outcome = {
+        let _span = sift_obs::span("region");
+        run_region_study(client, params, frames, job.state, None)
+    };
+
+    hb_stop.store(true, Ordering::SeqCst);
+    // sift-lint: allow(swallowed-result) — a panicked heartbeat thread only stops renewals; lease expiry then reroutes the shard, which is the designed fallback
+    let _ = hb_thread.join();
+
+    if kill.load(Ordering::SeqCst) {
+        // Died mid-shard: say nothing, upload nothing. The coordinator
+        // finds out the hard way, via the missed heartbeat deadline.
+        return false;
+    }
+
+    match outcome {
+        Ok(outcome) if !lost.load(Ordering::SeqCst) => {
+            let reply: Result<ResultReply, _> = coord.post_json(
+                "/cluster/result",
+                &ResultUpload {
+                    worker: id.to_string(),
+                    epoch: job.epoch,
+                    outcome,
+                },
+            );
+            matches!(reply, Ok(ResultReply { accepted: true }))
+        }
+        Ok(_) => false,
+        Err(e) => {
+            sift_obs::event(
+                sift_obs::Level::Warn,
+                "cluster.worker",
+                "shard crawl failed; releasing lease",
+                &[
+                    (
+                        "state",
+                        serde_json::Value::Str(job.state.abbrev().to_string()),
+                    ),
+                    ("error", serde_json::Value::Str(e.to_string())),
+                ],
+            );
+            // Hand the shard back so another attempt can start now
+            // rather than after the heartbeat timeout.
+            let _: Result<HeartbeatReply, _> = coord.post_json(
+                "/cluster/heartbeat",
+                &HeartbeatRequest {
+                    worker: id.to_string(),
+                    state: job.state,
+                    epoch: job.epoch,
+                    releasing: true,
+                },
+            );
+            false
+        }
+    }
+}

@@ -42,5 +42,8 @@ pub use detect::{detect_spikes, DetectParams, Spike};
 pub use durable::{RegionJournal, StudyDurability};
 pub use plan::{plan_frames, FramePlan, PlanParams};
 pub use refetch::{averaged_timeline_durable, RefetchError, RefetchOutcome, RefetchParams};
-pub use study::{run_study, run_study_durable, StudyError, StudyParams, StudyResult, StudyStats};
+pub use study::{
+    assemble_study, run_region_study, run_study, run_study_durable, RegionOutcome, StudyError,
+    StudyParams, StudyResult, StudyStats,
+};
 pub use timeline::{stitch, StitchError, Timeline};

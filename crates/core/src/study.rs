@@ -203,20 +203,39 @@ impl fmt::Display for StudyError {
 impl std::error::Error for StudyError {}
 
 /// Per-region intermediate result produced by the parallel phase.
-struct RegionOutcome {
-    state: State,
-    timeline: Timeline,
-    rounds: u32,
-    converged: bool,
-    frames_requested: u64,
-    frames_degraded: u64,
-    coverage: f64,
-    halted: bool,
-    resumed_from_round: u32,
-    frames_replayed: u64,
-    rising_requested: u64,
+///
+/// This is the unit of work a study shards over: [`run_region_study`]
+/// produces one per region, [`assemble_study`] folds a complete set back
+/// into a [`StudyResult`]. It is serializable so a cluster worker
+/// (`sift-cluster`) can compute it remotely and upload it to the
+/// coordinator over the wire — the global phase then runs on outcomes
+/// regardless of where they were computed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegionOutcome {
+    /// The region this outcome describes.
+    pub state: State,
+    /// The calibrated, re-fetch-averaged timeline.
+    pub timeline: Timeline,
+    /// Re-fetch rounds used.
+    pub rounds: u32,
+    /// Whether the spike set converged before the round cap.
+    pub converged: bool,
+    /// Time frames requested while collecting this region.
+    pub frames_requested: u64,
+    /// Frame slots filled from a previous round after a fetch failure.
+    pub frames_degraded: u64,
+    /// Fresh-fetch share of frame slots (1.0 = nothing degraded).
+    pub coverage: f64,
+    /// Whether the re-fetch loop halted early on an open circuit breaker.
+    pub halted: bool,
+    /// The re-fetch round a durable resume picked up at (0 = fresh run).
+    pub resumed_from_round: u32,
+    /// Frame slots served from a recovered journal instead of the network.
+    pub frames_replayed: u64,
+    /// Rising-suggestion requests issued for this region.
+    pub rising_requested: u64,
     /// `(spike, its gathered suggestions)`.
-    spikes: Vec<(crate::detect::Spike, Vec<RisingTerm>)>,
+    pub spikes: Vec<(crate::detect::Spike, Vec<RisingTerm>)>,
 }
 
 /// Runs the full study.
@@ -290,7 +309,7 @@ fn run_study_impl(
                             // thread; its own span stack is empty and
                             // would orphan every region's spans.
                             let _region_span = sift_obs::span_in(study_ctx, "region");
-                            region_study(client, params, &plan.frames, state, durability)
+                            run_region_study(client, params, &plan.frames, state, durability)
                         })
                         .collect::<Vec<_>>()
                 })
@@ -307,6 +326,29 @@ fn run_study_impl(
     for o in outcomes {
         regions.push(o?);
     }
+
+    let mut result = assemble_study(params, regions, durability.is_some());
+    result.stats.telemetry = sift_obs::TelemetrySnapshot::since(&baseline);
+    Ok(result)
+}
+
+/// The study's global phase: folds a complete set of per-region outcomes
+/// into the final [`StudyResult`] — heavy hitters over every spike's
+/// suggestion set, annotation, cross-region clustering, accounting.
+///
+/// Shared verbatim between the in-process driver and the cluster
+/// coordinator (`sift-cluster`); this sharing is what makes a sharded run
+/// bit-identical to a single-process one. Outcomes are sorted by region
+/// index before anything else, so the caller's collection order (thread
+/// interleaving, worker upload order) cannot influence the result.
+/// `track_resume` mirrors the durable driver: when set, per-region resume
+/// rounds are recorded in [`StudyStats::resumed_from_round`].
+/// [`StudyStats::telemetry`] is left empty for the caller to fill.
+pub fn assemble_study(
+    params: &StudyParams,
+    mut regions: Vec<RegionOutcome>,
+    track_resume: bool,
+) -> StudyResult {
     regions.sort_by_key(|r| r.state.index());
 
     // ---- Global phase: heavy hitters over every spike's suggestion set,
@@ -330,7 +372,7 @@ fn run_study_impl(
         stats.rounds_by_state.push((r.state, r.rounds));
         stats.coverage_by_state.push((r.state, r.coverage));
         stats.frames_replayed += r.frames_replayed;
-        if durability.is_some() {
+        if track_resume {
             stats
                 .resumed_from_round
                 .push((r.state, r.resumed_from_round));
@@ -364,7 +406,6 @@ fn run_study_impl(
         )
     };
 
-    stats.telemetry = sift_obs::TelemetrySnapshot::since(&baseline);
     sift_obs::event(
         sift_obs::Level::Info,
         "core.study",
@@ -390,18 +431,24 @@ fn run_study_impl(
         ],
     );
 
-    Ok(StudyResult {
+    StudyResult {
         spikes,
         timelines,
         clusters,
         heavy_hitters: heavy,
         distinct_terms,
         stats,
-    })
+    }
 }
 
 /// The per-region pipeline: averaging, detection, rising gathering.
-fn region_study(
+///
+/// One shard of [`run_study`]'s parallel phase, public so a cluster
+/// worker can run exactly the code path the in-process driver runs.
+/// `frames` must be the full deterministic plan for `params.range`
+/// (`plan_frames(params.range, params.plan)` — every shard computes the
+/// same plan locally). The caller owns the enclosing `region` span.
+pub fn run_region_study(
     client: &dyn TrendsClient,
     params: &StudyParams,
     frames: &[HourRange],

@@ -197,6 +197,50 @@ impl DurableStore {
     }
 }
 
+/// What [`merge_journal_dirs`] recovered and folded together.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JournalMergeReport {
+    /// Durability directories merged.
+    pub sources: usize,
+    /// Store entries restored from checkpoint snapshots, across sources.
+    pub from_checkpoint: usize,
+    /// Journal records replayed on top of checkpoints, across sources.
+    pub replayed: usize,
+    /// Sources whose journal ended in a torn tail (truncated on open).
+    pub torn_tails: usize,
+    /// Entries where two sources held a response for the same key. For a
+    /// deterministic service this is benign duplication from rerouted
+    /// work — the responses are byte-identical — but the count is
+    /// surfaced so a nondeterministic upstream can be caught.
+    pub conflicts: usize,
+}
+
+/// Recovers each per-worker durability directory (checkpoint + journal,
+/// torn tails repaired) and merges them into one in-memory
+/// [`ResponseStore`], as if a single process had journaled every fetch.
+///
+/// This is how a sharded crawl's per-worker journals (see `sift-cluster`)
+/// become one store: merge order does not matter for a deterministic
+/// service because duplicate keys carry identical payloads, and the
+/// result equals the replay of one combined journal — the property pinned
+/// by the proptest in `crates/fetcher/tests/merge_prop.rs`.
+pub fn merge_journal_dirs(dirs: &[PathBuf]) -> io::Result<(ResponseStore, JournalMergeReport)> {
+    let mut merged = ResponseStore::new();
+    let mut report = JournalMergeReport {
+        sources: dirs.len(),
+        ..JournalMergeReport::default()
+    };
+    for dir in dirs {
+        let (durable, resume) = DurableStore::open(dir)?;
+        report.from_checkpoint += resume.from_checkpoint;
+        report.replayed += resume.replayed;
+        report.torn_tails += usize::from(resume.torn_tail);
+        let m = merged.merge(durable.into_store());
+        report.conflicts += m.conflicts;
+    }
+    Ok((merged, report))
+}
+
 impl ResponseSink for DurableStore {
     fn insert_frame(&mut self, tag: u64, resp: FrameResponse) {
         let record = StoreRecord::Frame { tag, resp };

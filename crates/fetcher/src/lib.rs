@@ -31,7 +31,7 @@ pub mod serve;
 pub mod store;
 pub mod unit;
 
-pub use durable::{DurableStore, ResumeReport};
+pub use durable::{merge_journal_dirs, DurableStore, JournalMergeReport, ResumeReport};
 pub use queue::{CollectionRun, FailedWork, RunReport, ShedCause, ShedWork, WorkItem};
 pub use serve::trends_router;
 pub use sift_core::plan::{plan_frames, FramePlan, PlanParams};

@@ -63,6 +63,14 @@ impl WorkItem {
 
     /// Whether `store` already holds the response this item would fetch —
     /// the question resume asks to skip journaled work.
+    ///
+    /// A stored response satisfies the item only if it answers the *whole*
+    /// request, not just its store key. Frame keys carry `(state, start,
+    /// tag)` but not the requested length or term, so a journal written
+    /// under a different plan (say a 168-hour frame where this plan wants
+    /// 24 hours at the same start) would otherwise mark the item resumed —
+    /// it then appears in neither the served nor the requeued totals and
+    /// the response handed downstream has the wrong shape.
     pub fn fulfilled_by(&self, store: &ResponseStore) -> bool {
         match self {
             WorkItem::Frame(r) => store
@@ -71,7 +79,10 @@ impl WorkItem {
                     start: r.start,
                     tag: r.tag,
                 })
-                .is_some(),
+                .is_some_and(|resp| {
+                    resp.term == r.term
+                        && usize::try_from(r.len).is_ok_and(|len| resp.values.len() == len)
+                }),
             WorkItem::Rising(r) => store
                 .rising(&RisingKey {
                     state: r.state,
@@ -967,6 +978,68 @@ mod tests {
             service.stats().frames_served - fetched_before_resume,
             (n - half) as u64,
             "already-journaled frames must not be re-fetched"
+        );
+    }
+
+    /// Regression (`fulfilled_by` re-partition): a journaled response at
+    /// the right `(state, start, tag)` key but answering a *different*
+    /// request (here: wrong frame length) must not count the planned item
+    /// as resumed. Before the fix such an item vanished from the totals —
+    /// neither served nor requeued — and the downstream pipeline saw a
+    /// frame of the wrong shape.
+    #[test]
+    fn resume_refetches_items_the_store_only_pretends_to_hold() {
+        let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (units, service) = units(1);
+        let run = CollectionRun::new(units);
+        let dir = sift_journal::testutil::scratch_dir("queue_resume_mismatch");
+        let term = SearchTerm::parse("topic:Internet outage");
+
+        // Journal a 24-hour frame at the coordinates the plan below will
+        // request as a 168-hour frame.
+        {
+            let (mut durable, _) = crate::durable::DurableStore::open(&dir).expect("open");
+            durable.insert_frame(
+                0,
+                FrameResponse {
+                    term: term.clone(),
+                    state: State::CA,
+                    start: Hour(0),
+                    values: vec![50; 24],
+                },
+            );
+        }
+
+        let (mut durable, recovered) = crate::durable::DurableStore::open(&dir).expect("reopen");
+        assert_eq!(recovered.replayed, 1);
+        let item = WorkItem::Frame(FrameRequest {
+            term,
+            state: State::CA,
+            start: Hour(0),
+            len: 168,
+            tag: 0,
+        });
+        let report = run.resume(vec![(item, 0)], &mut durable);
+        assert_eq!(report.resumed, 0, "mismatched entry is not a resume hit");
+        assert_eq!(report.completed, 1, "the item is genuinely fetched");
+        assert_eq!(
+            report.resumed + report.completed + report.failed + report.shed,
+            1,
+            "every planned item is accounted for exactly once: {report:?}"
+        );
+        assert_eq!(service.stats().frames_served, 1);
+        let resp = durable
+            .store()
+            .frame(&FrameKey {
+                state: State::CA,
+                start: Hour(0),
+                tag: 0,
+            })
+            .expect("refetched frame");
+        assert_eq!(
+            resp.values.len(),
+            168,
+            "the re-fetch replaces the mismatched journal entry"
         );
     }
 

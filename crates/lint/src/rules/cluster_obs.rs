@@ -1,0 +1,185 @@
+//! `cluster-obs`: observability completeness for shed and reroute causes.
+//!
+//! The sharded crawl degrades in two places: the fetcher queue sheds work
+//! (`enum ShedCause`) and the coordinator reroutes a dead or departing
+//! worker's shards (`enum RerouteReason`). Both are reconstructed from
+//! `/metrics` after the fact, so for each enum this rule checks that
+//! every variant's snake_case label (`BreakerOpen` → `"breaker_open"`)
+//! appears as a string literal in non-test workspace code, and that the
+//! enum's counter (`sift_fetcher_shed_total` respectively
+//! `sift_cluster_reroute_total`) is registered somewhere. A cause with no
+//! label string could fire during an incident yet be indistinguishable —
+//! or entirely invisible — in the exposition. Findings anchor at the enum
+//! definition site.
+//!
+//! Like `fault-obs` and `breaker-obs`, the match is workspace-wide on
+//! purpose: the counter registration and the `label()` mapping live next
+//! to each enum today, but nothing forces them to stay there.
+
+use crate::config::Config;
+use crate::context::{str_literal_content, FileCtx};
+use crate::lexer::TokKind;
+use crate::rules::fault_obs::{enum_variants, snake_case};
+use crate::rules::RawFinding;
+
+/// The watched enums and the counter each one must be visible through.
+const WATCHED: [(&str, &str); 2] = [
+    ("ShedCause", "sift_fetcher_shed_total"),
+    ("RerouteReason", "sift_cluster_reroute_total"),
+];
+
+pub fn check(files: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
+    // (enum name, counter, variant, file, line, col)
+    let mut variants: Vec<(&str, &str, String, String, u32, u32)> = Vec::new();
+    let mut enum_sites: Vec<(&str, &str, String, u32, u32)> = Vec::new();
+    let mut literals: Vec<String> = Vec::new();
+
+    for ctx in files {
+        if ctx.is_test_file || ctx.is_bin_file {
+            continue;
+        }
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.kind == TokKind::Str && !ctx.in_test(t.line) {
+                literals.push(str_literal_content(&t.text).to_owned());
+            }
+            if t.kind == TokKind::Ident && t.text == "enum" && !ctx.in_test(t.line) {
+                let Some(name_tok) = code.get(i + 1) else {
+                    continue;
+                };
+                let Some((name, counter)) = WATCHED
+                    .iter()
+                    .copied()
+                    .find(|(name, _)| name_tok.kind == TokKind::Ident && name_tok.text == *name)
+                else {
+                    continue;
+                };
+                enum_sites.push((name, counter, ctx.path.clone(), t.line, t.col));
+                for v in enum_variants(code, i + 2) {
+                    variants.push((name, counter, v, ctx.path.clone(), t.line, t.col));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (name, counter, file, line, col) in &enum_sites {
+        if cfg.path_allowed("cluster-obs", file) {
+            continue;
+        }
+        if !literals.iter().any(|l| l == counter) {
+            out.push((
+                file.clone(),
+                RawFinding::new(
+                    *line,
+                    *col,
+                    format!(
+                        "`{name}` exists but no `{counter}` counter is \
+                         registered anywhere: its causes would be invisible \
+                         in /metrics"
+                    ),
+                ),
+            ));
+        }
+    }
+    for (name, counter, variant, file, line, col) in variants {
+        if cfg.path_allowed("cluster-obs", &file) {
+            continue;
+        }
+        let label = snake_case(&variant);
+        if !literals.iter().any(|l| l == &label) {
+            out.push((
+                file,
+                RawFinding::new(
+                    line,
+                    col,
+                    format!(
+                        "`{name}::{variant}` has no `\"{label}\"` label string \
+                         in non-test code: that cause could fire but never be \
+                         distinguished in the `{counter}` exposition"
+                    ),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        FileCtx::new(path, src, &Config::default())
+    }
+
+    const REROUTE_SRC: &str = r#"
+        pub enum RerouteReason {
+            HeartbeatMissed,
+            WorkerLeft,
+        }
+        impl RerouteReason {
+            pub fn label(self) -> &'static str {
+                match self {
+                    RerouteReason::HeartbeatMissed => "heartbeat_missed",
+                    RerouteReason::WorkerLeft => "worker_left",
+                }
+            }
+        }
+        fn count(r: RerouteReason) {
+            sift_obs::counter("sift_cluster_reroute_total", &[("reason", r.label())]).inc();
+        }
+    "#;
+
+    #[test]
+    fn fully_labelled_enums_with_counters_pass() {
+        let coord = ctx("crates/a/src/coord.rs", REROUTE_SRC);
+        let queue = ctx(
+            "crates/b/src/queue.rs",
+            r#"pub enum ShedCause { BreakerOpen, Deadline }
+               fn label() -> &'static str { "breaker_open" }
+               fn label2() -> &'static str { "deadline" }
+               fn count() { counter("sift_fetcher_shed_total", &[]); }"#,
+        );
+        assert!(check(&[coord, queue], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_label_string_is_flagged() {
+        let coord = ctx(
+            "crates/a/src/coord.rs",
+            r#"pub enum RerouteReason { HeartbeatMissed, WorkerLeft }
+               fn label() -> &'static str { "heartbeat_missed" }
+               fn count() { counter("sift_cluster_reroute_total", &[]); }"#,
+        );
+        let out = check(&[coord], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("WorkerLeft"));
+        assert!(out[0].1.message.contains("\"worker_left\""));
+    }
+
+    #[test]
+    fn unregistered_counter_is_flagged_at_enum_site() {
+        let queue = ctx(
+            "crates/b/src/queue.rs",
+            r#"pub enum ShedCause { Deadline }
+               fn label() -> &'static str { "deadline" }"#,
+        );
+        let out = check(&[queue], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("sift_fetcher_shed_total"));
+    }
+
+    #[test]
+    fn other_enums_and_test_code_do_not_count() {
+        let f = ctx(
+            "crates/a/src/x.rs",
+            r#"pub enum Unwatched { A }
+            #[cfg(test)]
+            mod tests {
+                enum RerouteReason { Wedged }
+            }"#,
+        );
+        assert!(check(&[f], &Config::default()).is_empty());
+    }
+}

@@ -8,6 +8,7 @@ use crate::config::{Config, Severity};
 use crate::context::FileCtx;
 
 pub mod breaker_obs;
+pub mod cluster_obs;
 pub mod deadline_propagation;
 pub mod durable_write;
 pub mod fault_obs;
@@ -246,6 +247,20 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: true,
             kind: RuleKind::Workspace(breaker_obs::check),
+        },
+        Rule {
+            id: "cluster-obs",
+            summary: "every `ShedCause` / `RerouteReason` variant needs a \
+                      matching shed/reroute counter label string",
+            rationale: "A sharded crawl degrades by shedding queue work and \
+                        rerouting dead workers' shards; a cause whose \
+                        snake_case label never appears in code can fire during \
+                        an incident yet be indistinguishable in /metrics, so \
+                        label and counter coverage are checked at lint time.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::Workspace(cluster_obs::check),
         },
     ]
 }

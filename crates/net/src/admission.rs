@@ -135,13 +135,20 @@ impl AdmissionController {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             ) {
-                Ok(_) => {
-                    self.set_queue_gauge();
-                    return Ok(());
-                }
+                Ok(_) => break,
                 Err(actual) => current = actual,
             }
         }
+        // Re-check the drain flag *after* the slot is registered (see
+        // `try_admit` for the full interleaving argument): a drain that
+        // began between the check above and the increment either sees our
+        // count or we see its flag — never neither.
+        if self.is_draining() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err(ShedReason::Draining);
+        }
+        self.set_queue_gauge();
+        Ok(())
     }
 
     /// A worker took one connection off the accept queue.
@@ -152,6 +159,15 @@ impl AdmissionController {
 
     /// Tries to admit one parsed request into processing. The returned
     /// guard holds an in-flight slot until dropped.
+    ///
+    /// Admission and drain are serialized through the SeqCst total order:
+    /// the slot is registered *first* and the drain flag re-checked after.
+    /// If a drain begins concurrently, either its settle loop observes our
+    /// registered slot (and waits for the guard), or this re-check sees
+    /// the flag (and rolls the slot back). The old check-then-register
+    /// order had a window where a request could be admitted invisibly to
+    /// `drain(grace)` — the server would settle and shut down around
+    /// still-running work.
     pub fn try_admit(&self) -> Result<InflightGuard<'_>, ShedReason> {
         if self.is_draining() {
             return Err(ShedReason::Draining);
@@ -167,13 +183,19 @@ impl AdmissionController {
                 Ordering::SeqCst,
                 Ordering::SeqCst,
             ) {
-                Ok(_) => {
-                    self.set_inflight_gauge();
-                    return Ok(InflightGuard { controller: self });
-                }
+                Ok(_) => break,
                 Err(actual) => current = actual,
             }
         }
+        // The guard is constructed before the re-check so the rollback
+        // path is just a drop — one decrement, same as any release.
+        let guard = InflightGuard { controller: self };
+        if self.is_draining() {
+            drop(guard);
+            return Err(ShedReason::Draining);
+        }
+        self.set_inflight_gauge();
+        Ok(guard)
     }
 
     /// Requests currently being processed.
@@ -313,5 +335,66 @@ mod tests {
     fn labels_cover_every_reason() {
         let labels: Vec<_> = ShedReason::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels, ["queue_full", "overload", "deadline", "draining"]);
+    }
+
+    /// Regression (drain race): a request admitted concurrently with
+    /// `begin_drain` must never be invisible to the settle loop. Either
+    /// the admission fails with `Draining`, or its in-flight slot is
+    /// observable before the drain can settle to zero. The old
+    /// check-then-register order allowed "settled at zero" and "admitted,
+    /// guard still held" to be true at once; repeated racing spawns would
+    /// eventually catch the torn interleaving.
+    #[test]
+    fn drain_settle_cannot_miss_a_concurrent_admission() {
+        use std::sync::mpsc;
+        use std::sync::{Arc, Barrier};
+
+        for _ in 0..1000 {
+            let c = Arc::new(controller(0, 0));
+            let start = Arc::new(Barrier::new(2));
+            let (admitted_tx, admitted_rx) = mpsc::channel();
+            let (release_tx, release_rx) = mpsc::channel::<()>();
+
+            let racer = {
+                let c = Arc::clone(&c);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    start.wait();
+                    match c.try_admit() {
+                        Ok(guard) => {
+                            admitted_tx.send(true).expect("report admit");
+                            // Hold the slot until the main thread has run
+                            // its settle loop, like an in-flight request.
+                            release_rx.recv().expect("release signal");
+                            drop(guard);
+                        }
+                        Err(reason) => {
+                            assert_eq!(reason, ShedReason::Draining);
+                            admitted_tx.send(false).expect("report shed");
+                        }
+                    }
+                })
+            };
+
+            start.wait();
+            c.begin_drain();
+            // The settle loop from `drain(grace)`: spin briefly, consider
+            // the server drained the moment in-flight reads zero.
+            let mut settled = false;
+            for _ in 0..10_000 {
+                if c.inflight() == 0 {
+                    settled = true;
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            let admitted = admitted_rx.recv().expect("racer verdict");
+            assert!(
+                !(settled && admitted),
+                "drain settled to zero while an admitted request held a slot"
+            );
+            release_tx.send(()).ok();
+            racer.join().expect("racer thread");
+        }
     }
 }

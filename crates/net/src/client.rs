@@ -498,12 +498,26 @@ impl HttpClient {
     }
 }
 
-/// The server's explicit `Retry-After` hint, if the response carries one.
+/// Hard ceiling on any server-supplied `Retry-After` hint. A server (or a
+/// middlebox mangling the header) telling a crawler to come back in a
+/// week must not stall the retry loop; anything past this cap degrades to
+/// the cap, and the policy's own `max_backoff` still applies on top at
+/// the call site.
+const MAX_SERVER_HINT: Duration = Duration::from_secs(60);
+
+/// The server's explicit `Retry-After` hint, if the response carries a
+/// usable one. Defensive by design: an empty value, non-numeric garbage
+/// (`"soon"`, HTTP-dates, `"2.5"`), or a number too large for `u64` all
+/// parse as *absent*, sending the caller to the jittered-backoff path
+/// instead of trusting the wire verbatim. Values that do parse are capped
+/// at [`MAX_SERVER_HINT`].
 fn server_hint(resp: &Response) -> Option<Duration> {
-    resp.headers
-        .get("retry-after")
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map(Duration::from_secs)
+    let raw = resp.headers.get("retry-after")?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    let secs: u64 = raw.parse().ok()?;
+    Some(Duration::from_secs(secs).min(MAX_SERVER_HINT))
 }
 
 /// Pure exponential backoff ceiling for `attempt` (the jitter draw spans
@@ -768,6 +782,38 @@ mod tests {
         assert_eq!(backoff_wait(&policy, 1), policy.base_backoff);
         assert_eq!(backoff_wait(&policy, 3), policy.base_backoff * 4);
         assert!(backoff_wait(&policy, 30) <= policy.max_backoff);
+    }
+
+    /// Regression (`Retry-After` robustness): malformed, empty, or
+    /// absurdly large header values must degrade to the jittered-backoff
+    /// path (hint absent) or be capped — never trusted verbatim.
+    #[test]
+    fn server_hint_rejects_garbage_and_caps_huge_values() {
+        let hint = |value: &str| {
+            let mut resp = Response::text(StatusCode::TOO_MANY_REQUESTS, "slow down");
+            resp.headers.set("retry-after", value);
+            server_hint(&resp)
+        };
+        // Garbage of every flavour parses as absent.
+        assert_eq!(hint(""), None);
+        assert_eq!(hint("   "), None);
+        assert_eq!(hint("soon"), None);
+        assert_eq!(hint("2.5"), None);
+        assert_eq!(hint("-1"), None);
+        assert_eq!(hint("1e9"), None);
+        assert_eq!(hint("Fri, 31 Dec 1999 23:59:59 GMT"), None);
+        // Overflow past u64 is a parse failure, not a huge wait.
+        assert_eq!(hint("99999999999999999999999999"), None);
+        // Valid values survive (whitespace-tolerant)...
+        assert_eq!(hint("2"), Some(Duration::from_secs(2)));
+        assert_eq!(hint(" 7 "), Some(Duration::from_secs(7)));
+        // ...but are capped: a week-long hint becomes the ceiling.
+        assert_eq!(hint("604800"), Some(MAX_SERVER_HINT));
+        assert_eq!(hint(&u64::MAX.to_string()), Some(MAX_SERVER_HINT));
+        // And the retry loop caps the hint again with its own policy.
+        let policy = RetryPolicy::default();
+        let wait = hint("604800").expect("capped hint").min(policy.max_backoff);
+        assert_eq!(wait, policy.max_backoff);
     }
 
     #[test]

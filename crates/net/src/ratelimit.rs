@@ -153,15 +153,27 @@ impl RateLimiter {
         let before = buckets.map.len();
         buckets.map.retain(|_, b| {
             let idle_ms = now_ms.saturating_sub(b.last_ms);
-            // Evict only identities that are BOTH past the TTL and fully
-            // refilled: a returning client gets a fresh bucket identical
-            // to the one it would have refilled to anyway.
-            let refilled = (b.tokens + idle_ms as f64 / 1000.0 * refill) >= capacity;
-            let keep = idle_ms < ttl || !refilled;
-            if !keep {
+            if idle_ms < ttl {
+                return true;
+            }
+            // Past the TTL: materialize the refill the bucket would apply
+            // lazily on its next check, then evict only if that leaves it
+            // effectively full — i.e. the identity's debt is repaid and a
+            // fresh bucket is indistinguishable from this one. Deciding on
+            // the materialized state (rather than a separate projection)
+            // keeps the sweep and the lazy refill in `check` agreeing by
+            // construction: a depleted identity can never be dropped and
+            // recreated at full capacity, which would hand an over-limit
+            // client a free burst every TTL.
+            b.tokens = (b.tokens + idle_ms as f64 / 1000.0 * refill).min(capacity);
+            b.last_ms = now_ms;
+            // Tiny epsilon absorbs float drift from repeated partial
+            // refills; a bucket within 1e-9 of full is full.
+            let full = b.tokens >= capacity - 1e-9;
+            if full {
                 evicted_rejections += b.rejections;
             }
-            keep
+            !full
         });
         let evicted = before - buckets.map.len();
         if evicted > 0 {
@@ -356,6 +368,69 @@ mod tests {
         assert_eq!(l.tracked_clients(), 1);
         assert_eq!(l.rejections("a"), 0, "per-key count resets on eviction");
         assert_eq!(l.total_rejections(), 2, "aggregate survives eviction");
+    }
+
+    /// Regression (TTL eviction refill bug): an identity that is still
+    /// throttled must not be able to launder its debt through the sweep.
+    /// If the sweep evicted on idleness alone, the next request would
+    /// recreate the bucket at full capacity — a free burst every TTL.
+    #[test]
+    fn throttled_identity_gets_no_free_burst_across_the_ttl() {
+        // capacity 5, 0.5 tokens/sec, 2-second TTL.
+        let l = limiter_with_ttl(5.0, 0.5, 2_000);
+        for _ in 0..5 {
+            assert_eq!(l.check("greedy", 0), RateLimitDecision::Allowed);
+        }
+        // Keeps hammering while over budget...
+        for t in [0, 300, 600] {
+            assert!(matches!(
+                l.check("greedy", t),
+                RateLimitDecision::Limited { .. }
+            ));
+        }
+        // ...then goes idle past the TTL while another identity triggers
+        // the sweep. 2.1s idle refills 1.05 of the 5 spent tokens: the
+        // bucket is nowhere near full and must survive.
+        l.check("other", 2_700);
+        assert_eq!(l.tracked_clients(), 2, "depleted bucket not evicted");
+        // Exactly one token has accrued — one request passes, not five.
+        assert_eq!(l.check("greedy", 2_700), RateLimitDecision::Allowed);
+        assert!(matches!(
+            l.check("greedy", 2_700),
+            RateLimitDecision::Limited { .. }
+        ));
+    }
+
+    /// Eviction must be semantically invisible: the same call script gives
+    /// identical decisions whether or not sweeps run in between.
+    #[test]
+    fn sweep_never_changes_decisions() {
+        let swept = limiter_with_ttl(3.0, 2.0, 500);
+        let unswept = limiter_with_ttl(3.0, 2.0, 0);
+        let script = [
+            ("a", 0u64),
+            ("a", 0),
+            ("a", 0),
+            ("a", 0),
+            ("b", 400),
+            ("a", 900),
+            ("b", 1_400),
+            ("a", 2_100),
+            ("c", 2_600),
+            ("a", 2_650),
+            ("b", 4_000),
+            ("a", 4_100),
+            ("c", 9_000),
+            ("a", 9_050),
+            ("a", 9_060),
+        ];
+        for (key, t) in script {
+            assert_eq!(
+                swept.check(key, t),
+                unswept.check(key, t),
+                "decision diverged for {key} at t={t}"
+            );
+        }
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! distinct identities — the paper's answer to the service's IP-based
 //! rate limiting (§4, Implementation).
 //!
+//! This example is the *single-process* fleet: every unit lives in this
+//! process and shares one queue. The multi-process promotion of the same
+//! idea — a coordinator leasing region shards to workers over a job
+//! protocol, with heartbeat failover and bit-identical assembly — is the
+//! `sift-cluster` crate (see DESIGN.md, *Cluster model*, and the
+//! "Sharded crawl" section of the README).
+//!
 //! Run with: `cargo run --release --example distributed_crawl`
 
 use sift::core::{plan_frames, run_study, PlanParams, StudyParams};

@@ -46,6 +46,12 @@ cargo test -q --offline --test overload_http
 # the identical result, re-fetching at most the one in-flight response.
 cargo test -q --offline --test resume_http
 
+# Sharded-crawl gate: a coordinator plus in-process workers over real
+# sockets must assemble a StudyResult bit-identical to single-process
+# run_study — including when a worker is killed mid-run, its heartbeats
+# go silent, and its shards reroute to the survivors.
+cargo test -q --offline --test cluster_http
+
 # Perf-trajectory gate: a reduced-scale bench smoke re-runs the study
 # and derives end-to-end + per-stage timings from its trace tree. The
 # emitted profile must validate as `sift-bench/1` and stay inside the

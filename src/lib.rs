@@ -13,6 +13,9 @@
 //!   service is crawled over.
 //! * [`fetcher`] — the collection module mapping workload onto fetcher
 //!   units behind distinct source IPs.
+//! * [`cluster`] — the sharded crawl: a coordinator partitioning regions
+//!   across workers by consistent hashing, with lease/heartbeat/reroute
+//!   fault tolerance and per-worker journal merging.
 //! * [`probe`] — the active-probing baseline (ANT/Trinocular-style).
 //! * [`obs`] — zero-dependency metrics, span timing and structured
 //!   event logging, exposed live at `GET /metrics`.
@@ -26,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use sift_cluster as cluster;
 pub use sift_core as core;
 pub use sift_fetcher as fetcher;
 pub use sift_geo as geo;
