@@ -835,7 +835,18 @@ fn exp_cluster(args: &Args) {
     let single = t0.elapsed();
 
     const WORKERS: usize = 4;
-    let coord = Arc::new(Coordinator::new(params.clone(), ClusterConfig::default()));
+    // The coordinator runs in its production shape: control state WAL'd
+    // and checkpointed through `sift-journal`, so the sharded wall-time
+    // includes the per-acknowledgement fsync cost of the control plane.
+    let wal_dir = std::env::temp_dir().join(format!("sift-bench-cluster-{}", std::process::id()));
+    if wal_dir.exists() {
+        std::fs::remove_dir_all(&wal_dir).expect("clear coordinator wal dir");
+    }
+    let (coord, recovery) =
+        Coordinator::durable(params.clone(), ClusterConfig::default(), &wal_dir)
+            .expect("durable coordinator");
+    assert!(!recovery.had_state, "the bench always starts fresh");
+    let coord = Arc::new(coord);
     let coord_server = Server::new(cluster_router(&coord))
         .with_workers(8)
         .bind("127.0.0.1:0")
@@ -865,6 +876,7 @@ fn exp_cluster(args: &Args) {
         .collect();
     coord_server.shutdown();
     trends.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
 
     let identical = sharded.timelines == reference.timelines
         && sharded.heavy_hitters == reference.heavy_hitters

@@ -10,6 +10,13 @@
 //! bounce-then-shed shape the fetcher queue applies to individual
 //! requests.
 //!
+//! A coordinator opened with [`Coordinator::durable`] additionally
+//! journals every control-state transition through `sift-journal` before
+//! acknowledging it (see [`crate::recovery`]): kill the process at any
+//! point and a restart replays the WAL, bumps the fencing epoch past
+//! everything it ever granted, and resumes the run without re-crawling
+//! accepted shards.
+//!
 //! Once every shard has an accepted [`RegionOutcome`], the coordinator
 //! folds them through [`sift_core::assemble_study`] — the *same* global
 //! phase the in-process driver runs — which is what makes the sharded
@@ -19,12 +26,17 @@ use crate::proto::{
     HeartbeatReply, HeartbeatRequest, JoinReply, JoinRequest, LeaseReply, LeaseRequest,
     ResultReply, ResultUpload, ShardJob, StatusReply,
 };
+use crate::recovery::{
+    outcome_digest, CoordCheckpoint, CoordDurability, CoordRecord, CoordRecovery, ShardSnapshot,
+};
 use crate::ring::HashRing;
 use parking_lot::Mutex;
 use sift_core::{assemble_study, RegionOutcome, StudyParams, StudyResult};
 use sift_geo::State;
 use sift_net::{Method, Request, Response, Router, StatusCode};
 use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,9 +74,14 @@ impl std::fmt::Display for RerouteReason {
 /// Coordinator tuning.
 #[derive(Clone, Copy, Debug)]
 pub struct ClusterConfig {
-    /// A lease not renewed within this window is expired and its worker
-    /// declared dead.
-    pub heartbeat_timeout: Duration,
+    /// The heartbeat cadence workers are asked to beat at (advertised in
+    /// the join reply, so both sides share one number).
+    pub heartbeat_interval: Duration,
+    /// Missed beats before a lease holder is declared dead. The death
+    /// timeout is *derived* — [`ClusterConfig::heartbeat_timeout`] =
+    /// interval × threshold — so the cadence and the tolerance can never
+    /// silently disagree the way two hardcoded constants could.
+    pub miss_threshold: u32,
     /// The wait hint handed to workers with nothing to do.
     pub poll_ms: u64,
     /// Times a shard may be (re)issued before the run fails. Mirrors the
@@ -72,15 +89,29 @@ pub struct ClusterConfig {
     pub attempt_budget: u32,
     /// Virtual points per worker on the consistent-hash ring.
     pub vnodes: usize,
+    /// WAL records between periodic checkpoints (durable runs only).
+    pub checkpoint_every: u64,
+}
+
+impl ClusterConfig {
+    /// The lease expiry window: a lease not renewed within
+    /// `heartbeat_interval × miss_threshold` is expired and its worker
+    /// declared dead.
+    pub fn heartbeat_timeout(&self) -> Duration {
+        self.heartbeat_interval
+            .saturating_mul(self.miss_threshold.max(1))
+    }
 }
 
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
-            heartbeat_timeout: Duration::from_secs(1),
+            heartbeat_interval: Duration::from_millis(250),
+            miss_threshold: 4,
             poll_ms: 25,
             attempt_budget: 3,
             vnodes: 40,
+            checkpoint_every: 8,
         }
     }
 }
@@ -134,7 +165,11 @@ enum ShardStatus {
 
 struct Shard {
     state: State,
+    /// Expiry-burned attempts (the budget the run fails on).
     attempts: u32,
+    /// Total lease grants including re-grants — the per-shard attempt
+    /// count `/cluster/status` reports for recovery audits.
+    grants: u32,
     status: ShardStatus,
 }
 
@@ -145,6 +180,89 @@ struct CoordState {
     dead: BTreeSet<String>,
     next_epoch: u64,
     rerouted: u64,
+    /// Completed coordinator recoveries feeding this run.
+    recoveries: u64,
+    /// WAL + checkpoint driver; `None` for a purely in-memory run.
+    /// Living inside the state mutex means journal order provably equals
+    /// state-mutation order.
+    durability: Option<CoordDurability>,
+}
+
+/// The durable projection of the live state: leased shards snapshot as
+/// pending because a lease is a promise about a live heartbeat stream
+/// and deliberately does not survive the coordinator process.
+fn snapshot(s: &CoordState) -> CoordCheckpoint {
+    CoordCheckpoint {
+        next_epoch: s.next_epoch,
+        recoveries: s.recoveries,
+        rerouted: s.rerouted,
+        workers: s.workers.clone(),
+        dead: s.dead.iter().cloned().collect(),
+        shards: s
+            .shards
+            .iter()
+            .map(|sh| ShardSnapshot {
+                state: sh.state,
+                attempts: sh.attempts,
+                grants: sh.grants,
+                done: match &sh.status {
+                    ShardStatus::Done { outcome } => {
+                        Some((outcome_digest(outcome), outcome.clone()))
+                    }
+                    _ => None,
+                },
+                failed: matches!(sh.status, ShardStatus::Failed),
+            })
+            .collect(),
+    }
+}
+
+/// Appends `rec` if this coordinator is durable. Returns `false` only
+/// when the record could not be made durable — a caller about to
+/// acknowledge the mutation must then withhold the acknowledgement
+/// (WAL before acknowledgement is the recovery invariant).
+fn wal_append(durability: &mut Option<CoordDurability>, rec: &CoordRecord) -> bool {
+    let Some(d) = durability.as_mut() else {
+        return true;
+    };
+    match d.append(rec) {
+        Ok(()) => true,
+        Err(e) => {
+            sift_obs::counter("sift_cluster_wal_errors_total", &[]).inc();
+            sift_obs::event(
+                sift_obs::Level::Error,
+                "cluster.coord",
+                "coordinator WAL append failed",
+                &[("error", serde_json::Value::Str(e.to_string()))],
+            );
+            false
+        }
+    }
+}
+
+/// Compacts the WAL into a checkpoint when enough records accumulated.
+/// A failed compaction is survivable — the WAL keeps the run durable —
+/// so it is reported, not propagated.
+fn maybe_checkpoint(s: &mut CoordState) {
+    let due = s
+        .durability
+        .as_ref()
+        .is_some_and(CoordDurability::should_checkpoint);
+    if !due {
+        return;
+    }
+    let snap = snapshot(s);
+    if let Some(d) = s.durability.as_mut() {
+        if let Err(e) = d.install_checkpoint(&snap) {
+            sift_obs::counter("sift_cluster_wal_errors_total", &[]).inc();
+            sift_obs::event(
+                sift_obs::Level::Error,
+                "cluster.coord",
+                "coordinator checkpoint failed",
+                &[("error", serde_json::Value::Str(e.to_string()))],
+            );
+        }
+    }
 }
 
 /// The coordinator role: owns the shard table for one study.
@@ -161,21 +279,89 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// A coordinator for `params`, one shard per region. The span active
-    /// at construction time (if any) becomes the run's trace root,
-    /// propagated to workers at join.
+    /// An in-memory coordinator for `params`, one shard per region. The
+    /// span active at construction time (if any) becomes the run's trace
+    /// root, propagated to workers at join.
     pub fn new(params: StudyParams, config: ClusterConfig) -> Coordinator {
-        let shards = params
-            .regions
-            .iter()
-            .map(|&state| Shard {
-                state,
-                attempts: 0,
-                status: ShardStatus::Pending,
+        let snap = CoordCheckpoint::initial(&params.regions);
+        Coordinator::from_state(params, config, snap, None)
+    }
+
+    /// A crash-recoverable coordinator whose control state lives under
+    /// `dir`. A fresh directory starts a fresh run; a directory holding a
+    /// prior coordinator's checkpoint + WAL *recovers* it: the shard
+    /// table is replayed, in-flight leases revert to pending, the fencing
+    /// epoch is bumped strictly past every epoch the previous incarnation
+    /// granted, and already-accepted outcomes are restored so their
+    /// shards are never re-crawled.
+    pub fn durable(
+        params: StudyParams,
+        config: ClusterConfig,
+        dir: &Path,
+    ) -> io::Result<(Coordinator, CoordRecovery)> {
+        let (mut durability, mut snap, recovery) =
+            CoordDurability::open(dir, &params.regions, config.checkpoint_every)?;
+        if recovery.had_state {
+            snap.recoveries = snap.recoveries.saturating_add(1);
+            // Replay already fences above every *logged* epoch; the
+            // explicit bump additionally separates incarnations so the
+            // restart is observable in audits even when no grant raced
+            // the crash.
+            snap.next_epoch = snap.next_epoch.saturating_add(1);
+            sift_obs::counter("sift_cluster_coord_recoveries_total", &[]).inc();
+            sift_obs::counter("sift_cluster_epoch_bumps_total", &[]).inc();
+            sift_obs::event(
+                sift_obs::Level::Warn,
+                "cluster.coord",
+                "coordinator recovered",
+                &[
+                    (
+                        "records_replayed",
+                        serde_json::Value::UInt(recovery.records_replayed as u64),
+                    ),
+                    ("torn_tail", serde_json::Value::Bool(recovery.torn_tail)),
+                    ("next_epoch", serde_json::Value::UInt(snap.next_epoch)),
+                ],
+            );
+        }
+        // Compact immediately: the bumped fence and recovery count are
+        // durable before the first new acknowledgement, and the replayed
+        // WAL is subsumed.
+        durability.install_checkpoint(&snap)?;
+        Ok((
+            Coordinator::from_state(params, config, snap, Some(durability)),
+            recovery,
+        ))
+    }
+
+    fn from_state(
+        params: StudyParams,
+        config: ClusterConfig,
+        snap: CoordCheckpoint,
+        durability: Option<CoordDurability>,
+    ) -> Coordinator {
+        let shards: Vec<Shard> = snap
+            .shards
+            .into_iter()
+            .map(|sh| Shard {
+                state: sh.state,
+                attempts: sh.attempts,
+                grants: sh.grants,
+                status: if sh.failed {
+                    ShardStatus::Failed
+                } else if let Some((_, outcome)) = sh.done {
+                    ShardStatus::Done { outcome }
+                } else {
+                    ShardStatus::Pending
+                },
             })
             .collect();
+        let pending = shards
+            .iter()
+            .filter(|sh| matches!(sh.status, ShardStatus::Pending))
+            .count();
         sift_obs::gauge("sift_cluster_shards_pending", &[])
-            .set(i64::try_from(params.regions.len()).unwrap_or(i64::MAX));
+            .set(i64::try_from(pending).unwrap_or(i64::MAX));
         Coordinator {
             params,
             config,
@@ -184,7 +370,12 @@ impl Coordinator {
             baseline: sift_obs::SpanBaseline::capture(),
             inner: Mutex::new(CoordState {
                 shards,
-                ..CoordState::default()
+                workers: snap.workers,
+                dead: snap.dead.into_iter().collect(),
+                next_epoch: snap.next_epoch,
+                rerouted: snap.rerouted,
+                recoveries: snap.recoveries,
+                durability,
             }),
         }
     }
@@ -199,7 +390,14 @@ impl Coordinator {
     }
 
     fn timeout_ms(&self) -> u64 {
-        u64::try_from(self.config.heartbeat_timeout.as_millis()).unwrap_or(u64::MAX)
+        u64::try_from(self.config.heartbeat_timeout().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// The `Retry-After` hint (whole seconds) for a worker with nothing
+    /// leasable: roughly one death-detection window, when new work could
+    /// plausibly exist.
+    fn retry_after_secs(&self) -> u64 {
+        self.timeout_ms().div_ceil(1000).clamp(1, 5)
     }
 
     fn count_reroute(&self, reason: RerouteReason, state: State, worker: &str) {
@@ -224,35 +422,47 @@ impl Coordinator {
     fn expire(&self, s: &mut CoordState, now_ms: u64) {
         let budget = self.config.attempt_budget;
         let mut newly_dead: Vec<String> = Vec::new();
-        let mut reroutes: Vec<(State, String)> = Vec::new();
-        let mut failures = 0usize;
+        let mut reroutes = 0u64;
+        let mut records: Vec<CoordRecord> = Vec::new();
         for shard in &mut s.shards {
             if let ShardStatus::Leased {
                 worker,
+                epoch,
                 hb_deadline_ms,
-                ..
             } = &shard.status
             {
                 if now_ms > *hb_deadline_ms {
                     let worker = worker.clone();
+                    let epoch = *epoch;
                     newly_dead.push(worker.clone());
                     shard.attempts += 1;
-                    if shard.attempts >= budget {
+                    let failed = shard.attempts >= budget;
+                    if failed {
                         shard.status = ShardStatus::Failed;
-                        failures += 1;
                         sift_obs::counter("sift_cluster_shards_failed_total", &[]).inc();
                     } else {
                         shard.status = ShardStatus::Pending;
-                        reroutes.push((shard.state, worker.clone()));
+                        reroutes += 1;
                     }
+                    records.push(CoordRecord::Expired {
+                        state: shard.state,
+                        worker: worker.clone(),
+                        epoch,
+                        failed,
+                    });
                     self.count_reroute(RerouteReason::HeartbeatMissed, shard.state, &worker);
                 }
             }
         }
-        s.rerouted += reroutes.len() as u64;
-        let _ = failures;
+        s.rerouted += reroutes;
         for w in newly_dead {
             s.dead.insert(w);
+        }
+        // Expiry acknowledges nothing to a worker, so a failed append is
+        // survivable: a recovered coordinator simply re-learns the death
+        // the same way — via a missed heartbeat deadline.
+        for rec in records {
+            wal_append(&mut s.durability, &rec);
         }
     }
 
@@ -260,6 +470,14 @@ impl Coordinator {
         let mut s = self.inner.lock();
         if !s.workers.iter().any(|w| w == &req.worker) {
             s.workers.push(req.worker.clone());
+            // Membership is also re-established by the worker's first
+            // lease record, so a failed append degrades, not corrupts.
+            wal_append(
+                &mut s.durability,
+                &CoordRecord::Joined {
+                    worker: req.worker.clone(),
+                },
+            );
         }
         sift_obs::gauge("sift_cluster_workers", &[])
             .set(i64::try_from(s.workers.len()).unwrap_or(i64::MAX));
@@ -267,30 +485,43 @@ impl Coordinator {
             accepted: !s.dead.contains(&req.worker),
             trace: self.trace_root.map(|c| c.to_header()),
             shards: s.shards.len(),
+            heartbeat_ms: u64::try_from(self.config.heartbeat_interval.as_millis())
+                .unwrap_or(u64::MAX),
         }
     }
 
-    fn lease(&self, req: &LeaseRequest) -> LeaseReply {
+    /// Grants a lease, or explains the wait. The second component is a
+    /// `Retry-After` hint in seconds, set only when polling sooner cannot
+    /// help: the requester is benched, or no shard is pending at all.
+    fn lease(&self, req: &LeaseRequest) -> (LeaseReply, Option<u64>) {
         let now = self.now_ms();
         let mut s = self.inner.lock();
         self.expire(&mut s, now);
         // Tolerate a lease before (or instead of) an explicit join.
         if !s.workers.iter().any(|w| w == &req.worker) {
             s.workers.push(req.worker.clone());
+            wal_append(
+                &mut s.durability,
+                &CoordRecord::Joined {
+                    worker: req.worker.clone(),
+                },
+            );
         }
         let finished = s
             .shards
             .iter()
             .all(|sh| matches!(sh.status, ShardStatus::Done { .. } | ShardStatus::Failed));
         if finished {
-            return LeaseReply::Done;
+            return (LeaseReply::Done, None);
         }
+        let wait = LeaseReply::Wait {
+            poll_ms: self.config.poll_ms,
+        };
         if s.dead.contains(&req.worker) {
             // Benched: a presumed-dead worker gets no new work; its old
-            // epochs are already fenced off.
-            return LeaseReply::Wait {
-                poll_ms: self.config.poll_ms,
-            };
+            // epochs are already fenced off. Nothing will change for it
+            // before the next death-detection window.
+            return (wait, Some(self.retry_after_secs()));
         }
         let live: Vec<String> = s
             .workers
@@ -304,23 +535,50 @@ impl Coordinator {
                 && ring.assign(sh.state.abbrev()) == Some(req.worker.as_str())
         });
         let Some(idx) = picked else {
-            return LeaseReply::Wait {
-                poll_ms: self.config.poll_ms,
+            let any_pending = s
+                .shards
+                .iter()
+                .any(|sh| matches!(sh.status, ShardStatus::Pending));
+            // No pending shard anywhere → only a completion, expiry, or
+            // release can create work; hint a long poll. Pending shards
+            // owned by other workers → poll normally (reroutes can move
+            // them here at any moment).
+            let hint = if any_pending {
+                None
+            } else {
+                Some(self.retry_after_secs())
             };
+            return (wait, hint);
         };
         let epoch = s.next_epoch;
         s.next_epoch += 1;
+        // WAL before acknowledgement: the epoch may reach the worker only
+        // once the grant is durable. On failure the shard stays pending
+        // (the epoch counter stays bumped — burning a number is safe,
+        // reusing one is not).
+        let rec = CoordRecord::Leased {
+            state: s.shards[idx].state,
+            worker: req.worker.clone(),
+            epoch,
+        };
+        if !wal_append(&mut s.durability, &rec) {
+            return (wait, None);
+        }
+        let timeout = self.timeout_ms();
         let shard = &mut s.shards[idx];
+        shard.grants = shard.grants.saturating_add(1);
         shard.status = ShardStatus::Leased {
             worker: req.worker.clone(),
             epoch,
-            hb_deadline_ms: now.saturating_add(self.timeout_ms()),
+            hb_deadline_ms: now.saturating_add(timeout),
         };
-        sift_obs::counter("sift_cluster_lease_total", &[]).inc();
-        LeaseReply::Job(ShardJob {
+        let job = ShardJob {
             state: shard.state,
             epoch,
-        })
+        };
+        sift_obs::counter("sift_cluster_lease_total", &[]).inc();
+        maybe_checkpoint(&mut s);
+        (LeaseReply::Job(job), None)
     }
 
     fn heartbeat(&self, req: &HeartbeatRequest) -> HeartbeatReply {
@@ -330,7 +588,10 @@ impl Coordinator {
         let timeout = self.timeout_ms();
         let mut release: Option<(State, String)> = None;
         let mut keep = false;
-        if let Some(shard) = s.shards.iter_mut().find(|sh| sh.state == req.state) {
+        let CoordState {
+            shards, durability, ..
+        } = &mut *s;
+        if let Some(shard) = shards.iter_mut().find(|sh| sh.state == req.state) {
             if let ShardStatus::Leased {
                 worker,
                 epoch,
@@ -341,9 +602,17 @@ impl Coordinator {
                     if req.releasing {
                         // Voluntary handback: reroute immediately, and —
                         // unlike an expiry — without burning an attempt
-                        // or benching the worker.
-                        release = Some((shard.state, worker.clone()));
-                        shard.status = ShardStatus::Pending;
+                        // or benching the worker. If the release cannot
+                        // be journaled the lease simply stands until its
+                        // heartbeat deadline expires it.
+                        let rec = CoordRecord::Released {
+                            state: shard.state,
+                            epoch: *epoch,
+                        };
+                        if wal_append(durability, &rec) {
+                            release = Some((shard.state, worker.clone()));
+                            shard.status = ShardStatus::Pending;
+                        }
                     } else {
                         *hb_deadline_ms = now.saturating_add(timeout);
                         keep = true;
@@ -364,17 +633,35 @@ impl Coordinator {
         let mut s = self.inner.lock();
         self.expire(&mut s, now);
         let state = up.outcome.state;
+        // Epoch fencing: only the current holder's upload counts. A
+        // zombie that lost its lease (and whose shard was re-issued
+        // under a newer epoch) is rejected here even if it finished.
+        let holder_ok = s.shards.iter().any(|sh| {
+            sh.state == state
+                && matches!(
+                    &sh.status,
+                    ShardStatus::Leased { worker, epoch, .. }
+                        if *worker == up.worker && *epoch == up.epoch
+                )
+        });
         let mut accepted = false;
-        if let Some(shard) = s.shards.iter_mut().find(|sh| sh.state == state) {
-            if let ShardStatus::Leased { worker, epoch, .. } = &shard.status {
-                // Epoch fencing: only the current holder's upload counts.
-                // A zombie that lost its lease (and whose shard was
-                // re-issued under a newer epoch) is rejected here even if
-                // it finished the crawl.
-                if *worker == up.worker && *epoch == up.epoch {
-                    shard.status = ShardStatus::Done {
-                        outcome: Box::new(up.outcome),
-                    };
+        if holder_ok {
+            let digest = outcome_digest(&up.outcome);
+            let outcome = Box::new(up.outcome);
+            // WAL before acknowledgement: the outcome (and its digest)
+            // must be durable before the worker is told "accepted" and
+            // stops heartbeating — otherwise a crash here would lose the
+            // shard with nobody left responsible for it.
+            let rec = CoordRecord::Done {
+                state,
+                worker: up.worker.clone(),
+                epoch: up.epoch,
+                digest,
+                outcome: outcome.clone(),
+            };
+            if wal_append(&mut s.durability, &rec) {
+                if let Some(shard) = s.shards.iter_mut().find(|sh| sh.state == state) {
+                    shard.status = ShardStatus::Done { outcome };
                     accepted = true;
                 }
             }
@@ -391,6 +678,7 @@ impl Coordinator {
             .count();
         sift_obs::gauge("sift_cluster_shards_done", &[])
             .set(i64::try_from(done).unwrap_or(i64::MAX));
+        maybe_checkpoint(&mut s);
         ResultReply { accepted }
     }
 
@@ -402,13 +690,19 @@ impl Coordinator {
         let mut reply = StatusReply {
             total: s.shards.len(),
             rerouted: s.rerouted,
+            epoch: s.next_epoch,
+            recoveries: s.recoveries,
             workers: s.workers.clone(),
             dead: s.dead.iter().cloned().collect(),
             ..StatusReply::default()
         };
         for sh in &s.shards {
+            reply.shard_attempts.push((sh.state, sh.grants));
             match &sh.status {
-                ShardStatus::Done { .. } => reply.done += 1,
+                ShardStatus::Done { .. } => {
+                    reply.done += 1;
+                    reply.done_states.push(sh.state);
+                }
                 ShardStatus::Failed => reply.failed += 1,
                 ShardStatus::Leased { worker, .. } => {
                     reply.leases.push((worker.clone(), sh.state));
@@ -506,7 +800,14 @@ pub fn cluster_router(coord: &Arc<Coordinator>) -> Router {
             Method::Post,
             "/cluster/lease",
             move |req: &Request| match req.json::<LeaseRequest>() {
-                Ok(body) => json_reply(&lease_c.lease(&body)),
+                Ok(body) => {
+                    let (reply, retry_after) = lease_c.lease(&body);
+                    let mut resp = json_reply(&reply);
+                    if let Some(secs) = retry_after {
+                        resp.headers.set("retry-after", secs.to_string());
+                    }
+                    resp
+                }
                 Err(e) => Response::text(StatusCode::BAD_REQUEST, format!("bad lease: {e}")),
             },
         )
@@ -540,6 +841,7 @@ fn json_reply<T: serde::Serialize>(value: &T) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sift_journal::testutil::scratch_dir;
     use sift_simtime::{Hour, HourRange};
 
     fn params(regions: Vec<State>) -> StudyParams {
@@ -552,10 +854,12 @@ mod tests {
 
     fn config() -> ClusterConfig {
         ClusterConfig {
-            heartbeat_timeout: Duration::from_millis(50),
+            heartbeat_interval: Duration::from_millis(25),
+            miss_threshold: 2,
             poll_ms: 5,
             attempt_budget: 3,
             vnodes: 40,
+            checkpoint_every: 8,
         }
     }
 
@@ -563,12 +867,28 @@ mod tests {
         c.lease(&LeaseRequest {
             worker: worker.into(),
         })
+        .0
     }
 
     #[test]
     fn reroute_reason_labels_cover_every_variant() {
         let labels: Vec<_> = RerouteReason::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels, ["heartbeat_missed", "worker_left"]);
+    }
+
+    #[test]
+    fn heartbeat_timeout_derives_from_interval_and_threshold() {
+        let cfg = config();
+        assert_eq!(cfg.heartbeat_timeout(), Duration::from_millis(50));
+        let degenerate = ClusterConfig {
+            miss_threshold: 0,
+            ..config()
+        };
+        assert_eq!(
+            degenerate.heartbeat_timeout(),
+            degenerate.heartbeat_interval,
+            "a zero threshold still tolerates one full interval"
+        );
     }
 
     #[test]
@@ -644,7 +964,7 @@ mod tests {
     #[test]
     fn attempt_budget_fails_the_shard_eventually() {
         let mut cfg = config();
-        cfg.heartbeat_timeout = Duration::from_millis(10);
+        cfg.heartbeat_interval = Duration::from_millis(5);
         cfg.attempt_budget = 2;
         let c = Coordinator::new(params(vec![State::CA]), cfg);
         for worker in ["w0", "w1", "w2"] {
@@ -684,5 +1004,95 @@ mod tests {
         assert!(status.dead.is_empty(), "a graceful release is not a death");
         // The same worker may take the shard right back.
         assert!(matches!(lease(&c, "w0"), LeaseReply::Job(_)));
+    }
+
+    #[test]
+    fn benched_worker_and_empty_table_get_a_retry_after_hint() {
+        let c = Coordinator::new(params(vec![State::CA]), config());
+        let job = match lease(&c, "w0") {
+            LeaseReply::Job(job) => job,
+            other => panic!("expected a job, got {other:?}"),
+        };
+        // Another worker with nothing pending: long-poll hint.
+        let (reply, hint) = c.lease(&LeaseRequest {
+            worker: "w1".into(),
+        });
+        assert!(matches!(reply, LeaseReply::Wait { .. }));
+        assert_eq!(hint, Some(1), "no pending shard anywhere");
+        // Bench w0 by letting its lease expire.
+        std::thread::sleep(Duration::from_millis(80));
+        let (reply, hint) = c.lease(&LeaseRequest {
+            worker: "w0".into(),
+        });
+        assert!(matches!(reply, LeaseReply::Wait { .. }));
+        assert_eq!(hint, Some(1), "benched workers are told to back off");
+        let _ = job;
+        // The survivor's re-lease carries no hint: it got a job.
+        let (reply, hint) = c.lease(&LeaseRequest {
+            worker: "w1".into(),
+        });
+        assert!(matches!(reply, LeaseReply::Job(_)));
+        assert_eq!(hint, None);
+    }
+
+    #[test]
+    fn status_reports_epoch_recoveries_and_per_shard_grants() {
+        let c = Coordinator::new(params(vec![State::CA, State::TX]), config());
+        let _ = lease(&c, "w0");
+        let _ = lease(&c, "w0");
+        let status = c.status();
+        assert_eq!(status.epoch, 2, "two grants consumed two epochs");
+        assert_eq!(status.recoveries, 0);
+        assert_eq!(
+            status.shard_attempts,
+            vec![(State::CA, 1), (State::TX, 1)],
+            "{status:?}"
+        );
+        assert!(status.done_states.is_empty());
+    }
+
+    #[test]
+    fn durable_coordinator_recovers_epochs_and_benchings_across_a_crash() {
+        let dir = scratch_dir("coord_durable_crash");
+        let p = params(vec![State::CA, State::TX]);
+        let first_epochs: Vec<u64> = {
+            let (c, rec) = Coordinator::durable(p.clone(), config(), &dir).expect("fresh durable");
+            assert!(!rec.had_state);
+            let mut epochs = Vec::new();
+            for _ in 0..2 {
+                if let LeaseReply::Job(job) = lease(&c, "w0") {
+                    epochs.push(job.epoch);
+                }
+            }
+            assert_eq!(epochs.len(), 2);
+            epochs
+            // `c` dropped here with leases in flight — the crash.
+        };
+        let (c, rec) = Coordinator::durable(p, config(), &dir).expect("recovered durable");
+        assert!(rec.had_state);
+        let status = c.status();
+        assert_eq!(status.recoveries, 1);
+        assert!(
+            status.epoch > *first_epochs.iter().max().expect("epochs"),
+            "the fence must clear every pre-crash grant: {status:?}"
+        );
+        assert!(status.leases.is_empty(), "leases do not survive a restart");
+        assert_eq!(status.done, 0);
+        // Old-incarnation epochs are fenced: a zombie heartbeat is refused.
+        assert!(
+            !c.heartbeat(&HeartbeatRequest {
+                worker: "w0".into(),
+                state: State::CA,
+                epoch: first_epochs[0],
+                releasing: false,
+            })
+            .keep
+        );
+        // And fresh grants are strictly newer.
+        if let LeaseReply::Job(job) = lease(&c, "w0") {
+            assert!(job.epoch > first_epochs[1]);
+        } else {
+            panic!("recovered coordinator must lease pending shards");
+        }
     }
 }

@@ -13,9 +13,16 @@
 //!   with trace context riding the existing `X-Sift-Trace` header,
 //! * [`coord`] — the [`Coordinator`]: shard table, lease epochs,
 //!   heartbeat-based death detection, bounded reroutes,
+//! * [`recovery`] — the coordinator's WAL + checkpoint state machine
+//!   over `sift-journal`: control state is durable before it is
+//!   acknowledged, so a killed coordinator replays, re-fences, resumes,
 //! * [`worker`] — the worker thread: lease → crawl via
 //!   [`sift_core::run_region_study`] → upload, with optional per-worker
-//!   response journaling.
+//!   response journaling,
+//! * [`nemesis`] — the chaos harness: runs a full sharded study under a
+//!   seeded [`sift_net::NemesisPlan`] (coordinator kills, partitions,
+//!   heartbeat loss) and hands back the converged result for
+//!   baseline-equality audits.
 //!
 //! The design invariant is **bit-identical assembly**: workers run the
 //! same deterministic per-region pipeline the in-process driver runs,
@@ -28,14 +35,20 @@
 #![warn(missing_docs)]
 
 pub mod coord;
+pub mod nemesis;
 pub mod proto;
+pub mod recovery;
 pub mod ring;
 pub mod worker;
 
 pub use coord::{cluster_router, ClusterConfig, ClusterError, Coordinator, RerouteReason};
+pub use nemesis::{NemesisCluster, NemesisError, NemesisReport, COORDINATOR};
 pub use proto::{
     HeartbeatReply, HeartbeatRequest, JoinReply, JoinRequest, LeaseReply, LeaseRequest,
     ResultReply, ResultUpload, ShardJob, StatusReply,
+};
+pub use recovery::{
+    outcome_digest, CoordCheckpoint, CoordDurability, CoordRecord, CoordRecovery, ShardSnapshot,
 };
 pub use ring::HashRing;
 pub use worker::{spawn_worker, WorkerConfig, WorkerHandle, WorkerSummary};

@@ -39,6 +39,10 @@ pub struct JoinReply {
     pub trace: Option<String>,
     /// Total shards in the run (progress denominator).
     pub shards: usize,
+    /// The heartbeat cadence the coordinator expects, milliseconds. The
+    /// death threshold is a configured multiple of this same number, so
+    /// worker and coordinator can never disagree about the tolerance.
+    pub heartbeat_ms: u64,
 }
 
 /// `POST /cluster/lease` body.
@@ -123,8 +127,19 @@ pub struct StatusReply {
     pub failed: usize,
     /// Reroutes performed so far (any reason).
     pub rerouted: u64,
+    /// The current fencing epoch (the next to be granted): strictly
+    /// above every epoch ever issued, across coordinator restarts.
+    pub epoch: u64,
+    /// Completed coordinator recoveries feeding this run.
+    pub recoveries: u64,
     /// Currently live leases as `(worker, region)`.
     pub leases: Vec<(String, State)>,
+    /// Lease grants per shard, including re-grants after reroutes or a
+    /// coordinator restart — the audit trail for "re-crawled at most the
+    /// in-flight shards".
+    pub shard_attempts: Vec<(State, u32)>,
+    /// Regions with an accepted result, in shard order.
+    pub done_states: Vec<State>,
     /// Every worker that ever joined, in join order.
     pub workers: Vec<String>,
     /// Workers flagged dead (missed heartbeats).

@@ -1,0 +1,460 @@
+//! Crash recovery for the coordinator: WAL records, checkpoints, replay.
+//!
+//! The coordinator's control state — shard table, lease grants and
+//! epochs, worker membership, accepted-result digests — is journaled
+//! through `sift-journal` *before* any acknowledgement leaves the
+//! process, and periodically compacted into an atomic checkpoint. A
+//! killed coordinator therefore restarts by loading the checkpoint,
+//! replaying the WAL tail, reverting any lease that was live at the
+//! crash to pending, and resuming with a fencing epoch strictly above
+//! every epoch it ever granted.
+//!
+//! The key ordering argument: a lease epoch reaches a worker only after
+//! its [`CoordRecord::Leased`] record is durably appended (WAL before
+//! acknowledgement), so a torn tail can only ever cut records whose
+//! replies were never sent. Replay consequently observes every epoch any
+//! worker observed, and `max(replayed epochs) + 1` is a safe restart
+//! fence — the explicit recovery bump on top is defence in depth.
+
+use serde::{Deserialize, Serialize};
+use sift_core::RegionOutcome;
+use sift_geo::State;
+use sift_journal::{read_checkpoint, write_checkpoint, Journal};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One durably-logged coordinator state transition. Appended (and
+/// fsynced) before the protocol reply that acknowledges it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum CoordRecord {
+    /// A worker joined the run (membership feeds the consistent-hash
+    /// ring, so it must survive restart).
+    Joined {
+        /// The joining worker.
+        worker: String,
+    },
+    /// A shard was leased to `worker` under fencing token `epoch`.
+    Leased {
+        /// The leased region.
+        state: State,
+        /// The lease holder.
+        worker: String,
+        /// The granted fencing epoch.
+        epoch: u64,
+    },
+    /// The holder handed the lease back voluntarily (no attempt burned,
+    /// no benching).
+    Released {
+        /// The released region.
+        state: State,
+        /// The epoch the lease was held under.
+        epoch: u64,
+    },
+    /// The lease expired: the holder is benched and one attempt burned;
+    /// `failed` records whether that exhausted the attempt budget.
+    Expired {
+        /// The expired region.
+        state: State,
+        /// The benched (presumed dead) holder.
+        worker: String,
+        /// The epoch the lease was held under.
+        epoch: u64,
+        /// Whether the expiry spent the shard's last attempt.
+        failed: bool,
+    },
+    /// An upload was accepted under `epoch`; `digest` fingerprints the
+    /// serialized outcome for post-run audits.
+    Done {
+        /// The completed region.
+        state: State,
+        /// The uploading worker.
+        worker: String,
+        /// The epoch the result was computed under.
+        epoch: u64,
+        /// FNV-1a digest of the serialized outcome.
+        digest: u64,
+        /// The accepted outcome itself (the journal is the system of
+        /// record: a restarted coordinator must not re-crawl it).
+        outcome: Box<RegionOutcome>,
+    },
+}
+
+/// The durable projection of one shard.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// The region.
+    pub state: State,
+    /// Expiry-burned attempts (the budget the run fails on).
+    pub attempts: u32,
+    /// Total lease grants, including re-grants after reroute or restart
+    /// (`/cluster/status` exposes this as the per-shard attempt count).
+    pub grants: u32,
+    /// The accepted outcome and its digest, once uploaded.
+    pub done: Option<(u64, Box<RegionOutcome>)>,
+    /// Whether the shard exhausted its attempt budget.
+    pub failed: bool,
+}
+
+/// The coordinator's recoverable control state: the checkpoint payload,
+/// and equally the in-memory target WAL replay folds into.
+///
+/// Leases are deliberately *absent*: a lease is a promise about a live
+/// worker's heartbeat stream, which does not survive the coordinator
+/// process. On recovery every leased shard is pending again and the
+/// epoch fence invalidates the old grants.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoordCheckpoint {
+    /// The next epoch to grant (strictly above every granted epoch).
+    pub next_epoch: u64,
+    /// Completed coordinator recoveries for this run.
+    pub recoveries: u64,
+    /// Reroutes performed so far.
+    pub rerouted: u64,
+    /// Worker membership, in join order.
+    pub workers: Vec<String>,
+    /// Benched (presumed dead) workers.
+    pub dead: Vec<String>,
+    /// Per-shard durable state, in study-region order.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl CoordCheckpoint {
+    /// The pristine state for a fresh run over `regions`.
+    pub fn initial(regions: &[State]) -> CoordCheckpoint {
+        CoordCheckpoint {
+            next_epoch: 0,
+            recoveries: 0,
+            rerouted: 0,
+            workers: Vec::new(),
+            dead: Vec::new(),
+            shards: regions
+                .iter()
+                .map(|&state| ShardSnapshot {
+                    state,
+                    attempts: 0,
+                    grants: 0,
+                    done: None,
+                    failed: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds one WAL record into the state, mirroring the coordinator's
+    /// live mutations. Unknown regions are ignored (a record can never
+    /// reference one unless the study parameters changed under the
+    /// journal, which [`CoordDurability::open`] rejects up front).
+    pub fn apply(&mut self, rec: CoordRecord) {
+        match rec {
+            CoordRecord::Joined { worker } => {
+                if !self.workers.iter().any(|w| w == &worker) {
+                    self.workers.push(worker);
+                }
+            }
+            CoordRecord::Leased {
+                state,
+                worker,
+                epoch,
+            } => {
+                self.next_epoch = self.next_epoch.max(epoch.saturating_add(1));
+                if !self.workers.iter().any(|w| w == &worker) {
+                    self.workers.push(worker);
+                }
+                if let Some(sh) = self.shards.iter_mut().find(|sh| sh.state == state) {
+                    sh.grants = sh.grants.saturating_add(1);
+                }
+            }
+            CoordRecord::Released { state: _, epoch } => {
+                self.next_epoch = self.next_epoch.max(epoch.saturating_add(1));
+                self.rerouted = self.rerouted.saturating_add(1);
+            }
+            CoordRecord::Expired {
+                state,
+                worker,
+                epoch,
+                failed,
+            } => {
+                self.next_epoch = self.next_epoch.max(epoch.saturating_add(1));
+                if !self.dead.iter().any(|w| w == &worker) {
+                    self.dead.push(worker);
+                }
+                if let Some(sh) = self.shards.iter_mut().find(|sh| sh.state == state) {
+                    sh.attempts = sh.attempts.saturating_add(1);
+                    sh.failed = failed;
+                    if !failed {
+                        self.rerouted = self.rerouted.saturating_add(1);
+                    }
+                }
+            }
+            CoordRecord::Done {
+                state,
+                epoch,
+                digest,
+                outcome,
+                ..
+            } => {
+                self.next_epoch = self.next_epoch.max(epoch.saturating_add(1));
+                if let Some(sh) = self.shards.iter_mut().find(|sh| sh.state == state) {
+                    sh.done = Some((digest, outcome));
+                    sh.failed = false;
+                }
+            }
+        }
+    }
+}
+
+/// What [`CoordDurability::open`] found on disk.
+#[derive(Clone, Debug, Default)]
+pub struct CoordRecovery {
+    /// Whether any prior state existed (checkpoint or WAL records): the
+    /// condition under which the restart counts as a recovery and the
+    /// fencing epoch is bumped.
+    pub had_state: bool,
+    /// Whether an intact checkpoint was loaded.
+    pub checkpoint_loaded: bool,
+    /// WAL records replayed on top of the checkpoint.
+    pub records_replayed: usize,
+    /// Whether the WAL ended in a torn record that was truncated.
+    pub torn_tail: bool,
+}
+
+/// The coordinator's durability driver: one WAL plus one checkpoint file
+/// under a run directory. Always mutated under the coordinator's state
+/// lock, so the journal order equals the state mutation order.
+pub struct CoordDurability {
+    journal: Journal,
+    ckpt_path: PathBuf,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+}
+
+impl CoordDurability {
+    /// Opens (creating if needed) the durable state under `dir` and
+    /// recovers: checkpoint first, then the WAL tail folded on top.
+    /// `regions` must match the study parameters; a journal written for a
+    /// different region set is rejected rather than silently misapplied.
+    pub fn open(
+        dir: &Path,
+        regions: &[State],
+        checkpoint_every: u64,
+    ) -> io::Result<(CoordDurability, CoordCheckpoint, CoordRecovery)> {
+        std::fs::create_dir_all(dir)?;
+        let ckpt_path = dir.join("coord.ckpt");
+        let (mut journal, wal) = Journal::open(&dir.join("coord.wal"))?;
+        // Control records are acknowledgements-in-waiting: every append
+        // must be durable before the reply goes out, so fsync per record.
+        journal.set_sync_every(1);
+
+        let mut recovery = CoordRecovery {
+            torn_tail: wal.torn_tail,
+            records_replayed: wal.records.len(),
+            ..CoordRecovery::default()
+        };
+        let mut snap = match read_checkpoint(&ckpt_path)? {
+            Some(payload) => {
+                recovery.checkpoint_loaded = true;
+                serde_json::from_slice::<CoordCheckpoint>(&payload)
+                    .map_err(|e| invalid(format!("corrupt coordinator checkpoint: {e}")))?
+            }
+            None => CoordCheckpoint::initial(regions),
+        };
+        recovery.had_state = recovery.checkpoint_loaded || !wal.records.is_empty() || wal.torn_tail;
+
+        let want: Vec<State> = regions.to_vec();
+        let have: Vec<State> = snap.shards.iter().map(|sh| sh.state).collect();
+        if want != have {
+            return Err(invalid(
+                "coordinator journal does not match the study parameters' region set".to_owned(),
+            ));
+        }
+        for bytes in &wal.records {
+            let rec = serde_json::from_slice::<CoordRecord>(bytes)
+                .map_err(|e| invalid(format!("corrupt coordinator WAL record: {e}")))?;
+            snap.apply(rec);
+        }
+
+        Ok((
+            CoordDurability {
+                journal,
+                ckpt_path,
+                checkpoint_every: checkpoint_every.max(1),
+                since_checkpoint: 0,
+            },
+            snap,
+            recovery,
+        ))
+    }
+
+    /// Durably appends one record: on the OS *and* fsynced before return.
+    pub fn append(&mut self, rec: &CoordRecord) -> io::Result<()> {
+        let payload = serde_json::to_vec(rec)
+            .map_err(|e| invalid(format!("unencodable coordinator record: {e}")))?;
+        self.journal.append(&payload)?;
+        self.since_checkpoint = self.since_checkpoint.saturating_add(1);
+        Ok(())
+    }
+
+    /// Whether enough records accumulated to warrant compaction.
+    pub fn should_checkpoint(&self) -> bool {
+        self.since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Atomically installs `snap` as the checkpoint and empties the WAL
+    /// it subsumes. Crash-ordering: the checkpoint is durable (temp +
+    /// fsync + rename) before the journal is truncated, so a crash
+    /// between the two replays WAL records the checkpoint already
+    /// contains — [`CoordCheckpoint::apply`] is tolerant of that
+    /// (grants/attempts saturate; `done` overwrites with equal bytes).
+    pub fn install_checkpoint(&mut self, snap: &CoordCheckpoint) -> io::Result<()> {
+        let payload = serde_json::to_vec(snap)
+            .map_err(|e| invalid(format!("unencodable coordinator checkpoint: {e}")))?;
+        write_checkpoint(&self.ckpt_path, &payload, None)?;
+        self.journal.truncate_all()?;
+        self.since_checkpoint = 0;
+        sift_obs::counter("sift_cluster_coord_checkpoints_total", &[]).inc();
+        Ok(())
+    }
+}
+
+/// FNV-1a over the serialized outcome: the digest WAL'd (and auditable)
+/// alongside every accepted upload.
+pub fn outcome_digest(outcome: &RegionOutcome) -> u64 {
+    let bytes = serde_json::to_vec(outcome).unwrap_or_default();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sift_journal::testutil::scratch_dir;
+
+    fn regions() -> Vec<State> {
+        vec![State::CA, State::TX]
+    }
+
+    fn open(dir: &Path) -> (CoordDurability, CoordCheckpoint, CoordRecovery) {
+        CoordDurability::open(dir, &regions(), 100).expect("open durability")
+    }
+
+    #[test]
+    fn fresh_dir_recovers_to_initial_state() {
+        let dir = scratch_dir("recovery_fresh");
+        let (_d, snap, rec) = open(&dir);
+        assert!(!rec.had_state);
+        assert_eq!(snap.next_epoch, 0);
+        assert_eq!(snap.shards.len(), 2);
+        assert!(snap.shards.iter().all(|sh| sh.done.is_none() && !sh.failed));
+    }
+
+    #[test]
+    fn replay_reconstructs_epochs_membership_and_attempts() {
+        let dir = scratch_dir("recovery_replay");
+        {
+            let (mut d, _, _) = open(&dir);
+            d.append(&CoordRecord::Joined {
+                worker: "w0".into(),
+            })
+            .expect("wal");
+            d.append(&CoordRecord::Leased {
+                state: State::CA,
+                worker: "w0".into(),
+                epoch: 0,
+            })
+            .expect("wal");
+            d.append(&CoordRecord::Expired {
+                state: State::CA,
+                worker: "w0".into(),
+                epoch: 0,
+                failed: false,
+            })
+            .expect("wal");
+            d.append(&CoordRecord::Leased {
+                state: State::CA,
+                worker: "w1".into(),
+                epoch: 1,
+            })
+            .expect("wal");
+        }
+        let (_d, snap, rec) = open(&dir);
+        assert!(rec.had_state);
+        assert_eq!(rec.records_replayed, 4);
+        assert_eq!(snap.next_epoch, 2, "fence sits above every granted epoch");
+        assert_eq!(snap.workers, vec!["w0".to_string(), "w1".to_string()]);
+        assert_eq!(snap.dead, vec!["w0".to_string()]);
+        let ca = &snap.shards[0];
+        assert_eq!((ca.attempts, ca.grants), (1, 2));
+        assert_eq!(snap.rerouted, 1);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_composes_with_the_wal_tail() {
+        let dir = scratch_dir("recovery_compact");
+        {
+            let (mut d, mut snap, _) = open(&dir);
+            let rec = CoordRecord::Leased {
+                state: State::CA,
+                worker: "w0".into(),
+                epoch: 7,
+            };
+            d.append(&rec).expect("wal");
+            snap.apply(rec);
+            d.install_checkpoint(&snap).expect("checkpoint");
+            // Post-checkpoint tail.
+            d.append(&CoordRecord::Released {
+                state: State::CA,
+                epoch: 7,
+            })
+            .expect("wal");
+        }
+        let (_d, snap, rec) = open(&dir);
+        assert!(rec.checkpoint_loaded);
+        assert_eq!(rec.records_replayed, 1, "checkpoint subsumed the prefix");
+        assert_eq!(snap.next_epoch, 8);
+        assert_eq!(snap.shards[0].grants, 1);
+        assert_eq!(snap.rerouted, 1);
+    }
+
+    #[test]
+    fn mismatched_region_set_is_rejected() {
+        let dir = scratch_dir("recovery_mismatch");
+        {
+            let (mut d, snap, _) = open(&dir);
+            d.install_checkpoint(&snap).expect("checkpoint");
+        }
+        let err = match CoordDurability::open(&dir, &[State::NY], 100) {
+            Ok(_) => panic!("a mismatched region set must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn torn_tail_is_cut_and_reported() {
+        let dir = scratch_dir("recovery_torn");
+        {
+            let (mut d, _, _) = open(&dir);
+            d.append(&CoordRecord::Joined {
+                worker: "w0".into(),
+            })
+            .expect("wal");
+        }
+        // Stage a torn half-record at the tail, as a mid-append crash would.
+        let wal = dir.join("coord.wal");
+        let mut bytes = std::fs::read(&wal).expect("read wal");
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe]);
+        std::fs::write(&wal, &bytes).expect("stage torn tail");
+        let (_d, snap, rec) = open(&dir);
+        assert!(rec.torn_tail);
+        assert_eq!(rec.records_replayed, 1);
+        assert_eq!(snap.workers, vec!["w0".to_string()]);
+    }
+}

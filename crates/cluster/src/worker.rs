@@ -19,7 +19,7 @@ use crate::proto::{
 use parking_lot::Mutex;
 use sift_core::{plan_frames, run_region_study, StudyParams};
 use sift_fetcher::{DurableStore, HttpTrendsClient, ResponseSink};
-use sift_net::{HttpClient, RetryPolicy};
+use sift_net::{ClientError, HttpClient, Request, RetryPolicy};
 use sift_trends::{
     FetchError, FrameRequest, FrameResponse, RisingRequest, RisingResponse, TrendsClient,
 };
@@ -27,7 +27,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Worker tuning.
 #[derive(Clone, Debug, Default)]
@@ -35,9 +35,15 @@ pub struct WorkerConfig {
     /// Override for the lease poll interval (the coordinator's `poll_ms`
     /// hint is used when `None`).
     pub poll: Option<Duration>,
-    /// Heartbeat cadence while a shard is leased. Must comfortably beat
-    /// the coordinator's `heartbeat_timeout`.
+    /// Override for the heartbeat cadence while a shard is leased. When
+    /// `None` the cadence advertised by the coordinator at join is used,
+    /// so both sides derive beat rate and death threshold from the same
+    /// configured interval.
     pub heartbeat_every: Option<Duration>,
+    /// How long the worker keeps retrying (with full-jitter backoff)
+    /// when the coordinator is unreachable before giving up — sized to
+    /// span a coordinator crash-and-restart. Defaults to 5 s.
+    pub coord_down_grace: Option<Duration>,
     /// Source identity the fetch client crawls under (defaults to the
     /// worker id).
     pub fetch_identity: Option<String>,
@@ -168,7 +174,8 @@ pub fn spawn_worker(
 
 struct ResolvedConfig {
     poll: Option<Duration>,
-    heartbeat_every: Duration,
+    heartbeat_every: Option<Duration>,
+    coord_down_grace: Duration,
     fetch_identity: Option<String>,
     durability_root: Option<PathBuf>,
     retry: Option<RetryPolicy>,
@@ -177,7 +184,8 @@ struct ResolvedConfig {
 fn config_or(config: WorkerConfig) -> ResolvedConfig {
     ResolvedConfig {
         poll: config.poll,
-        heartbeat_every: config.heartbeat_every.unwrap_or(Duration::from_millis(100)),
+        heartbeat_every: config.heartbeat_every,
+        coord_down_grace: config.coord_down_grace.unwrap_or(Duration::from_secs(5)),
         fetch_identity: config.fetch_identity,
         durability_root: config.durability_root,
         retry: config.retry,
@@ -204,8 +212,19 @@ fn run_worker(
             worker: id.to_string(),
         },
     );
-    let trace = join
-        .ok()
+    let joined = join.ok();
+    // Heartbeat cadence: explicit override first, then the cadence the
+    // coordinator advertised at join (derived from the same interval its
+    // death threshold is), then a conservative default.
+    let heartbeat_every = config
+        .heartbeat_every
+        .or_else(|| {
+            joined
+                .as_ref()
+                .map(|j| Duration::from_millis(j.heartbeat_ms.max(1)))
+        })
+        .unwrap_or(Duration::from_millis(100));
+    let trace = joined
         .and_then(|j| j.trace)
         .and_then(|h| sift_obs::SpanContext::from_header(&h));
     let _worker_span = match trace {
@@ -245,6 +264,8 @@ fn run_worker(
     // every worker (and the single-process driver) computes the same one.
     let plan = plan_frames(params.range, params.plan);
 
+    // Consecutive lease failures: (first failure instant, attempt count).
+    let mut outage: Option<(Instant, u32)> = None;
     loop {
         if kill.load(Ordering::SeqCst) {
             summary.killed = true;
@@ -253,25 +274,47 @@ fn run_worker(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let reply: LeaseReply = match coord.post_json(
-            "/cluster/lease",
-            &LeaseRequest {
-                worker: id.to_string(),
-            },
-        ) {
-            Ok(reply) => reply,
-            Err(_) => {
-                // Coordinator unreachable (shutting down, most likely).
-                break;
+        let (reply, retry_after) = match lease_once(&coord, id) {
+            Ok(ok) => ok,
+            Err(e) => {
+                // Coordinator unreachable — quite possibly restarting.
+                // Back off with full jitter instead of hammering it the
+                // moment it comes back, and only give up once the grace
+                // window (sized to span a crash-and-restart) is spent.
+                let (since, attempt) = match outage {
+                    Some((since, attempt)) => (since, attempt.saturating_add(1)),
+                    None => (Instant::now(), 1),
+                };
+                if since.elapsed() > config.coord_down_grace {
+                    sift_obs::event(
+                        sift_obs::Level::Warn,
+                        "cluster.worker",
+                        "coordinator unreachable past grace window; worker exiting",
+                        &[("error", serde_json::Value::Str(e.to_string()))],
+                    );
+                    break;
+                }
+                outage = Some((since, attempt));
+                sift_obs::counter("sift_cluster_worker_lease_retry_total", &[]).inc();
+                sleep_watching(full_jitter_backoff(id, attempt), stop, kill);
+                continue;
             }
         };
+        outage = None;
         match reply {
             LeaseReply::Done => break,
             LeaseReply::Wait { poll_ms } => {
-                let wait = config.poll.unwrap_or(Duration::from_millis(poll_ms));
-                std::thread::sleep(
-                    wait.clamp(Duration::from_millis(1), Duration::from_millis(250)),
-                );
+                let wait = match retry_after {
+                    // An explicit `Retry-After` is the coordinator saying
+                    // polling sooner cannot help (benched, or nothing
+                    // pending anywhere): honour it over local preference.
+                    Some(hint) => hint.clamp(Duration::from_millis(1), Duration::from_secs(2)),
+                    None => config
+                        .poll
+                        .unwrap_or(Duration::from_millis(poll_ms))
+                        .clamp(Duration::from_millis(1), Duration::from_millis(250)),
+                };
+                sleep_watching(wait, stop, kill);
             }
             LeaseReply::Job(job) => {
                 let done = run_shard(
@@ -282,7 +325,7 @@ fn run_worker(
                     params,
                     &plan.frames,
                     job,
-                    config,
+                    heartbeat_every,
                     kill,
                 );
                 if done {
@@ -310,6 +353,63 @@ fn run_worker(
     summary
 }
 
+/// One lease request over the wire, surfacing the `Retry-After` header
+/// alongside the decoded reply. `HttpClient::post_json` discards
+/// response headers, so the hint needs the raw send path.
+fn lease_once(
+    coord: &HttpClient,
+    worker: &str,
+) -> Result<(LeaseReply, Option<Duration>), ClientError> {
+    let req = Request::post_json(
+        "/cluster/lease",
+        &LeaseRequest {
+            worker: worker.to_string(),
+        },
+    )
+    .map_err(ClientError::Json)?;
+    let resp = coord.send_with_retry(&req)?;
+    let retry_after = resp
+        .headers
+        .get("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let reply = resp.parse_json().map_err(ClientError::Json)?;
+    Ok((reply, retry_after))
+}
+
+/// Full-jitter backoff for coordinator outages: uniform over
+/// `(0, min(25 ms × 2^(attempt−1), 1 s)]`, drawn from a deterministic
+/// hash of `(worker, attempt)` so a seeded nemesis schedule replays the
+/// exact same waits.
+fn full_jitter_backoff(worker: &str, attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(1).min(6);
+    let ceiling_ms = (25u64 << exp).min(1_000);
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in worker.bytes().chain(*b"CBKF") {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^= u64::from(attempt);
+    hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    Duration::from_millis(hash % ceiling_ms + 1)
+}
+
+/// Sleeps up to `total`, waking early on stop or kill so a backing-off
+/// worker still dies (or exits) promptly.
+fn sleep_watching(total: Duration, stop: &AtomicBool, kill: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    loop {
+        if stop.load(Ordering::SeqCst) || kill.load(Ordering::SeqCst) {
+            return;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
 /// Crawls one leased shard; returns whether its result was accepted.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
@@ -320,7 +420,7 @@ fn run_shard(
     params: &StudyParams,
     frames: &[sift_simtime::HourRange],
     job: crate::proto::ShardJob,
-    config: &ResolvedConfig,
+    heartbeat_every: Duration,
     kill: &Arc<AtomicBool>,
 ) -> bool {
     // The heartbeat thread renews the lease while the crawl runs. It
@@ -335,7 +435,7 @@ fn run_shard(
         let lost = Arc::clone(&lost);
         let kill = Arc::clone(kill);
         let worker = id.to_string();
-        let every = config.heartbeat_every;
+        let every = heartbeat_every;
         let ctx = sift_obs::SpanContext::current();
         std::thread::spawn(move || {
             let hb = HttpClient::new(coord_addr).with_identity(worker.clone());

@@ -16,6 +16,7 @@ pub mod float_eq;
 pub mod hot_alloc;
 pub mod lock_order;
 pub mod lossy_cast;
+pub mod nemesis_obs;
 pub mod no_panic;
 pub mod no_print;
 pub mod route_obs;
@@ -261,6 +262,20 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: true,
             kind: RuleKind::Workspace(cluster_obs::check),
+        },
+        Rule {
+            id: "nemesis-obs",
+            summary: "every `NemesisFaultKind` variant needs a matching \
+                      `sift_cluster_nemesis_faults_total` label string",
+            rationale: "Chaos runs are judged after the fact from /metrics; a \
+                        nemesis fault kind whose snake_case label never \
+                        appears in code could be injected during a run yet be \
+                        invisible in the audit, so label and counter coverage \
+                        are checked at lint time.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::Workspace(nemesis_obs::check),
         },
     ]
 }

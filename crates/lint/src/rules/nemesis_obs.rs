@@ -1,0 +1,187 @@
+//! `nemesis-obs`: observability completeness for nemesis fault kinds.
+//!
+//! The chaos harness injects cluster-grade faults (`enum
+//! NemesisFaultKind`: partitions, heartbeat loss, process kills, heals)
+//! and every injection is supposed to be countable under
+//! `sift_cluster_nemesis_faults_total{kind=…}`. A nemesis run is judged
+//! after the fact from `/metrics` and events, so this rule checks that
+//! every variant's snake_case label (`PartitionAsym` →
+//! `"partition_asym"`) appears as a string literal in non-test
+//! workspace code, and that the counter itself is registered somewhere.
+//! A fault kind with no label could fire during a chaos run yet be
+//! invisible in the audit — the one place a silent fault is worse than
+//! a loud one. Findings anchor at the enum definition site.
+//!
+//! Like the other `*-obs` rules, the match is workspace-wide on
+//! purpose: the counter registration and the `label()` mapping live
+//! next to the enum today, but nothing forces them to stay there.
+
+use crate::config::Config;
+use crate::context::{str_literal_content, FileCtx};
+use crate::lexer::TokKind;
+use crate::rules::fault_obs::{enum_variants, snake_case};
+use crate::rules::RawFinding;
+
+/// The watched enum and the counter it must be visible through.
+const WATCHED: [(&str, &str); 1] = [("NemesisFaultKind", "sift_cluster_nemesis_faults_total")];
+
+pub fn check(files: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
+    // (enum name, counter, variant, file, line, col)
+    let mut variants: Vec<(&str, &str, String, String, u32, u32)> = Vec::new();
+    let mut enum_sites: Vec<(&str, &str, String, u32, u32)> = Vec::new();
+    let mut literals: Vec<String> = Vec::new();
+
+    for ctx in files {
+        if ctx.is_test_file || ctx.is_bin_file {
+            continue;
+        }
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.kind == TokKind::Str && !ctx.in_test(t.line) {
+                literals.push(str_literal_content(&t.text).to_owned());
+            }
+            if t.kind == TokKind::Ident && t.text == "enum" && !ctx.in_test(t.line) {
+                let Some(name_tok) = code.get(i + 1) else {
+                    continue;
+                };
+                let Some((name, counter)) = WATCHED
+                    .iter()
+                    .copied()
+                    .find(|(name, _)| name_tok.kind == TokKind::Ident && name_tok.text == *name)
+                else {
+                    continue;
+                };
+                enum_sites.push((name, counter, ctx.path.clone(), t.line, t.col));
+                for v in enum_variants(code, i + 2) {
+                    variants.push((name, counter, v, ctx.path.clone(), t.line, t.col));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (name, counter, file, line, col) in &enum_sites {
+        if cfg.path_allowed("nemesis-obs", file) {
+            continue;
+        }
+        if !literals.iter().any(|l| l == counter) {
+            out.push((
+                file.clone(),
+                RawFinding::new(
+                    *line,
+                    *col,
+                    format!(
+                        "`{name}` exists but no `{counter}` counter is \
+                         registered anywhere: injected nemesis faults would \
+                         be invisible in /metrics"
+                    ),
+                ),
+            ));
+        }
+    }
+    for (name, counter, variant, file, line, col) in variants {
+        if cfg.path_allowed("nemesis-obs", &file) {
+            continue;
+        }
+        let label = snake_case(&variant);
+        if !literals.iter().any(|l| l == &label) {
+            out.push((
+                file,
+                RawFinding::new(
+                    line,
+                    col,
+                    format!(
+                        "`{name}::{variant}` has no `\"{label}\"` label string \
+                         in non-test code: that fault kind could be injected \
+                         but never distinguished in the `{counter}` exposition"
+                    ),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        FileCtx::new(path, src, &Config::default())
+    }
+
+    const NEMESIS_SRC: &str = r#"
+        pub enum NemesisFaultKind {
+            PartitionSym,
+            HeartbeatDrop,
+        }
+        impl NemesisFaultKind {
+            pub fn label(self) -> &'static str {
+                match self {
+                    NemesisFaultKind::PartitionSym => "partition_sym",
+                    NemesisFaultKind::HeartbeatDrop => "heartbeat_drop",
+                }
+            }
+        }
+        fn count(k: NemesisFaultKind) {
+            sift_obs::counter("sift_cluster_nemesis_faults_total", &[("kind", k.label())]).inc();
+        }
+    "#;
+
+    #[test]
+    fn fully_labelled_kinds_with_a_counter_pass() {
+        let fault = ctx("crates/a/src/fault.rs", NEMESIS_SRC);
+        assert!(check(&[fault], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_label_string_is_flagged() {
+        let fault = ctx(
+            "crates/a/src/fault.rs",
+            r#"pub enum NemesisFaultKind { PartitionSym, KillCoordinator }
+               fn label() -> &'static str { "partition_sym" }
+               fn count() { counter("sift_cluster_nemesis_faults_total", &[]); }"#,
+        );
+        let out = check(&[fault], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("KillCoordinator"));
+        assert!(out[0].1.message.contains("\"kill_coordinator\""));
+    }
+
+    #[test]
+    fn unregistered_counter_is_flagged_at_enum_site() {
+        let fault = ctx(
+            "crates/a/src/fault.rs",
+            r#"pub enum NemesisFaultKind { Heal }
+               fn label() -> &'static str { "heal" }"#,
+        );
+        let out = check(&[fault], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0]
+            .1
+            .message
+            .contains("sift_cluster_nemesis_faults_total"));
+    }
+
+    #[test]
+    fn label_in_a_test_module_does_not_count() {
+        let fault = ctx(
+            "crates/a/src/fault.rs",
+            r#"pub enum NemesisFaultKind { SlowLink }
+               fn count() { counter("sift_cluster_nemesis_faults_total", &[]); }
+               #[cfg(test)]
+               mod tests {
+                   fn label() -> &'static str { "slow_link" }
+               }"#,
+        );
+        let out = check(&[fault], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("SlowLink"));
+    }
+
+    #[test]
+    fn other_enums_are_ignored() {
+        let f = ctx("crates/a/src/x.rs", "pub enum Unwatched { A }");
+        assert!(check(&[f], &Config::default()).is_empty());
+    }
+}

@@ -51,7 +51,10 @@ pub mod server;
 pub use admission::{AdmissionConfig, AdmissionController, ShedReason};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryBudget, RetryBudgetConfig};
 pub use client::{ClientError, HttpClient, RetryPolicy};
-pub use fault::{FaultInjector, FaultKind, FaultPlan, RouteFaults};
+pub use fault::{
+    FaultInjector, FaultKind, FaultPlan, LinkAction, LinkRule, NemesisDriver, NemesisFaultKind,
+    NemesisOp, NemesisPlan, NemesisState, NemesisStep, RouteFaults,
+};
 pub use http::{Headers, Method, ParseError, Request, Response, StatusCode};
 pub use obs::{mount_observability, METRICS_CONTENT_TYPE};
 pub use ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};

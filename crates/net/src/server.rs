@@ -16,7 +16,7 @@
 //! connections instead of just flipping the shutdown flag.
 
 use crate::admission::{AdmissionConfig, AdmissionController, ShedReason};
-use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, LinkAction, NemesisState};
 use crate::http::{parse_request, serialize_response, Request, Response, StatusCode};
 use crate::ratelimit::{RateLimitDecision, RateLimiter, RateLimiterConfig};
 use crate::router::Router;
@@ -36,6 +36,7 @@ pub struct Server {
     router: Arc<Router>,
     limiter: Option<Arc<RateLimiter>>,
     faults: Option<Arc<FaultInjector>>,
+    nemesis: Option<(Arc<NemesisState>, String)>,
     workers: usize,
     read_timeout: Duration,
     write_timeout: Duration,
@@ -49,6 +50,7 @@ impl Server {
             router: Arc::new(router),
             limiter: None,
             faults: None,
+            nemesis: None,
             workers: 4,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
@@ -67,6 +69,16 @@ impl Server {
     /// Enables deterministic fault injection (see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(Arc::new(FaultInjector::new(plan)));
+        self
+    }
+
+    /// Joins the cluster's shared nemesis link-fault table under the
+    /// endpoint name `name`: requests whose sender/receiver pair matches
+    /// an installed [`crate::LinkRule`] are dropped, delayed, or served
+    /// with their reply withheld — the network-level half of a nemesis
+    /// schedule (see [`crate::NemesisPlan`]).
+    pub fn with_nemesis(mut self, state: Arc<NemesisState>, name: impl Into<String>) -> Self {
+        self.nemesis = Some((state, name.into()));
         self
     }
 
@@ -116,6 +128,7 @@ impl Server {
                 router: Arc::clone(&self.router),
                 limiter: self.limiter.clone(),
                 faults: self.faults.clone(),
+                nemesis: self.nemesis.clone(),
                 admission: Arc::clone(&admission),
                 read_timeout: self.read_timeout,
                 write_timeout: self.write_timeout,
@@ -278,6 +291,7 @@ struct ConnContext {
     router: Arc<Router>,
     limiter: Option<Arc<RateLimiter>>,
     faults: Option<Arc<FaultInjector>>,
+    nemesis: Option<(Arc<NemesisState>, String)>,
     admission: Arc<AdmissionController>,
     read_timeout: Duration,
     write_timeout: Duration,
@@ -419,6 +433,39 @@ fn serve_connection(
         let route = req.path.split('?').next().unwrap_or("").to_owned();
         let started_at = Instant::now();
 
+        // Nemesis link faults model the *network* between named
+        // endpoints, so they act before any server-side machinery —
+        // fault plans, admission, the limiter — ever sees the request.
+        // A dropped request simply never arrived; a dropped reply runs
+        // the full pipeline (handler effects stand) and loses only the
+        // response bytes, the shape of an asymmetric partition.
+        let mut drop_reply = false;
+        if let Some((nemesis, name)) = &ctx.nemesis {
+            let from = client_identity(&req, &peer);
+            if let Some((kind, action)) = nemesis.decide(&from, name, &route) {
+                sift_obs::counter(
+                    "sift_cluster_nemesis_faults_total",
+                    &[("kind", kind.label())],
+                )
+                .inc();
+                sift_obs::event(
+                    sift_obs::Level::Warn,
+                    "net.nemesis",
+                    "link fault hit",
+                    &[
+                        ("kind", serde_json::Value::Str(kind.label().to_owned())),
+                        ("from", serde_json::Value::Str(from)),
+                        ("route", serde_json::Value::Str(route.clone())),
+                    ],
+                );
+                match action {
+                    LinkAction::DropRequest => return Ok(()),
+                    LinkAction::Delay(d) => std::thread::sleep(d),
+                    LinkAction::DropReply => drop_reply = true,
+                }
+            }
+        }
+
         // Fault injection decides before admission and the limiter run, so
         // a plan's fault sequence depends only on the request traffic
         // (replayable), never on shed or limiter timing. The decision is
@@ -559,6 +606,13 @@ fn serve_connection(
         sift_obs::histogram("sift_http_request_seconds", &[("route", &route)])
             .observe_duration(started_at.elapsed());
 
+        if drop_reply {
+            // The work happened; the reply is lost on the wire. Closing
+            // without writing surfaces as a reset at the sender — the
+            // zombie-lease shape the cluster's fencing epochs must absorb.
+            drop(admitted);
+            return Ok(());
+        }
         stream.write_all(&serialize_response(&resp))?;
         drop(admitted); // the in-flight slot covers dispatch and write
         wait_epoch = Instant::now();

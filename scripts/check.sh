@@ -77,4 +77,19 @@ cargo build --release --offline --example resumable_crawl
 diff target/resume-a.txt target/resume-b.txt \
   || { echo "resumed replay diverged between same-seed runs" >&2; exit 1; }
 
+# Nemesis gate: the acceptance test kills and recovers the coordinator
+# mid-run and partitions a worker, converging to the clean baseline; then
+# two same-seed runs of the quick nemesis example must print
+# byte-identical reports (stdout is a pure function of the seed — the
+# schedule, the converged spikes, and the kill/restart/recovery audit;
+# timing-dependent observations go to stderr, which is discarded).
+cargo test -q --offline --test nemesis_http
+cargo build --release --offline --example nemesis_crawl
+./target/release/examples/nemesis_crawl --seed 42 --quick \
+  > target/nemesis-a.txt 2> /dev/null
+./target/release/examples/nemesis_crawl --seed 42 --quick \
+  > target/nemesis-b.txt 2> /dev/null
+diff target/nemesis-a.txt target/nemesis-b.txt \
+  || { echo "nemesis replay diverged between same-seed runs" >&2; exit 1; }
+
 echo "all checks passed"

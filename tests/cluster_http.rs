@@ -142,10 +142,12 @@ fn start_cluster(regions: &[State], n_workers: usize, tag: &str) -> Cluster {
     let coord = Arc::new(Coordinator::new(
         params.clone(),
         ClusterConfig {
-            heartbeat_timeout: Duration::from_millis(300),
+            heartbeat_interval: Duration::from_millis(75),
+            miss_threshold: 4,
             poll_ms: 10,
             attempt_budget: 3,
             vnodes: 40,
+            checkpoint_every: 8,
         },
     ));
     let coord_server = Server::new(cluster_router(&coord))
