@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Output is organised per experiment id (fig1..fig6, tab1..tab3, stats,
-//! truth, ant, lag, ablation, cluster); EXPERIMENTS.md records
+//! truth, ant, lag, ablation, cluster, serve); EXPERIMENTS.md records
 //! paper-vs-measured for each.
 
 use sift_core::context::AnnotatedSpike;
@@ -165,6 +165,9 @@ fn main() {
     }
     if wants("cluster") {
         exp_cluster(&args);
+    }
+    if wants("serve") {
+        exp_serve(&args);
     }
     eprintln!("# total {:.1?}", total_span.elapsed());
 }
@@ -903,6 +906,150 @@ fn exp_cluster(args: &Args) {
         (elapsed.as_secs_f64() / single.as_secs_f64() - 1.0) * 100.0
     );
     println!("  shard distribution: {}", shares.join(" "));
+}
+
+/// The online daemon under read load (PR 10): the daemon ingests the
+/// window as the simulated clock sweeps forward while a fleet of pollers
+/// hammers `/spikes` through a deliberately tight admission gate. The
+/// section reports the staleness clients actually observed (the
+/// `X-Sift-Staleness-Ms` header, p50/p99) and the shed rate — how many
+/// reads the daemon turned away with a canned 503 instead of queueing
+/// them into latency. Off the BENCH-gate path (like `cluster`): load
+/// numbers from a contended box are weather, not regressions.
+fn exp_serve(args: &Args) {
+    section(
+        "serve",
+        "online daemon staleness and shed under poller load",
+    );
+    use sift_net::{AdmissionConfig, HttpClient, Request};
+    use sift_serve::{Daemon, ServeConfig};
+    use sift_simtime::SimClock;
+    use sift_trends::{SearchTerm, TrendsClient};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let scenario = Scenario::generate(ScenarioParams {
+        background_scale: args.scale,
+        ..ScenarioParams::default()
+    });
+    let service = Arc::new(TrendsService::new(scenario, ServiceConfig::default()));
+    let regions = vec![State::TX, State::CA, State::FL, State::NY];
+    let range = HourRange::new(Hour(0), Hour(1_680));
+    let mut cfg = ServeConfig::new(
+        SearchTerm::parse("topic:Internet outage"),
+        regions.clone(),
+        range,
+    );
+    cfg.workers = 4;
+    cfg.admission = AdmissionConfig {
+        max_inflight: 2,
+        max_queue: 2,
+        retry_after_secs: 1,
+    };
+
+    let dir = std::env::temp_dir().join(format!("sift-bench-serve-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear serve state dir");
+    }
+    let clock = Arc::new(SimClock::new(Hour(0)));
+    let daemon = Daemon::start(
+        cfg,
+        Arc::clone(&service) as Arc<dyn TrendsClient>,
+        Arc::clone(&clock),
+        &dir,
+    )
+    .expect("start daemon");
+
+    const POLLERS: usize = 16;
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let pollers: Vec<_> = (0..POLLERS)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            let addr = daemon.addr();
+            let region = regions[i % regions.len()];
+            std::thread::spawn(move || {
+                let client = HttpClient::new(addr).with_timeout(Duration::from_secs(30));
+                let mut staleness: Vec<u64> = Vec::new();
+                let (mut ok, mut shed) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    match client.send(&Request::get(format!("/spikes?region={region}"))) {
+                        Ok(resp) if resp.status.is_success() => {
+                            ok += 1;
+                            if let Some(ms) = resp
+                                .headers
+                                .get("x-sift-staleness-ms")
+                                .and_then(|v| v.parse().ok())
+                            {
+                                staleness.push(ms);
+                            }
+                        }
+                        Ok(resp) if resp.status.0 == 503 => shed += 1,
+                        _ => {}
+                    }
+                }
+                (staleness, ok, shed)
+            })
+        })
+        .collect();
+
+    // Sweep the simulated clock across the window in day-sized steps so
+    // ingest trails a moving "now" the way a live deployment would.
+    while clock.now() < range.end {
+        clock.advance(24);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        daemon.wait_caught_up(Duration::from_secs(600)),
+        "daemon never caught up to the end of the window"
+    );
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut all_staleness: Vec<u64> = Vec::new();
+    let (mut ok, mut shed) = (0u64, 0u64);
+    for p in pollers {
+        let (staleness, o, s) = p.join().expect("poller thread");
+        all_staleness.extend(staleness);
+        ok += o;
+        shed += s;
+    }
+    all_staleness.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if all_staleness.is_empty() {
+            return 0;
+        }
+        let idx = ((all_staleness.len() - 1) as f64 * p).round() as usize;
+        all_staleness[idx]
+    };
+
+    let spikes: usize = regions
+        .iter()
+        .map(|r| daemon.spikes(*r).map_or(0, |reply| reply.spikes.len()))
+        .sum();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total = ok + shed;
+    println!(
+        "  {POLLERS} pollers over {} regions for {:.1?}: {ok} reads served, \
+         {shed} shed ({:.2}% of {total})",
+        regions.len(),
+        elapsed,
+        if total == 0 {
+            0.0
+        } else {
+            shed as f64 / total as f64 * 100.0
+        }
+    );
+    println!(
+        "  client-observed staleness: p50 {}ms, p99 {}ms, max {}ms",
+        pct(0.50),
+        pct(0.99),
+        all_staleness.last().copied().unwrap_or(0)
+    );
+    println!("  {spikes} spikes sealed across the window at catch-up");
 }
 
 fn labels(a: &AnnotatedSpike) -> String {

@@ -38,7 +38,7 @@ pub mod timeline;
 
 pub use area::{cluster_spikes, OutageCluster};
 pub use context::{AnnotatedSpike, Annotation, ContextParams};
-pub use detect::{detect_spikes, DetectParams, Spike};
+pub use detect::{detect_spikes, DetectParams, DetectorSnapshot, IncrementalDetector, Spike};
 pub use durable::{RegionJournal, StudyDurability};
 pub use plan::{plan_frames, FramePlan, PlanParams};
 pub use refetch::{averaged_timeline_durable, RefetchError, RefetchOutcome, RefetchParams};
@@ -46,4 +46,4 @@ pub use study::{
     assemble_study, run_region_study, run_study, run_study_durable, RegionOutcome, StudyError,
     StudyParams, StudyResult, StudyStats,
 };
-pub use timeline::{stitch, StitchError, Timeline};
+pub use timeline::{stitch, StitchError, StitcherSnapshot, StreamStitcher, Timeline};

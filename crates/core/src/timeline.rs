@@ -40,7 +40,7 @@ pub struct Timeline {
 /// Saturating `usize → i64` for lengths and indices: a series cannot
 /// approach 2⁶³ hours, and saturation keeps the conversion total without
 /// introducing a panic path.
-fn to_i64(n: usize) -> i64 {
+pub(crate) fn to_i64(n: usize) -> i64 {
     i64::try_from(n).unwrap_or(i64::MAX)
 }
 
@@ -115,6 +115,15 @@ pub enum StitchError {
         /// Start of the offending frame.
         frame_start: Hour,
     },
+    /// A streaming stitcher's retained overlap window is shorter than the
+    /// overlap a frame requires (the frame reaches further back than the
+    /// stitcher kept raw values for).
+    OverlapExceedsWindow {
+        /// Overlap hours the frame requires.
+        overlap: i64,
+        /// Raw hours the stitcher retained.
+        window: i64,
+    },
 }
 
 impl fmt::Display for StitchError {
@@ -131,6 +140,12 @@ impl fmt::Display for StitchError {
             ),
             StitchError::NoProgress { frame_start } => {
                 write!(f, "frame starting {frame_start} adds no new hours")
+            }
+            StitchError::OverlapExceedsWindow { overlap, window } => {
+                write!(
+                    f,
+                    "frame needs {overlap}h of overlap but only {window}h were retained"
+                )
             }
         }
     }
@@ -227,6 +242,174 @@ fn stitch_core<T: std::borrow::Borrow<FrameResponse>>(
         u64::try_from(frames.len()).unwrap_or(u64::MAX),
     );
     Ok(())
+}
+
+/// Serializable state of a [`StreamStitcher`], for checkpointing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StitcherSnapshot {
+    state: State,
+    start: Hour,
+    covered: i64,
+    prev_scale: f64,
+    keep: usize,
+    tail: Vec<f64>,
+    max_raw: f64,
+}
+
+/// Incrementally stitches frames as they arrive, producing the *raw*
+/// calibrated series — the exact values `stitch` builds *before* its
+/// final 0–100 renormalization.
+///
+/// Renormalization divides by the global maximum, which depends on data
+/// that has not arrived yet; an online consumer that must never revise
+/// what it already emitted therefore works on the raw series (anchored
+/// to the first frame's scale) and renormalizes at read time if it needs
+/// the batch presentation. Because the stitcher performs the same
+/// floating-point operations in the same order as [`stitch`], the raw
+/// stream is byte-identical to the batch series divided by its final
+/// scale factor — multiplying the streamed values by `100 / max_raw()`
+/// at end of stream reproduces the batch output bit for bit.
+///
+/// Only the last `keep` raw hours are retained (the widest overlap any
+/// planned frame needs), so memory stays constant no matter how long the
+/// daemon runs.
+#[derive(Clone, Debug)]
+pub struct StreamStitcher {
+    state: State,
+    start: Hour,
+    /// Hours emitted so far.
+    covered: i64,
+    /// Scale applied to the previous frame, inherited on dead overlaps.
+    prev_scale: f64,
+    /// Maximum overlap supported; the retained tail is capped here.
+    keep: usize,
+    /// The last `keep` raw values of the series.
+    tail: Vec<f64>,
+    /// Running maximum of the raw series.
+    max_raw: f64,
+}
+
+impl StreamStitcher {
+    /// Creates a stitcher for a series beginning at `start`; the first
+    /// appended frame must start exactly there. `keep` is the widest
+    /// frame overlap the plan can produce (the planner's frame length
+    /// covers every case).
+    pub fn new(state: State, start: Hour, keep: usize) -> Self {
+        StreamStitcher {
+            state,
+            start,
+            covered: 0,
+            prev_scale: 1.0,
+            keep,
+            tail: Vec::new(),
+            max_raw: 0.0,
+        }
+    }
+
+    /// Appends the next frame: `out_new` is cleared and refilled with the
+    /// newly covered raw hours (frames arrive overlapping; only the
+    /// non-overlapping suffix is new).
+    pub fn append(
+        &mut self,
+        frame: &FrameResponse,
+        out_new: &mut Vec<f64>,
+    ) -> Result<(), StitchError> {
+        out_new.clear();
+        if frame.state != self.state {
+            return Err(StitchError::MixedStates);
+        }
+        let covered_until = self.start + self.covered;
+        if frame.start > covered_until {
+            return Err(StitchError::Gap {
+                covered_until,
+                next_start: frame.start,
+            });
+        }
+        let frame_end = frame.start + to_i64(frame.values.len());
+        if frame_end <= covered_until {
+            return Err(StitchError::NoProgress {
+                frame_start: frame.start,
+            });
+        }
+        let overlap = covered_until - frame.start;
+        let overlap_len = usize::try_from(overlap).unwrap_or(0);
+        if overlap_len > self.tail.len() {
+            return Err(StitchError::OverlapExceedsWindow {
+                overlap,
+                window: to_i64(self.tail.len()),
+            });
+        }
+
+        // Same estimator, same operation order as `stitch_core`: the sum
+        // over the series tail ranges over raw values built by the very
+        // same multiplications, so the ratio comes out bit-identical.
+        let series_tail = &self.tail[self.tail.len() - overlap_len..];
+        let frame_head = &frame.values[..overlap_len];
+        let sum_series: f64 = series_tail.iter().sum();
+        let sum_frame: f64 = frame_head.iter().map(|f| f64::from(*f)).sum();
+        let scale = if sum_series > 0.0 && sum_frame > 0.0 {
+            sum_series / sum_frame
+        } else {
+            self.prev_scale
+        };
+        self.prev_scale = scale;
+
+        for v in &frame.values[overlap_len..] {
+            let raw = f64::from(*v) * scale;
+            self.max_raw = self.max_raw.max(raw);
+            out_new.push(raw);
+            self.tail.push(raw);
+        }
+        if self.tail.len() > self.keep {
+            let excess = self.tail.len() - self.keep;
+            self.tail.drain(..excess);
+        }
+        self.covered += to_i64(out_new.len());
+        Ok(())
+    }
+
+    /// One past the last hour covered so far.
+    pub fn covered_until(&self) -> Hour {
+        self.start + self.covered
+    }
+
+    /// Hours covered so far.
+    pub fn covered(&self) -> i64 {
+        self.covered
+    }
+
+    /// Running maximum of the raw series (0 until any signal arrives).
+    /// `100 / max_raw` is the factor batch renormalization would apply.
+    pub fn max_raw(&self) -> f64 {
+        self.max_raw
+    }
+
+    /// Captures the stitcher state for checkpointing.
+    pub fn snapshot(&self) -> StitcherSnapshot {
+        StitcherSnapshot {
+            state: self.state,
+            start: self.start,
+            covered: self.covered,
+            prev_scale: self.prev_scale,
+            keep: self.keep,
+            tail: self.tail.clone(),
+            max_raw: self.max_raw,
+        }
+    }
+
+    /// Rebuilds a stitcher from a checkpoint; continues byte-identically
+    /// to the stitcher the snapshot was taken from.
+    pub fn restore(snap: StitcherSnapshot) -> Self {
+        StreamStitcher {
+            state: snap.state,
+            start: snap.start,
+            covered: snap.covered,
+            prev_scale: snap.prev_scale,
+            keep: snap.keep,
+            tail: snap.tail,
+            max_raw: snap.max_raw,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +599,93 @@ mod tests {
         let b = stitch(&[&f2]).expect("stitch");
         a.accumulate_mean(&b, 2);
         assert_eq!(a.values, vec![50.0, 50.0]);
+    }
+
+    /// Streams `frames` through a [`StreamStitcher`] (snapshotting and
+    /// restoring after `cut` frames) and returns the raw series.
+    fn stream(frames: &[FrameResponse], keep: usize, cut: usize) -> Vec<f64> {
+        let mut st = StreamStitcher::new(frames[0].state, frames[0].start, keep);
+        let mut raw = Vec::new();
+        let mut new = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            if i == cut {
+                st = StreamStitcher::restore(st.snapshot());
+            }
+            st.append(f, &mut new).expect("stream append");
+            raw.extend_from_slice(&new);
+        }
+        assert_eq!(st.covered(), to_i64(raw.len()));
+        raw
+    }
+
+    #[test]
+    fn stream_matches_batch_bit_for_bit() {
+        let mut truth = vec![10.0; 600];
+        truth[50] = 200.0;
+        truth[51] = 160.0;
+        truth[300] = 100.0;
+        truth[301] = 80.0;
+        truth[560] = 55.0;
+        let frames = piecewise_frames(&truth, 168, 84);
+        let refs: Vec<&FrameResponse> = frames.iter().collect();
+        let batch = stitch(&refs).expect("stitch");
+
+        for cut in [0, 1, 3, frames.len()] {
+            let raw = stream(&frames, 168, cut);
+            assert_eq!(raw.len(), batch.values.len());
+            // The raw stream is the batch series before renormalization:
+            // applying the same final scale reproduces it exactly.
+            let mut st = StreamStitcher::new(State::TX, Hour(0), 168);
+            let mut new = Vec::new();
+            for f in &frames {
+                st.append(f, &mut new).expect("append");
+            }
+            let factor = 100.0 / st.max_raw();
+            for (r, b) in raw.iter().zip(batch.values.iter()) {
+                assert_eq!(r * factor, *b, "cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_keeps_bounded_tail() {
+        let truth: Vec<f64> = (0..2000).map(|i| 1.0 + (i % 37) as f64).collect();
+        let frames = piecewise_frames(&truth, 168, 84);
+        let raw = stream(&frames, 168, 0);
+        assert_eq!(raw.len(), truth.len());
+    }
+
+    #[test]
+    fn stream_rejects_gap_and_no_progress() {
+        let mut st = StreamStitcher::new(State::TX, Hour(0), 168);
+        let mut new = Vec::new();
+        st.append(&frame(State::TX, 0, vec![10; 168]), &mut new)
+            .expect("first frame");
+        assert!(matches!(
+            st.append(&frame(State::TX, 200, vec![10; 168]), &mut new),
+            Err(StitchError::Gap { .. })
+        ));
+        assert!(matches!(
+            st.append(&frame(State::TX, 0, vec![10; 168]), &mut new),
+            Err(StitchError::NoProgress { .. })
+        ));
+        assert!(matches!(
+            st.append(&frame(State::CA, 84, vec![10; 168]), &mut new),
+            Err(StitchError::MixedStates)
+        ));
+    }
+
+    #[test]
+    fn stream_rejects_overlap_beyond_window() {
+        // keep=4 retains too little history for an 84-hour overlap.
+        let mut st = StreamStitcher::new(State::TX, Hour(0), 4);
+        let mut new = Vec::new();
+        st.append(&frame(State::TX, 0, vec![10; 168]), &mut new)
+            .expect("first frame");
+        assert!(matches!(
+            st.append(&frame(State::TX, 84, vec![10; 168]), &mut new),
+            Err(StitchError::OverlapExceedsWindow { .. })
+        ));
     }
 
     #[test]

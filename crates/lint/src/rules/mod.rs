@@ -20,6 +20,7 @@ pub mod nemesis_obs;
 pub mod no_panic;
 pub mod no_print;
 pub mod route_obs;
+pub mod serve_obs;
 pub mod swallowed_result;
 pub mod trace_span;
 pub mod wall_clock;
@@ -276,6 +277,21 @@ pub fn registry() -> Vec<Rule> {
             applies_in_tests: false,
             skips_bins: true,
             kind: RuleKind::Workspace(nemesis_obs::check),
+        },
+        Rule {
+            id: "serve-obs",
+            summary: "every `DegradeReason` variant needs a matching \
+                      `sift_serve_degraded_reads_total` label string",
+            rationale: "The serving daemon degrades reads instead of failing \
+                        them, so incidents are judged entirely from the \
+                        degraded-read exposition; a reason whose snake_case \
+                        label never appears in code could hold for hours while \
+                        its reads stay indistinguishable from healthy ones — \
+                        label and counter coverage are checked at lint time.",
+            default_severity: Severity::Deny,
+            applies_in_tests: false,
+            skips_bins: true,
+            kind: RuleKind::Workspace(serve_obs::check),
         },
     ]
 }

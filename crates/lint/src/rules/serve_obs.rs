@@ -1,0 +1,190 @@
+//! `serve-obs`: observability completeness for degraded serving.
+//!
+//! The online daemon's whole pitch is that reads *degrade* instead of
+//! failing: a region that falls behind keeps answering from last-good
+//! state, labelled with a `DegradeReason` and counted under
+//! `sift_serve_degraded_reads_total{reason=…}`. Operators judge an
+//! incident entirely from that exposition, so this rule checks that
+//! every variant's snake_case label (`BreakerOpen` → `"breaker_open"`)
+//! appears as a string literal in non-test workspace code, and that the
+//! counter itself is registered somewhere. A degrade reason with no
+//! label could hold for hours while its reads stay indistinguishable
+//! from healthy ones — degradation nobody can see is an outage with
+//! extra steps. Findings anchor at the enum definition site.
+//!
+//! Like the other `*-obs` rules, the match is workspace-wide on
+//! purpose: the counter registration and the `label()` mapping live
+//! next to the enum today, but nothing forces them to stay there.
+
+use crate::config::Config;
+use crate::context::{str_literal_content, FileCtx};
+use crate::lexer::TokKind;
+use crate::rules::fault_obs::{enum_variants, snake_case};
+use crate::rules::RawFinding;
+
+/// The watched enum and the counter it must be visible through.
+const WATCHED: [(&str, &str); 1] = [("DegradeReason", "sift_serve_degraded_reads_total")];
+
+pub fn check(files: &[FileCtx], cfg: &Config) -> Vec<(String, RawFinding)> {
+    // (enum name, counter, variant, file, line, col)
+    let mut variants: Vec<(&str, &str, String, String, u32, u32)> = Vec::new();
+    let mut enum_sites: Vec<(&str, &str, String, u32, u32)> = Vec::new();
+    let mut literals: Vec<String> = Vec::new();
+
+    for ctx in files {
+        if ctx.is_test_file || ctx.is_bin_file {
+            continue;
+        }
+        let code = &ctx.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.kind == TokKind::Str && !ctx.in_test(t.line) {
+                literals.push(str_literal_content(&t.text).to_owned());
+            }
+            if t.kind == TokKind::Ident && t.text == "enum" && !ctx.in_test(t.line) {
+                let Some(name_tok) = code.get(i + 1) else {
+                    continue;
+                };
+                let Some((name, counter)) = WATCHED
+                    .iter()
+                    .copied()
+                    .find(|(name, _)| name_tok.kind == TokKind::Ident && name_tok.text == *name)
+                else {
+                    continue;
+                };
+                enum_sites.push((name, counter, ctx.path.clone(), t.line, t.col));
+                for v in enum_variants(code, i + 2) {
+                    variants.push((name, counter, v, ctx.path.clone(), t.line, t.col));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (name, counter, file, line, col) in &enum_sites {
+        if cfg.path_allowed("serve-obs", file) {
+            continue;
+        }
+        if !literals.iter().any(|l| l == counter) {
+            out.push((
+                file.clone(),
+                RawFinding::new(
+                    *line,
+                    *col,
+                    format!(
+                        "`{name}` exists but no `{counter}` counter is \
+                         registered anywhere: degraded reads would be \
+                         invisible in /metrics"
+                    ),
+                ),
+            ));
+        }
+    }
+    for (name, counter, variant, file, line, col) in variants {
+        if cfg.path_allowed("serve-obs", &file) {
+            continue;
+        }
+        let label = snake_case(&variant);
+        if !literals.iter().any(|l| l == &label) {
+            out.push((
+                file,
+                RawFinding::new(
+                    line,
+                    col,
+                    format!(
+                        "`{name}::{variant}` has no `\"{label}\"` label string \
+                         in non-test code: reads could degrade for that reason \
+                         yet never be distinguished in the `{counter}` \
+                         exposition"
+                    ),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(path: &str, src: &str) -> FileCtx {
+        FileCtx::new(path, src, &Config::default())
+    }
+
+    const DEGRADE_SRC: &str = r#"
+        pub enum DegradeReason {
+            BreakerOpen,
+            WalBacklog,
+        }
+        impl DegradeReason {
+            pub fn label(self) -> &'static str {
+                match self {
+                    DegradeReason::BreakerOpen => "breaker_open",
+                    DegradeReason::WalBacklog => "wal_backlog",
+                }
+            }
+        }
+        fn count(r: DegradeReason) {
+            sift_obs::counter("sift_serve_degraded_reads_total", &[("reason", r.label())]).inc();
+        }
+    "#;
+
+    #[test]
+    fn fully_labelled_enum_with_counter_passes() {
+        let f = ctx("crates/a/src/degrade.rs", DEGRADE_SRC);
+        assert!(check(&[f], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_label_string_is_flagged() {
+        let f = ctx(
+            "crates/a/src/degrade.rs",
+            r#"pub enum DegradeReason { BreakerOpen, DetectorLagging }
+               fn label() -> &'static str { "breaker_open" }
+               fn count() { counter("sift_serve_degraded_reads_total", &[]); }"#,
+        );
+        let out = check(&[f], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("DetectorLagging"));
+        assert!(out[0].1.message.contains("\"detector_lagging\""));
+    }
+
+    #[test]
+    fn unregistered_counter_is_flagged_at_enum_site() {
+        let f = ctx(
+            "crates/a/src/degrade.rs",
+            r#"pub enum DegradeReason { WalBacklog }
+               fn label() -> &'static str { "wal_backlog" }"#,
+        );
+        let out = check(&[f], &Config::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].1.message.contains("sift_serve_degraded_reads_total"));
+    }
+
+    #[test]
+    fn labels_may_live_in_another_file() {
+        let enum_file = ctx(
+            "crates/a/src/degrade.rs",
+            "pub enum DegradeReason { BreakerOpen }",
+        );
+        let metrics_file = ctx(
+            "crates/b/src/metrics.rs",
+            r#"fn f() { counter("sift_serve_degraded_reads_total",
+                               &[("reason", "breaker_open")]); }"#,
+        );
+        assert!(check(&[enum_file, metrics_file], &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn other_enums_and_test_code_do_not_count() {
+        let f = ctx(
+            "crates/a/src/x.rs",
+            r#"pub enum Unwatched { A }
+            #[cfg(test)]
+            mod tests {
+                enum DegradeReason { Wedged }
+            }"#,
+        );
+        assert!(check(&[f], &Config::default()).is_empty());
+    }
+}

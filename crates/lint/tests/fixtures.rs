@@ -190,6 +190,16 @@ fn breaker_obs_fixture() {
 }
 
 #[test]
+fn serve_obs_fixture() {
+    check(
+        "serve_obs",
+        include_str!("fixtures/serve_obs.rs"),
+        &Config::default(),
+        false,
+    );
+}
+
+#[test]
 fn swallowed_result_fixture() {
     check(
         "swallowed_result",

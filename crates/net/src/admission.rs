@@ -12,6 +12,12 @@
 //! Shed decisions are counted per reason in
 //! `sift_net_admission_shed_total{reason=…}` and the live in-flight count
 //! is exposed as the `sift_net_inflight` gauge.
+//!
+//! Long-poll handlers *park* while they wait ([`AdmissionController::park`]):
+//! a parked waiter consumes no worker-visible in-flight slot, so a
+//! thousand idle subscribers cannot starve fresh requests into
+//! `queue_full`/`overload` sheds. Parked waiters are tracked separately
+//! in the `sift_net_parked_waiters` gauge.
 
 use crate::http::{Response, StatusCode};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -97,6 +103,7 @@ pub struct AdmissionController {
     config: AdmissionConfig,
     inflight: AtomicUsize,
     queued: AtomicUsize,
+    parked: AtomicUsize,
     draining: AtomicBool,
 }
 
@@ -107,6 +114,7 @@ impl AdmissionController {
             config,
             inflight: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         }
     }
@@ -208,6 +216,12 @@ impl AdmissionController {
         self.queued.load(Ordering::SeqCst)
     }
 
+    /// Admitted requests currently parked in a long wait (not holding an
+    /// in-flight slot).
+    pub fn parked(&self) -> usize {
+        self.parked.load(Ordering::SeqCst)
+    }
+
     /// Flips the server into drain mode: in-flight requests finish, new
     /// connections and requests are refused with `503 + Retry-After`.
     pub fn begin_drain(&self) {
@@ -250,6 +264,35 @@ impl AdmissionController {
         sift_obs::gauge("sift_net_accept_queue_depth", &[])
             .set(i64::try_from(self.queued()).unwrap_or(i64::MAX));
     }
+
+    /// Releases the calling request's in-flight slot for the duration of
+    /// a parked wait (a long-poll subscriber blocked until the next
+    /// spike, say). The caller must hold an in-flight slot — i.e. run
+    /// inside an admitted handler. While the returned [`ParkedSlot`]
+    /// lives, the request counts in [`AdmissionController::parked`]
+    /// instead of the in-flight total, so idle waiters cannot push fresh
+    /// requests into `queue_full`/`overload` sheds. Dropping the slot
+    /// re-takes the in-flight count *unconditionally* — the request
+    /// already passed admission, and re-checking the cap on wake-up could
+    /// deadlock a full server against its own waiters; the count may
+    /// therefore transiently exceed `max_inflight` while woken waiters
+    /// finish up.
+    ///
+    /// Parked waiters are invisible to `drain`'s settle loop (it watches
+    /// in-flight only), so a parked handler must use bounded waits and
+    /// check [`AdmissionController::is_draining`] on every wake-up.
+    pub fn park(&self) -> ParkedSlot<'_> {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        self.set_inflight_gauge();
+        self.set_parked_gauge();
+        ParkedSlot { controller: self }
+    }
+
+    fn set_parked_gauge(&self) {
+        sift_obs::gauge("sift_net_parked_waiters", &[])
+            .set(i64::try_from(self.parked()).unwrap_or(i64::MAX));
+    }
 }
 
 /// RAII in-flight slot; dropping it releases the slot.
@@ -261,6 +304,22 @@ pub struct InflightGuard<'a> {
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         self.controller.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.controller.set_inflight_gauge();
+    }
+}
+
+/// RAII parked wait (see [`AdmissionController::park`]); dropping it moves the
+/// request back from the parked count to the in-flight count.
+#[derive(Debug)]
+pub struct ParkedSlot<'a> {
+    controller: &'a AdmissionController,
+}
+
+impl Drop for ParkedSlot<'_> {
+    fn drop(&mut self) {
+        self.controller.parked.fetch_sub(1, Ordering::SeqCst);
+        self.controller.inflight.fetch_add(1, Ordering::SeqCst);
+        self.controller.set_parked_gauge();
         self.controller.set_inflight_gauge();
     }
 }
@@ -335,6 +394,42 @@ mod tests {
     fn labels_cover_every_reason() {
         let labels: Vec<_> = ShedReason::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels, ["queue_full", "overload", "deadline", "draining"]);
+    }
+
+    /// Regression (parked-waiter accounting): a long-poll subscriber
+    /// blocked waiting for the next event must not hold an in-flight slot
+    /// — before `park`, one idle subscriber on a `max_inflight: 1` server
+    /// pushed every fresh request into an `overload` shed for as long as
+    /// it waited.
+    #[test]
+    fn parked_waiter_does_not_shed_fresh_requests() {
+        let c = controller(1, 0);
+        let subscriber = c.try_admit().expect("subscriber admitted");
+        assert_eq!(
+            c.try_admit().unwrap_err(),
+            ShedReason::Overload,
+            "sanity: the cap really is 1"
+        );
+
+        let parked = c.park();
+        assert_eq!(c.inflight(), 0);
+        assert_eq!(c.parked(), 1);
+        let fresh = c
+            .try_admit()
+            .expect("fresh request admitted while subscriber parked");
+        drop(fresh);
+
+        // Wake-up re-takes the slot unconditionally, even at the cap.
+        let _held = c.try_admit().expect("slot free again");
+        drop(parked);
+        assert_eq!(c.parked(), 0);
+        assert_eq!(
+            c.inflight(),
+            2,
+            "woken waiter may transiently exceed the cap"
+        );
+        drop(subscriber);
+        assert_eq!(c.inflight(), 1);
     }
 
     /// Regression (drain race): a request admitted concurrently with

@@ -48,7 +48,7 @@ pub mod ratelimit;
 pub mod router;
 pub mod server;
 
-pub use admission::{AdmissionConfig, AdmissionController, ShedReason};
+pub use admission::{AdmissionConfig, AdmissionController, ParkedSlot, ShedReason};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryBudget, RetryBudgetConfig};
 pub use client::{ClientError, HttpClient, RetryPolicy};
 pub use fault::{

@@ -41,6 +41,7 @@ pub struct Server {
     read_timeout: Duration,
     write_timeout: Duration,
     admission: AdmissionConfig,
+    admission_shared: Option<Arc<AdmissionController>>,
 }
 
 impl Server {
@@ -57,6 +58,7 @@ impl Server {
             // No bounds unless asked for; the controller still powers
             // deadline sheds and graceful drain.
             admission: AdmissionConfig::unlimited(),
+            admission_shared: None,
         }
     }
 
@@ -89,6 +91,16 @@ impl Server {
         self
     }
 
+    /// Uses a caller-owned admission controller instead of building one
+    /// internally from the [`Self::with_admission`] config. Handlers that
+    /// need admission state — a long-poll route parking its waiter via
+    /// [`AdmissionController::park`], or a drain-aware wait loop — hold a
+    /// clone of the same `Arc` the server sheds with.
+    pub fn with_admission_controller(mut self, controller: Arc<AdmissionController>) -> Self {
+        self.admission_shared = Some(controller);
+        self
+    }
+
     /// Sets the worker-pool size.
     pub fn with_workers(mut self, n: usize) -> Self {
         assert!(n >= 1, "at least one worker required");
@@ -116,7 +128,9 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let admission = Arc::new(AdmissionController::new(self.admission));
+        let admission = self
+            .admission_shared
+            .unwrap_or_else(|| Arc::new(AdmissionController::new(self.admission)));
         let started = Instant::now();
 
         let (tx, rx) = channel::unbounded::<(TcpStream, Instant)>();

@@ -11,6 +11,8 @@
 //!   (Fig. 4 groups spikes by weekday, Fig. 6 by month),
 //! * [`HourRange`] — half-open hour intervals with the interval algebra the
 //!   frame planner and spike detector need,
+//! * [`SimClock`] — the shared, manually-advanced simulated clock the
+//!   online daemon ingests against,
 //! * formatting helpers matching the paper's `15 Feb. 2021–10h` style.
 //!
 //! The calendar math uses Howard Hinnant's `civil_from_days` /
@@ -21,11 +23,13 @@
 #![warn(missing_docs)]
 
 mod civil;
+mod clock;
 mod fmt;
 mod hour;
 mod range;
 
 pub use civil::{Civil, Month, Weekday};
+pub use clock::SimClock;
 pub use fmt::{format_day, format_spike_time};
 pub use hour::{Hour, HOURS_PER_DAY, HOURS_PER_WEEK};
 pub use range::HourRange;

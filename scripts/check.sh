@@ -92,4 +92,19 @@ cargo build --release --offline --example nemesis_crawl
 diff target/nemesis-a.txt target/nemesis-b.txt \
   || { echo "nemesis replay diverged between same-seed runs" >&2; exit 1; }
 
+# Serving gate: the daemon acceptance test crashes ingest at every
+# durability boundary (in-process panic and out-of-process abort) and
+# must recover to the identical spike set while the front keeps serving;
+# then two same-seed runs of the online-daemon example must print
+# byte-identical reports (spike tables are a pure function of the seed;
+# host-timing observations like staleness go to stderr, discarded here).
+cargo test -q --offline --test serve_http
+cargo build --release --offline --example online_daemon
+./target/release/examples/online_daemon --seed 7 \
+  > target/serve-a.txt 2> /dev/null
+./target/release/examples/online_daemon --seed 7 \
+  > target/serve-b.txt 2> /dev/null
+diff target/serve-a.txt target/serve-b.txt \
+  || { echo "online daemon diverged between same-seed runs" >&2; exit 1; }
+
 echo "all checks passed"

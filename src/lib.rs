@@ -21,6 +21,8 @@
 //!   event logging, exposed live at `GET /metrics`.
 //! * [`journal`] — crash-safe durability: write-ahead journal, atomic
 //!   checkpoints, deterministic crash injection for resumable crawls.
+//! * [`serve`] — SIFT-as-a-service: a crash-recoverable online detector
+//!   daemon with bounded-staleness reads and graceful degradation.
 //! * [`geo`], [`simtime`], [`nlp`] — geography, civil time and semantic
 //!   clustering substrates.
 //!
@@ -38,5 +40,6 @@ pub use sift_net as net;
 pub use sift_nlp as nlp;
 pub use sift_obs as obs;
 pub use sift_probe as probe;
+pub use sift_serve as serve;
 pub use sift_simtime as simtime;
 pub use sift_trends as trends;
